@@ -1,0 +1,159 @@
+package mcmdist
+
+// One benchmark per table and figure of the paper's evaluation section,
+// driving the same experiment code as cmd/bench at reduced scale, plus
+// micro-benchmarks for the Table I primitives. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Shapes (who wins, how results scale) are what reproduce the paper;
+// cmd/bench prints the full tables and EXPERIMENTS.md records the
+// comparison.
+
+import (
+	"io"
+	"testing"
+
+	"mcmdist/internal/experiments"
+)
+
+// BenchmarkTableIPrimitives exercises the primitive set of Table I through
+// one full distributed solve per iteration (SpMV, SELECT, SET, INVERT,
+// PRUNE are all on the hot path of Algorithm 2).
+func BenchmarkTableIPrimitives(b *testing.B) {
+	g, err := RMAT(ER, 10, 8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaximumMatching(g, Options{Procs: 4, Init: GreedyInit}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Suite regenerates the Table II inventory.
+func BenchmarkTable2Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard, 8)
+	}
+}
+
+// BenchmarkFig3Initializers runs the initializer comparison (greedy vs
+// Karp-Sipser vs dynamic mindegree) on the figure's representative graphs.
+func BenchmarkFig3Initializers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(io.Discard, 7, 4)
+	}
+}
+
+// BenchmarkFig4StrongScaling runs the real-matrix strong-scaling sweep.
+func BenchmarkFig4StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(io.Discard, 10, []int{4, 16}, []string{"road_usa", "amazon-2008"})
+	}
+}
+
+// BenchmarkFig5Breakdown runs the per-primitive runtime decomposition.
+func BenchmarkFig5Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(io.Discard, 9, []int{4, 16})
+	}
+}
+
+// BenchmarkFig6SyntheticScaling runs the ER/G500/SSCA scaling sweep.
+func BenchmarkFig6SyntheticScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(io.Discard, []int{10}, []int{4, 16})
+	}
+}
+
+// BenchmarkFig7HybridVsFlat runs the multithreading comparison.
+func BenchmarkFig7HybridVsFlat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(io.Discard, 10, []int{48})
+	}
+}
+
+// BenchmarkFig8PruneAblation runs the pruning on/off ablation.
+func BenchmarkFig8PruneAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(io.Discard, 8, 4, []string{"road_usa", "kkt_power"})
+	}
+}
+
+// BenchmarkFig9GatherScatter runs the gather-to-one-node cost experiment.
+func BenchmarkFig9GatherScatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(io.Discard, []int{1 << 18, 1 << 20}, 2048, 4)
+	}
+}
+
+// BenchmarkAugmentVariants runs the Section IV-B level- vs path-parallel
+// crossover sweep.
+func BenchmarkAugmentVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AugmentCrossover(io.Discard, 4, 8, []int{1, 16})
+	}
+}
+
+// BenchmarkSerialBaselines measures the shared-memory algorithms the paper
+// compares against (Section VI-E).
+func BenchmarkSerialBaselines(b *testing.B) {
+	g, err := RMAT(G500, 13, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		alg  SerialAlgorithm
+	}{
+		{"hopcroft-karp", HopcroftKarp},
+		{"pothen-fan", PothenFan},
+		{"ms-bfs", MSBFS},
+		{"ms-bfs-graft", MSBFSGraft},
+		{"push-relabel", PushRelabelAlg},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MaximumMatchingSerial(g, tc.alg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCMDistByProcs measures wall time of the full distributed solve
+// at several simulated grid sizes (in-process; communication is metered,
+// wall time includes simulation overhead).
+func BenchmarkMCMDistByProcs(b *testing.B) {
+	g, err := RMAT(G500, 12, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 16} {
+		b.Run("p="+itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MaximumMatching(g, Options{Procs: p, Init: DynamicMindegreeInit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

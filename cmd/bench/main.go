@@ -1,0 +1,83 @@
+// Command bench regenerates the tables and figures of the paper's
+// evaluation section (Azad & Buluç, IPDPS 2016, Section VI) on the
+// simulated distributed-memory runtime.
+//
+// Usage:
+//
+//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|all [-scale N] [-procs P]
+//
+// Scaling figures report times from the alpha-beta cost model (see
+// internal/costmodel); EXPERIMENTS.md compares their shapes against the
+// paper's. Larger -scale values sharpen the shapes but take longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmdist/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, all")
+	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
+	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
+	flag.Parse()
+
+	w := os.Stdout
+	runOne := func(name string) bool {
+		switch name {
+		case "table2":
+			experiments.Table2(w, *scale)
+		case "fig3":
+			experiments.Fig3(w, min(*scale, 9), *procs)
+		case "fig4":
+			experiments.Fig4(w, *scale, nil, nil)
+		case "fig5":
+			experiments.Fig5(w, *scale, nil)
+		case "fig6":
+			experiments.Fig6(w, []int{*scale - 2, *scale}, nil)
+		case "fig7":
+			experiments.Fig7(w, *scale, nil)
+		case "fig8":
+			experiments.Fig8(w, min(*scale, 9), *procs, nil)
+		case "fig9":
+			experiments.Fig9(w, nil, 2048, 8)
+		case "augment":
+			experiments.AugmentCrossover(w, 4, 16, nil)
+		case "direction":
+			experiments.DirectionAblation(w, *scale, *procs, nil)
+		case "gridshape":
+			experiments.GridShapeAblation(w, *scale, *procs)
+		case "graft":
+			experiments.GraftAblation(w, *scale, *procs, nil)
+		case "quality":
+			experiments.InitQuality(w, *scale, nil)
+		case "balance":
+			experiments.BalanceAblation(w, *scale, *procs, nil)
+		case "ssms":
+			experiments.SingleVsMultiSource(w, min(*scale, 10), *procs, nil)
+		case "treebalance":
+			experiments.TreeBalance(w, *scale, *procs, nil)
+		case "dynamics":
+			experiments.FrontierDynamics(w, "road_usa", *scale, *procs)
+		default:
+			return false
+		}
+		fmt.Fprintln(w)
+		return true
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "augment", "direction", "gridshape", "graft", "quality", "balance", "ssms", "treebalance"} {
+			fmt.Fprintf(w, "=== %s ===\n", name)
+			runOne(name)
+		}
+		return
+	}
+	if !runOne(*exp) {
+		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,218 @@
+// Command mcm computes a maximum cardinality matching of a bipartite graph
+// with the distributed MCM-DIST algorithm on simulated ranks.
+//
+// The input is either a Matrix Market file (-in), a synthetic R-MAT matrix
+// (-rmat g500|ssca|er -scale N), or a Table II stand-in (-matrix name
+// -scale N).
+//
+// Examples:
+//
+//	mcm -rmat g500 -scale 14 -procs 16 -init mindegree
+//	mcm -in graph.mtx -procs 4 -breakdown
+//	mcm -matrix road_usa -scale 12 -procs 16 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mcmdist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcm: ")
+
+	in := flag.String("in", "", "Matrix Market input file")
+	rmatClass := flag.String("rmat", "", "generate an R-MAT matrix: g500, ssca or er")
+	matrix := flag.String("matrix", "", "generate a Table II stand-in by name (see -list)")
+	list := flag.Bool("list", false, "list the Table II stand-in names and exit")
+	scale := flag.Int("scale", 12, "scale of generated matrices (2^scale vertices per side)")
+	seed := flag.Int64("seed", 1, "generator / permutation seed")
+	procs := flag.Int("procs", 4, "simulated ranks (perfect square)")
+	threads := flag.Int("threads", 12, "modeled threads per rank")
+	initAlg := flag.String("init", "mindegree", "initializer: none, greedy, karpsipser, mindegree")
+	semiringFlag := flag.String("semiring", "minparent", "SpMV semiring: minparent, randroot, randparent")
+	augment := flag.String("augment", "auto", "augmentation: auto, level, path")
+	noPrune := flag.Bool("no-prune", false, "disable tree pruning (Fig. 8 ablation)")
+	dirOpt := flag.Bool("direction-optimized", false, "enable bottom-up BFS for large frontiers")
+	graft := flag.Bool("graft", false, "use the tree-grafting MCM variant (distributed MS-BFS-Graft)")
+	serial := flag.String("serial", "", "also run a serial baseline for comparison: hk, pf, msbfs, graft, pr")
+	noPermute := flag.Bool("no-permute", false, "skip the load-balancing random permutation")
+	verify := flag.Bool("verify", false, "certify the result with the König vertex-cover certificate")
+	breakdown := flag.Bool("breakdown", false, "print the per-primitive runtime breakdown")
+	trace := flag.Bool("trace", false, "print one line per BFS iteration")
+	out := flag.String("out", "", "write the matching as 'row col' lines to this file")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(mcmdist.TableIINames(), "\n"))
+		return
+	}
+
+	g, err := loadGraph(*in, *rmatClass, *matrix, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g)
+
+	opts := mcmdist.Options{
+		Procs:              *procs,
+		Threads:            *threads,
+		DisablePrune:       *noPrune,
+		DirectionOptimized: *dirOpt,
+		TreeGrafting:       *graft,
+		Permute:            !*noPermute,
+		Seed:               *seed,
+	}
+	switch *initAlg {
+	case "none":
+		opts.Init = mcmdist.NoInit
+	case "greedy":
+		opts.Init = mcmdist.GreedyInit
+	case "karpsipser":
+		opts.Init = mcmdist.KarpSipserInit
+	case "mindegree":
+		opts.Init = mcmdist.DynamicMindegreeInit
+	default:
+		log.Fatalf("unknown -init %q", *initAlg)
+	}
+	switch *semiringFlag {
+	case "minparent":
+		opts.Semiring = mcmdist.MinParent
+	case "randroot":
+		opts.Semiring = mcmdist.RandRoot
+	case "randparent":
+		opts.Semiring = mcmdist.RandParent
+	default:
+		log.Fatalf("unknown -semiring %q", *semiringFlag)
+	}
+	if *trace {
+		opts.Trace = os.Stdout
+	}
+	switch *augment {
+	case "auto":
+		opts.Augment = mcmdist.AutoAugment
+	case "level":
+		opts.Augment = mcmdist.LevelParallel
+	case "path":
+		opts.Augment = mcmdist.PathParallel
+	default:
+		log.Fatalf("unknown -augment %q", *augment)
+	}
+
+	m, st, err := mcmdist.MaximumMatching(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|M| = %d (initializer found %d), deficiency %d\n",
+		st.Cardinality, st.InitCardinality, g.Cols()-st.Cardinality)
+	fmt.Printf("phases %d, iterations %d (push %d / pull %d), augmenting paths %d (level-parallel %d, path-parallel %d)\n",
+		st.Phases, st.Iterations, st.PushIterations, st.PullIterations,
+		st.AugmentedPaths, st.LevelParallelAugments, st.PathParallelAugments)
+	fmt.Printf("modeled time on %s with p=%d t=%d: %.3gs\n",
+		mcmdist.EdisonXC30.Name, st.Procs, st.Threads, st.ModeledSeconds(mcmdist.EdisonXC30))
+
+	if *breakdown {
+		bd := st.ModeledBreakdown(mcmdist.EdisonXC30)
+		keys := make([]string, 0, len(bd))
+		for k := range bd {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("breakdown (modeled seconds):")
+		for _, k := range keys {
+			fmt.Printf("  %-8s %.3g  (wall %v)\n", k, bd[k], st.WallByOp[k])
+		}
+	}
+
+	if *verify {
+		if err := g.VerifyMaximum(m); err != nil {
+			log.Fatalf("verification FAILED: %v", err)
+		}
+		fmt.Println("verified: König certificate confirms the matching is maximum")
+	}
+
+	if *out != "" {
+		if err := writeMatching(*out, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("matching written to %s\n", *out)
+	}
+
+	if *serial != "" {
+		alg, ok := map[string]mcmdist.SerialAlgorithm{
+			"hk": mcmdist.HopcroftKarp, "pf": mcmdist.PothenFan,
+			"msbfs": mcmdist.MSBFS, "graft": mcmdist.MSBFSGraft,
+			"pr": mcmdist.PushRelabelAlg,
+		}[*serial]
+		if !ok {
+			log.Fatalf("unknown -serial %q", *serial)
+		}
+		start := time.Now()
+		sm, err := mcmdist.MaximumMatchingSerial(g, alg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serial %s: |M| = %d in %v", *serial, sm.Cardinality(), time.Since(start))
+		if sm.Cardinality() == st.Cardinality {
+			fmt.Println(" (agrees with MCM-DIST)")
+		} else {
+			fmt.Println(" (DISAGREES with MCM-DIST!)")
+		}
+	}
+}
+
+// writeMatching stores the matched pairs, one "row col" line each.
+func writeMatching(path string, m *mcmdist.Matching) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i, j := range m.MateR {
+		if j == mcmdist.Unmatched {
+			continue
+		}
+		if _, err := fmt.Fprintf(f, "%d %d\n", i, j); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func loadGraph(in, rmatClass, matrix string, scale int, seed int64) (*mcmdist.Graph, error) {
+	nSources := 0
+	for _, s := range []string{in, rmatClass, matrix} {
+		if s != "" {
+			nSources++
+		}
+	}
+	if nSources != 1 {
+		return nil, fmt.Errorf("specify exactly one of -in, -rmat, -matrix (got %d); see -h", nSources)
+	}
+	switch {
+	case in != "":
+		return mcmdist.FromMatrixMarketFile(in)
+	case matrix != "":
+		return mcmdist.TableII(matrix, scale)
+	default:
+		var class mcmdist.RMATClass
+		switch strings.ToLower(rmatClass) {
+		case "g500":
+			class = mcmdist.G500
+		case "ssca":
+			class = mcmdist.SSCA
+		case "er":
+			class = mcmdist.ER
+		default:
+			return nil, fmt.Errorf("unknown -rmat class %q", rmatClass)
+		}
+		return mcmdist.RMAT(class, scale, 0, seed)
+	}
+}

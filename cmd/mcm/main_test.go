@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphSources(t *testing.T) {
+	// Exactly one source required.
+	if _, err := loadGraph("", "", "", 8, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadGraph("x.mtx", "er", "", 8, 1); err == nil {
+		t.Error("two sources accepted")
+	}
+
+	// RMAT classes.
+	for _, class := range []string{"g500", "ssca", "er", "G500", "ER"} {
+		g, err := loadGraph("", class, "", 6, 1)
+		if err != nil {
+			t.Errorf("class %q: %v", class, err)
+			continue
+		}
+		if g.Rows() != 64 {
+			t.Errorf("class %q: %d rows", class, g.Rows())
+		}
+	}
+	if _, err := loadGraph("", "bogus", "", 6, 1); err == nil {
+		t.Error("unknown rmat class accepted")
+	}
+
+	// Table II stand-in.
+	g, err := loadGraph("", "", "road_usa", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() == 0 {
+		t.Error("empty stand-in")
+	}
+	if _, err := loadGraph("", "", "nope", 6, 1); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+
+	// Matrix Market file.
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	content := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = loadGraph(path, "", "", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 2 {
+		t.Errorf("mtx load: %d edges", g.Edges())
+	}
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing.mtx"), "", "", 6, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

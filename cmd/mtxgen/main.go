@@ -1,0 +1,110 @@
+// Command mtxgen writes synthetic test matrices to Matrix Market files: the
+// R-MAT classes of the paper's Section V-B (G500, SSCA, ER) and the 13
+// Table II structural stand-ins.
+//
+// Examples:
+//
+//	mtxgen -rmat g500 -scale 16 -out g500-16.mtx
+//	mtxgen -matrix nlpkkt200 -scale 14 -out nlpkkt200-mini.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mcmdist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtxgen: ")
+
+	rmatClass := flag.String("rmat", "", "R-MAT class: g500, ssca or er")
+	matrix := flag.String("matrix", "", "Table II stand-in name (see -list)")
+	list := flag.Bool("list", false, "list stand-in names and exit")
+	scale := flag.Int("scale", 14, "2^scale vertices per side")
+	edgeFactor := flag.Int("ef", 0, "R-MAT edge factor (0 = paper default)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output .mtx path (required unless -suite)")
+	suite := flag.String("suite", "", "write the whole Table II stand-in suite into this directory")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(mcmdist.TableIINames(), "\n"))
+		return
+	}
+	if *suite != "" {
+		if err := os.MkdirAll(*suite, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range mcmdist.TableIINames() {
+			g, err := mcmdist.TableII(name, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*suite, name+".mtx")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := g.WriteMatrixMarket(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s: %v\n", path, g)
+		}
+		return
+	}
+	if *out == "" {
+		log.Fatal("missing -out")
+	}
+
+	var (
+		g   *mcmdist.Graph
+		err error
+	)
+	switch {
+	case *rmatClass != "" && *matrix != "":
+		log.Fatal("specify only one of -rmat, -matrix")
+	case *matrix != "":
+		g, err = mcmdist.TableII(*matrix, *scale)
+	case *rmatClass != "":
+		var class mcmdist.RMATClass
+		switch strings.ToLower(*rmatClass) {
+		case "g500":
+			class = mcmdist.G500
+		case "ssca":
+			class = mcmdist.SSCA
+		case "er":
+			class = mcmdist.ER
+		default:
+			log.Fatalf("unknown -rmat class %q", *rmatClass)
+		}
+		g, err = mcmdist.RMAT(class, *scale, *edgeFactor, *seed)
+	default:
+		log.Fatal("specify one of -rmat, -matrix")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.WriteMatrixMarket(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %v\n", *out, g)
+}

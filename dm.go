@@ -1,0 +1,89 @@
+package mcmdist
+
+import (
+	"mcmdist/internal/dm"
+)
+
+// BlockTriangularForm is the coarse Dulmage–Mendelsohn decomposition of a
+// bipartite graph, derived from a maximum cardinality matching. It is the
+// standard consumer of MCM in sparse direct solvers: ordering rows
+// (Horizontal, Square, Vertical) and columns likewise permutes the matrix
+// into block triangular form.
+type BlockTriangularForm struct {
+	// HorizontalRows/Cols form the underdetermined block: everything
+	// reachable by alternating paths from unmatched rows. All unmatched
+	// rows are here, and every horizontal column is matched to a
+	// horizontal row.
+	HorizontalRows, HorizontalCols []int
+	// SquareRows/Cols form the square block, on which the matching is
+	// perfect (len(SquareRows) == len(SquareCols)).
+	SquareRows, SquareCols []int
+	// VerticalRows/Cols form the overdetermined block: everything
+	// reachable from unmatched columns. All unmatched columns are here,
+	// and every vertical row is matched to a vertical column.
+	VerticalRows, VerticalCols []int
+}
+
+// DulmageMendelsohn computes the coarse Dulmage–Mendelsohn decomposition
+// from a maximum matching of g. It returns an error when m is invalid or
+// not maximum (the decomposition is only defined for maximum matchings).
+func (g *Graph) DulmageMendelsohn(m *Matching) (*BlockTriangularForm, error) {
+	c, err := dm.Decompose(g.a, m.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &BlockTriangularForm{
+		HorizontalRows: c.HR, HorizontalCols: c.HC,
+		SquareRows: c.SR, SquareCols: c.SC,
+		VerticalRows: c.VR, VerticalCols: c.VC,
+	}, nil
+}
+
+// StructuralRank returns the structural rank of the graph's matrix: the
+// maximum matching cardinality, read off the decomposition.
+func (b *BlockTriangularForm) StructuralRank() int {
+	return len(b.HorizontalCols) + len(b.SquareCols) + len(b.VerticalRows)
+}
+
+// RowOrder returns all rows in block order — the row permutation of the
+// block triangular form.
+func (b *BlockTriangularForm) RowOrder() []int {
+	out := make([]int, 0, len(b.HorizontalRows)+len(b.SquareRows)+len(b.VerticalRows))
+	out = append(out, b.HorizontalRows...)
+	out = append(out, b.SquareRows...)
+	return append(out, b.VerticalRows...)
+}
+
+// ColOrder returns all columns in block order.
+func (b *BlockTriangularForm) ColOrder() []int {
+	out := make([]int, 0, len(b.HorizontalCols)+len(b.SquareCols)+len(b.VerticalCols))
+	out = append(out, b.HorizontalCols...)
+	out = append(out, b.SquareCols...)
+	return append(out, b.VerticalCols...)
+}
+
+// DiagonalBlock is one irreducible diagonal block of the fine
+// Dulmage–Mendelsohn decomposition of the square part: Rows and Cols have
+// equal length and are matched pairwise.
+type DiagonalBlock struct {
+	// Rows and Cols list the block's vertices; Rows[k] is matched to Cols[k].
+	Rows, Cols []int
+}
+
+// FineBlocks refines the square block into irreducible diagonal blocks
+// (strongly connected components of the matched digraph), in an order that
+// makes the square part block upper triangular. Sparse solvers factorize
+// these blocks independently.
+func (g *Graph) FineBlocks(m *Matching, btf *BlockTriangularForm) []DiagonalBlock {
+	c := &dm.Coarse{
+		HR: btf.HorizontalRows, HC: btf.HorizontalCols,
+		SR: btf.SquareRows, SC: btf.SquareCols,
+		VR: btf.VerticalRows, VC: btf.VerticalCols,
+	}
+	fine := dm.Fine(g.a, m.internal(), c)
+	out := make([]DiagonalBlock, len(fine))
+	for i, b := range fine {
+		out[i] = DiagonalBlock{Rows: b.Rows, Cols: b.Cols}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Scaling reproduces the strong-scaling study of the paper's Fig. 4/6 in
+// miniature: it solves the same R-MAT matrix on growing simulated process
+// grids and reports modeled Edison time, speedup, and where each matrix
+// size stops scaling — the paper's qualitative finding that larger graphs
+// scale further.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mcmdist"
+)
+
+func main() {
+	procs := []int{4, 16, 64}
+	scales := []int{10, 13}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "matrix\t")
+	for _, p := range procs {
+		fmt.Fprintf(tw, "p=%d\t", p)
+	}
+	fmt.Fprintln(tw, "best-speedup\tscales-to")
+
+	for _, scale := range scales {
+		g, err := mcmdist.RMAT(mcmdist.G500, scale, 8, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var times []float64
+		var card int
+		for _, p := range procs {
+			_, st, err := mcmdist.MaximumMatching(g, mcmdist.Options{
+				Procs:   p,
+				Threads: 12,
+				Init:    mcmdist.DynamicMindegreeInit,
+				Permute: true,
+				Seed:    1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// The cardinality must be identical on every grid.
+			if card == 0 {
+				card = st.Cardinality
+			} else if st.Cardinality != card {
+				log.Fatalf("p=%d changed the answer: %d vs %d", p, st.Cardinality, card)
+			}
+			times = append(times, st.ModeledSeconds(miniModel()))
+		}
+
+		best, bestP := 1.0, procs[0]
+		for i, t := range times {
+			if s := times[0] / t; s > best {
+				best, bestP = s, procs[i]
+			}
+		}
+		fmt.Fprintf(tw, "G500-%d (m=%d)\t", scale, g.Edges())
+		for _, t := range times {
+			fmt.Fprintf(tw, "%.3gs\t", t)
+		}
+		fmt.Fprintf(tw, "%.2fx\tp=%d\n", best, bestP)
+	}
+	tw.Flush()
+	fmt.Println("\nlarger matrices keep scaling to higher process counts (paper Fig. 4/6)")
+}
+
+// miniModel is Edison rescaled to the miniature input sizes; see
+// internal/costmodel.EdisonMini for the full rationale.
+func miniModel() mcmdist.MachineModel {
+	return mcmdist.MachineModel{Name: "edison-mini", TOp: 2e-9, Alpha: 1e-9, Beta: 2.5e-9}
+}

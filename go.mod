@@ -1,0 +1,3 @@
+module mcmdist
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: MCM-DIST
+// (Algorithm 2), the distributed-memory maximum cardinality matching
+// algorithm built from the matrix-algebraic primitives of Table I, together
+// with its distributed maximal-matching initializers (Section VI-A) and the
+// two augmentation strategies — level-parallel (Algorithm 3) and
+// path-parallel via one-sided RMA (Algorithm 4) — with the automatic
+// k < 2p² switch of Section IV-B.
+package core
+
+import (
+	"fmt"
+
+	"mcmdist/internal/semiring"
+)
+
+// Init selects the maximal-matching initializer run before the MCM phases
+// (Section VI-A compares these; the paper defaults to dynamic mindegree).
+type Init int
+
+const (
+	// InitNone starts from the empty matching.
+	InitNone Init = iota
+	// InitGreedy is the distributed greedy maximal matching.
+	InitGreedy
+	// InitKarpSipser is the distributed Karp–Sipser maximal matching with
+	// the degree-1 rule; expensive on distributed memory (Fig. 3).
+	InitKarpSipser
+	// InitDynMinDegree is the distributed dynamic-mindegree maximal
+	// matching, the paper's default initializer.
+	InitDynMinDegree
+)
+
+// String names the initializer like the paper's figures.
+func (in Init) String() string {
+	switch in {
+	case InitNone:
+		return "none"
+	case InitGreedy:
+		return "greedy"
+	case InitKarpSipser:
+		return "karp-sipser"
+	case InitDynMinDegree:
+		return "dynamic-mindegree"
+	default:
+		return fmt.Sprintf("Init(%d)", int(in))
+	}
+}
+
+// AugmentMode selects how discovered augmenting paths are applied.
+type AugmentMode int
+
+const (
+	// AugmentAuto switches between the two variants with the paper's
+	// criterion: path-parallel when k < 2p², level-parallel otherwise.
+	AugmentAuto AugmentMode = iota
+	// AugmentLevelParallel always uses Algorithm 3 (bulk-synchronous
+	// INVERT/SET chains, level by level).
+	AugmentLevelParallel
+	// AugmentPathParallel always uses Algorithm 4 (asynchronous RMA walks,
+	// one path at a time per owner).
+	AugmentPathParallel
+)
+
+// String names the mode.
+func (am AugmentMode) String() string {
+	switch am {
+	case AugmentAuto:
+		return "auto"
+	case AugmentLevelParallel:
+		return "level-parallel"
+	case AugmentPathParallel:
+		return "path-parallel"
+	default:
+		return fmt.Sprintf("AugmentMode(%d)", int(am))
+	}
+}
+
+// Config controls a distributed matching run.
+type Config struct {
+	// Procs is the number of simulated MPI ranks. Unless GridRows/GridCols
+	// are set it must be a perfect square (the configuration the paper
+	// evaluates; its CombBLAS build "does not support rectangular grids" —
+	// this implementation does, see GridRows). 0 means 1.
+	Procs int
+	// GridRows and GridCols select an explicit (possibly rectangular)
+	// process grid; both must be set together and their product becomes
+	// the rank count. Zero means the square grid derived from Procs.
+	GridRows, GridCols int
+	// Threads is the number of compute threads modeled per rank (the
+	// paper's OpenMP threads, 12 per socket on Edison). It divides the
+	// local-work term of the cost model. 0 means 1.
+	Threads int
+	// Init selects the maximal-matching initializer.
+	Init Init
+	// AddOp selects the SpMV semiring addition (minParent, randRoot,
+	// randParent).
+	AddOp semiring.AddOp
+	// Augment selects the augmentation strategy.
+	Augment AugmentMode
+	// DisablePrune turns off Step 6 of Algorithm 2 (the Fig. 8 ablation).
+	DisablePrune bool
+	// TreeGrafting selects the tree-grafting MCM variant (MCMGraft), the
+	// distributed MS-BFS-Graft the paper lists as future work: alternating
+	// trees persist across phases and only augmented trees release their
+	// vertices.
+	TreeGrafting bool
+	// DirectionOptimized enables the bottom-up ("pull") BFS step for large
+	// frontiers — the direction optimization the paper lists as future
+	// work. When the frontier exceeds PullThreshold of the columns, the
+	// SpMV switches from scattering frontier columns to having unvisited
+	// rows scan their own adjacency with early exit.
+	DirectionOptimized bool
+	// PullThreshold is the minimum frontier fraction (of n2) for the pull
+	// direction to be considered; 0 means the default 1/4. The pull choice
+	// additionally requires the Beamer-style edge-count condition (see
+	// mcm.go).
+	PullThreshold float64
+	// Permute applies a random symmetric permutation before distributing,
+	// the load-balancing step of Section IV-A.
+	Permute bool
+	// Seed drives the permutation and any randomized initializer.
+	Seed int64
+	// OnIteration, when non-nil, is invoked by rank 0 after every
+	// level-synchronous iteration with SPMD-replicated counters — a
+	// lightweight trace for debugging and teaching.
+	OnIteration func(IterInfo)
+}
+
+// IterInfo is one iteration's trace record.
+type IterInfo struct {
+	Phase        int  // 1-based phase number
+	Iteration    int  // 1-based iteration within the run
+	FrontierSize int  // columns in the frontier entering the iteration
+	NewPaths     int  // augmenting paths discovered this iteration
+	Pull         bool // whether the bottom-up SpMV direction was used
+}
+
+// withDefaults normalizes zero values.
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.PullThreshold <= 0 {
+		c.PullThreshold = 0.25
+	}
+	return c
+}
+
+// validate rejects configurations the algorithm does not support and
+// returns the grid shape to use.
+func (c Config) gridShape() (pr, pc int, err error) {
+	if c.GridRows != 0 || c.GridCols != 0 {
+		if c.GridRows <= 0 || c.GridCols <= 0 {
+			return 0, 0, fmt.Errorf("core: GridRows and GridCols must both be positive (got %d x %d)",
+				c.GridRows, c.GridCols)
+		}
+		return c.GridRows, c.GridCols, nil
+	}
+	s := 1
+	for s*s < c.Procs {
+		s++
+	}
+	if s*s != c.Procs {
+		return 0, 0, fmt.Errorf("core: Procs = %d is not a perfect square (set GridRows/GridCols for a rectangular grid)", c.Procs)
+	}
+	return s, s, nil
+}

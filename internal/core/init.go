@@ -1,0 +1,139 @@
+package core
+
+import (
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmv"
+)
+
+// MaximalInit computes the configured distributed maximal matching and
+// returns the mate vectors (mater row-aligned, matec col-aligned) with
+// semiring.None at unmatched vertices. Collective. These are the
+// matrix-algebraic initializers of the paper's prior work [21], compared in
+// Fig. 3; all are built from the Table I primitive subset.
+func (s *Solver) MaximalInit() (mater, matec *dvec.Dense) {
+	mater = dvec.NewDense(s.RowL, semiring.None)
+	matec = dvec.NewDense(s.ColL, semiring.None)
+	s.tr.track(OpInit, func() {
+		switch s.Cfg.Init {
+		case InitNone:
+		case InitGreedy:
+			s.greedyInit(mater, matec)
+		case InitKarpSipser:
+			s.karpSipserInit(mater, matec)
+		case InitDynMinDegree:
+			s.dynMinDegreeInit(mater, matec)
+		default:
+			s.dynMinDegreeInit(mater, matec)
+		}
+	})
+	s.Stats.InitCardinality = s.N2 - s.countUnmatched(matec)
+	return mater, matec
+}
+
+// greedyRound matches each frontier column (all assumed unmatched) to an
+// unmatched row if possible: one SpMV (rows pick a winning column), one
+// SELECT (keep unmatched rows), and two INVERTs to deduplicate per column
+// and flip the pairs back to rows. Returns the number of new matches.
+// Collective.
+func (s *Solver) greedyRound(mater, matec *dvec.Dense, fc *dvec.SparseV, op semiring.AddOp) int {
+	fr := spmv.Mul(s.A, fc, op, s.RowL)
+	fr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
+	// One row per column: INVERT by parent keeps the smallest row index.
+	tc := fr.InvertParents(s.ColL)
+	matec.ScatterParents(tc)
+	// Flip (column -> row) pairs to (row -> column) to update mate_r.
+	mr := tc.InvertParents(s.RowL)
+	mater.ScatterParents(mr)
+	return tc.Nnz()
+}
+
+// greedyInit runs greedy rounds until no unmatched column can be matched.
+func (s *Solver) greedyInit(mater, matec *dvec.Dense) {
+	for {
+		fc := s.unmatchedColFrontier(matec)
+		if fc.Nnz() == 0 {
+			return
+		}
+		if s.greedyRound(mater, matec, fc, semiring.MinParent) == 0 {
+			return
+		}
+	}
+}
+
+// residualColDegrees returns, col-aligned, the number of unmatched row
+// neighbors of every column (matched columns included; callers filter).
+// One counting SpMV with Aᵀ plus two redistributions. Collective.
+func (s *Solver) residualColDegrees(mater *dvec.Dense) *dvec.SparseInt {
+	urows := dvec.NewSparseInt(s.RowL)
+	lo := s.RowL.MyRange().Lo
+	for i, v := range mater.Local {
+		if v == semiring.None {
+			urows.Append(lo+i, 1)
+		}
+	}
+	s.G.World.AddWork(len(mater.Local))
+	deg := s.countMul(urows.Redistribute(s.RowTL))
+	return deg.Redistribute(s.ColL)
+}
+
+// frontierFromCols builds a frontier with Self(j) at each index of cols.
+func (s *Solver) frontierFromCols(cols *dvec.SparseInt) *dvec.SparseV {
+	f := dvec.NewSparseV(s.ColL)
+	for _, g := range cols.Idx {
+		f.Append(g, semiring.Self(int64(g)))
+	}
+	s.G.World.AddWork(len(cols.Idx))
+	return f
+}
+
+// karpSipserInit is the distributed Karp–Sipser rendition: every round
+// recomputes residual column degrees; if any unmatched column has residual
+// degree exactly 1, only those (forced, always-safe) columns are matched
+// this round; otherwise one general greedy round runs. The per-round
+// counting SpMV over the whole residual graph is what makes Karp–Sipser
+// expensive on distributed memory (the Fig. 3 observation).
+func (s *Solver) karpSipserInit(mater, matec *dvec.Dense) {
+	for {
+		deg := s.residualColDegrees(mater)
+		degU := deg.Select(matec, func(v int64) bool { return v == semiring.None })
+		if degU.Nnz() == 0 {
+			return // every unmatched column has zero unmatched neighbors
+		}
+		d1 := degU.Filter(func(v int64) bool { return v == 1 })
+		var fc *dvec.SparseV
+		if d1.Nnz() > 0 {
+			fc = s.frontierFromCols(d1)
+		} else {
+			fc = s.frontierFromCols(degU)
+		}
+		if s.greedyRound(mater, matec, fc, semiring.MinParent) == 0 {
+			return
+		}
+	}
+}
+
+// dynMinDegreeInit is the distributed dynamic-mindegree rendition: greedy
+// rounds in which each row picks its minimum-residual-degree neighbor
+// column, with degrees recomputed every round ("dynamic"). Degrees ride in
+// the root field of the frontier, keyed (degree, column) so ties break by
+// index, and the SpMV runs over the (select2nd, minRoot) semiring.
+func (s *Solver) dynMinDegreeInit(mater, matec *dvec.Dense) {
+	for {
+		deg := s.residualColDegrees(mater)
+		degU := deg.Select(matec, func(v int64) bool { return v == semiring.None })
+		if degU.Nnz() == 0 {
+			return
+		}
+		fc := dvec.NewSparseV(s.ColL)
+		for k, g := range degU.Idx {
+			// Root encodes (degree, column) lexicographically.
+			key := degU.Val[k]*int64(s.N2) + int64(g)
+			fc.Append(g, semiring.Vertex{Parent: int64(g), Root: key})
+		}
+		s.G.World.AddWork(len(degU.Idx))
+		if s.greedyRound(mater, matec, fc, semiring.MinRoot) == 0 {
+			return
+		}
+	}
+}

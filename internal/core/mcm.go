@@ -1,0 +1,242 @@
+package core
+
+import (
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmv"
+)
+
+// MCM runs Algorithm 2 (MCM-DIST) on the given mate vectors, updating them
+// in place to a maximum cardinality matching. Collective: every rank of the
+// grid calls it together with its own mate vector pieces.
+func (s *Solver) MCM(mater, matec *dvec.Dense) {
+	// pullDisabled turns off the bottom-up direction once a pull scan
+	// proves unproductive. It is sticky across phases: unproductive scans
+	// come from frontier columns that are structurally deficient (no
+	// augmenting path will ever leave them), and that set only grows as
+	// the matching converges.
+	pullDisabled := false
+	phase := 0
+	for {
+		phase++
+		// Per-phase state: parents of visited rows and endpoints of
+		// discovered augmenting paths (Algorithm 2, lines 3-5).
+		pir := dvec.NewDense(s.RowL, semiring.None)
+		pathc := dvec.NewDense(s.ColL, semiring.None)
+
+		var fc *dvec.SparseV
+		s.tr.track(OpOther, func() {
+			fc = s.unmatchedColFrontier(matec)
+		})
+		pathsFound := 0
+		visitedRows := 0 // rows discovered so far in this phase
+
+		for {
+			var frontierSize int
+			s.tr.track(OpOther, func() { frontierSize = fc.Nnz() })
+			if frontierSize == 0 {
+				break
+			}
+			s.Stats.Iterations++
+
+			// Step 1: explore neighbors of the column frontier, choosing
+			// the SpMV direction when direction optimization is on. The
+			// heuristic is Beamer-style: pull (bottom-up) when the frontier
+			// is a substantial fraction of the columns AND its outgoing
+			// edges outnumber the unvisited rows' edges by the usual factor
+			// of ~14, so rows scanning for a parent mostly hit early.
+			var fr *dvec.SparseV
+			unvisited := s.N1 - visitedRows
+			usePull := s.Cfg.DirectionOptimized && !pullDisabled &&
+				float64(frontierSize) > s.Cfg.PullThreshold*float64(s.N2) &&
+				14*frontierSize > unvisited
+			s.tr.track(OpSpMV, func() {
+				if usePull {
+					if s.rowAdj == nil {
+						s.rowAdj = spmv.RowMajor(s.A)
+					}
+					var ps spmv.PullStats
+					fr, ps = spmv.MulPull(s.A, s.rowAdj, fc, pir, s.Cfg.AddOp, s.RowL)
+					s.Stats.PullIterations++
+					// Hit-rate feedback: matching frontiers can be full of
+					// structurally deficient columns whose neighborhoods
+					// never hit; if the global scan productivity drops
+					// below 1/8, fall back to push for the rest of the
+					// phase.
+					scanned := s.G.World.Allreduce(mpi.OpSum, int64(ps.Scanned))
+					hits := s.G.World.Allreduce(mpi.OpSum, int64(ps.Hits))
+					if scanned > 0 && hits*4 < scanned {
+						pullDisabled = true
+					}
+				} else {
+					fr = spmv.Mul(s.A, fc, s.Cfg.AddOp, s.RowL)
+					s.Stats.PushIterations++
+				}
+			})
+
+			// Steps 2-4: unvisited rows; record parents; split into
+			// unmatched (path endpoints) and matched rows.
+			var ufr *dvec.SparseV
+			s.tr.track(OpSelect, func() {
+				fr = fr.Select(pir, func(v int64) bool { return v == semiring.None })
+				pir.ScatterParents(fr)
+				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
+				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
+			})
+			if s.Cfg.DirectionOptimized {
+				// Track discovered rows for the direction heuristic (the
+				// same frontier-size allreduce real direction-optimized
+				// BFS implementations perform each level).
+				s.tr.track(OpOther, func() {
+					visitedRows += fr.Nnz() + ufr.Nnz()
+				})
+			}
+
+			var newPaths int
+			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
+			if newPaths > 0 {
+				// Step 5: store endpoints of newly discovered augmenting
+				// paths, one per alternating tree (INVERT keeps one).
+				var tc *dvec.SparseV
+				s.tr.track(OpInvert, func() {
+					tc = ufr.InvertRoots(s.ColL)
+				})
+				s.tr.track(OpSelect, func() {
+					pathc.ScatterParents(tc)
+				})
+				s.tr.track(OpOther, func() {
+					pathsFound += tc.Nnz()
+				})
+
+				// Step 6: prune vertices in trees that already yielded a
+				// path (the Fig. 8 ablation switch).
+				if !s.Cfg.DisablePrune {
+					s.tr.track(OpPrune, func() {
+						fr = fr.PruneRoots(ufr.Roots().Val)
+					})
+				}
+			}
+
+			// Step 7: next column frontier from the mates of the matched
+			// rows that remain.
+			s.tr.track(OpSelect, func() {
+				fr.SetParentsFrom(mater)
+			})
+			s.tr.track(OpInvert, func() {
+				fc = fr.InvertParents(s.ColL)
+			})
+
+			if s.Cfg.OnIteration != nil && s.G.World.Rank() == 0 {
+				s.Cfg.OnIteration(IterInfo{
+					Phase:        phase,
+					Iteration:    s.Stats.Iterations,
+					FrontierSize: frontierSize,
+					NewPaths:     newPaths,
+					Pull:         usePull,
+				})
+			}
+		}
+
+		if pathsFound == 0 {
+			break // no augmenting path in this phase: matching is maximum
+		}
+		s.Stats.Phases++
+		s.Stats.AugmentedPaths += pathsFound
+
+		// Step 8: augment by all paths found in this phase.
+		s.tr.track(OpAugment, func() {
+			s.augment(pathc, pir, mater, matec, pathsFound)
+		})
+	}
+	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
+}
+
+// MCMSingleSource runs the single-source (SS-BFS) variant the paper's
+// Section III-A dismisses: each phase searches from ONE unmatched column
+// instead of all of them. It exists to quantify that argument — the
+// level-synchronous machinery is identical, but the algorithm needs ~|C|
+// phases of ~diameter iterations each, so its synchronization count (and
+// hence its latency term) explodes while every SpMV does trivial work.
+// Collective.
+func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
+	// retired marks columns proven unmatchable: once no augmenting path
+	// leaves a vertex, none ever will again (augmentations only grow the
+	// reachable matching), so retirement is permanent.
+	retired := dvec.NewDense(s.ColL, 0)
+	for {
+		pir := dvec.NewDense(s.RowL, semiring.None)
+		pathc := dvec.NewDense(s.ColL, semiring.None)
+
+		// Frontier: the single globally-smallest unmatched, unretired column.
+		var fc *dvec.SparseV
+		var src int64
+		s.tr.track(OpOther, func() {
+			lo := s.ColL.MyRange().Lo
+			local := int64(s.N2)
+			for i, v := range matec.Local {
+				if v == semiring.None && retired.Local[i] == 0 {
+					local = int64(lo + i)
+					break
+				}
+			}
+			src = s.G.World.Allreduce(mpi.OpMin, local)
+			fc = dvec.NewSparseV(s.ColL)
+			if src < int64(s.N2) && s.ColL.MyRange().Contains(int(src)) {
+				fc.Append(int(src), semiring.Self(src))
+			}
+			s.G.World.AddWork(len(matec.Local))
+		})
+		if src >= int64(s.N2) {
+			break // every unmatched column is retired: maximum reached
+		}
+		pathsFound := 0
+
+		for {
+			var frontierSize int
+			s.tr.track(OpOther, func() { frontierSize = fc.Nnz() })
+			if frontierSize == 0 {
+				break
+			}
+			s.Stats.Iterations++
+
+			var fr *dvec.SparseV
+			s.tr.track(OpSpMV, func() {
+				fr = spmv.Mul(s.A, fc, s.Cfg.AddOp, s.RowL)
+				s.Stats.PushIterations++
+			})
+			var ufr *dvec.SparseV
+			s.tr.track(OpSelect, func() {
+				fr = fr.Select(pir, func(v int64) bool { return v == semiring.None })
+				pir.ScatterParents(fr)
+				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
+				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
+			})
+			var newPaths int
+			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
+			if newPaths > 0 {
+				var tc *dvec.SparseV
+				s.tr.track(OpInvert, func() { tc = ufr.InvertRoots(s.ColL) })
+				s.tr.track(OpSelect, func() { pathc.ScatterParents(tc) })
+				s.tr.track(OpOther, func() { pathsFound += tc.Nnz() })
+				break // single source: the first augmenting path ends the phase
+			}
+			s.tr.track(OpSelect, func() { fr.SetParentsFrom(mater) })
+			s.tr.track(OpInvert, func() { fc = fr.InvertParents(s.ColL) })
+		}
+
+		if pathsFound == 0 {
+			// The source is unmatchable now, hence forever: retire it.
+			if s.ColL.MyRange().Contains(int(src)) {
+				retired.SetAt(int(src), 1)
+			}
+			continue
+		}
+		s.Stats.Phases++
+		s.Stats.AugmentedPaths += pathsFound
+		s.tr.track(OpAugment, func() {
+			s.augment(pathc, pir, mater, matec, pathsFound)
+		})
+	}
+	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
+}

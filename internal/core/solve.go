@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"mcmdist/internal/grid"
+	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// Result reports a completed distributed matching run.
+type Result struct {
+	// Matching holds the final mate vectors in the caller's (unpermuted)
+	// index space.
+	Matching *matching.Matching
+	// Stats is the rank-maximum merge of per-rank measurements with the
+	// SPMD counters (phases, iterations, cardinality).
+	Stats *Stats
+	// PerRank holds every rank's final cumulative communication meter.
+	PerRank []mpi.Meter
+	// Procs and Threads echo the effective configuration.
+	Procs, Threads int
+}
+
+// Solve computes a maximum cardinality matching of the bipartite graph a on
+// cfg.Procs simulated distributed-memory ranks. It distributes the matrix on
+// a square process grid, runs the configured maximal-matching initializer
+// and then MCM-DIST, and returns the matching with run statistics.
+func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	pr, pc, err := cfg.gridShape()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Procs = pr * pc
+
+	// Load balancing (Section IV-A): random row/column permutation.
+	work := a
+	var rowPerm, colPerm []int
+	if cfg.Permute {
+		rowPerm = rmat.RandomPermutation(a.NRows, cfg.Seed*2+1)
+		colPerm = rmat.RandomPermutation(a.NCols, cfg.Seed*2+2)
+		work = a.Permute(rowPerm, colPerm)
+	}
+
+	blocks := spmat.Distribute2D(work, pr, pc)
+	blocksT := spmat.Distribute2D(work.Transpose(), pr, pc)
+
+	perRankStats := make([]*Stats, cfg.Procs)
+	perRankMeter := make([]mpi.Meter, cfg.Procs)
+	var mateR, mateC []int64
+
+	_, err = mpi.Run(cfg.Procs, func(c *mpi.Comm) error {
+		g, err := grid.New(c, pr, pc)
+		if err != nil {
+			return err
+		}
+		s := NewSolver(g, cfg, work.NRows, work.NCols,
+			blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
+		mater, matec := s.MaximalInit()
+		if cfg.TreeGrafting {
+			s.MCMGraft(mater, matec)
+		} else {
+			s.MCM(mater, matec)
+		}
+
+		fullR := mater.Gather()
+		fullC := matec.Gather()
+		if c.Rank() == 0 {
+			mateR, mateC = fullR, fullC
+		}
+		perRankStats[c.Rank()] = s.Stats
+		perRankMeter[c.Rank()] = s.gatherMeter()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &matching.Matching{MateR: mateR, MateC: mateC}
+	if cfg.Permute {
+		m = unpermute(m, rowPerm, colPerm)
+	}
+
+	merged := perRankStats[0]
+	for _, st := range perRankStats[1:] {
+		merged.MergeMax(st)
+	}
+	return &Result{
+		Matching: m,
+		Stats:    merged,
+		PerRank:  perRankMeter,
+		Procs:    cfg.Procs,
+		Threads:  cfg.Threads,
+	}, nil
+}
+
+// unpermute maps a matching of P·A·Q back to A's index space: if row i was
+// sent to rowPerm[i] and column j to colPerm[j], then the matching of the
+// permuted matrix at (rowPerm[i], colPerm[j]) corresponds to (i, j).
+func unpermute(m *matching.Matching, rowPerm, colPerm []int) *matching.Matching {
+	out := matching.NewMatching(len(rowPerm), len(colPerm))
+	colInv := make([]int, len(colPerm))
+	for j, pj := range colPerm {
+		colInv[pj] = j
+	}
+	for i, pi := range rowPerm {
+		pj := m.MateR[pi]
+		if pj == semiring.None {
+			continue
+		}
+		out.Match(i, colInv[pj])
+	}
+	return out
+}
+
+// SolveSerialEquivalent returns the oracle cardinality via Hopcroft–Karp,
+// for callers wanting a one-line cross-check of Solve's result.
+func SolveSerialEquivalent(a *spmat.CSC) int {
+	return matching.HopcroftKarp(a, nil).Cardinality()
+}
+
+// String renders a compact one-line summary of the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("|M|=%d (init %d) phases=%d iters=%d p=%d t=%d",
+		r.Stats.Cardinality, r.Stats.InitCardinality, r.Stats.Phases,
+		r.Stats.Iterations, r.Procs, r.Threads)
+}
+
+// RunDistributed launches side*side ranks on a square grid over
+// pre-distributed matrix blocks and invokes fn with each rank's solver.
+// It is the low-level entry point used by benchmarks and by callers that
+// manage mate vectors themselves; Solve wraps it with distribution and
+// result gathering.
+func RunDistributed(side, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+	cfg Config, fn func(*Solver) error) error {
+	return RunDistributedGrid(side, side, n1, n2, blocks, blocksT, cfg, fn)
+}
+
+// RunDistributedGrid is RunDistributed for an arbitrary pr x pc grid.
+// Both blocks and blocksT (the transposed matrix) must be distributed as
+// pr x pc.
+func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+	cfg Config, fn func(*Solver) error) error {
+	_, err := mpi.Run(pr*pc, func(c *mpi.Comm) error {
+		g, err := grid.New(c, pr, pc)
+		if err != nil {
+			return err
+		}
+		s := NewSolver(g, cfg, n1, n2, blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
+		return fn(s)
+	})
+	return err
+}

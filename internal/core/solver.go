@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/grid"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/parallel"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// Solver is one rank's handle on a distributed matching computation: its
+// grid position, its local blocks of A and Aᵀ, the vector layouts, and the
+// per-rank statistics.
+type Solver struct {
+	G    *grid.Grid
+	Cfg  Config
+	A    *spmat.LocalMatrix // my block of A (global n1 x n2)
+	AT   *spmat.LocalMatrix // my block of Aᵀ (global n2 x n1)
+	N1   int                // global rows |R|
+	N2   int                // global columns |C|
+	RowL dvec.Layout        // row-vertex vectors (length n1, row-aligned)
+	ColL dvec.Layout        // column-vertex vectors (length n2, col-aligned)
+	// Transpose-side layouts: when multiplying with Aᵀ, row-vertex vectors
+	// act as the frontier and must be column-aligned, and vice versa.
+	RowTL dvec.Layout // length n1, col-aligned
+	ColTL dvec.Layout // length n2, row-aligned
+
+	// rowAdj is the local block in row-major (CSR) form, built lazily for
+	// the bottom-up SpMV direction (Config.DirectionOptimized).
+	rowAdj *spmat.CSC
+
+	Stats *Stats
+	tr    *tracker
+}
+
+// NewSolver builds a rank's solver from pre-distributed blocks. blocks and
+// blocksT are indexed [gridRow][gridCol] and produced by
+// spmat.Distribute2D(a, s, s) and spmat.Distribute2D(a.Transpose(), s, s).
+func NewSolver(g *grid.Grid, cfg Config, n1, n2 int, a, at *spmat.LocalMatrix) *Solver {
+	st := newStats()
+	return &Solver{
+		G:     g,
+		Cfg:   cfg.withDefaults(),
+		A:     a,
+		AT:    at,
+		N1:    n1,
+		N2:    n2,
+		RowL:  dvec.NewLayout(g, n1, dvec.RowAligned),
+		ColL:  dvec.NewLayout(g, n2, dvec.ColAligned),
+		RowTL: dvec.NewLayout(g, n1, dvec.ColAligned),
+		ColTL: dvec.NewLayout(g, n2, dvec.RowAligned),
+		Stats: st,
+		tr:    &tracker{comm: g.World, stats: st},
+	}
+}
+
+// countMul computes y = Aᵀ·x over the (plus, times=1) counting semiring:
+// y[j] is the number of frontier entries adjacent to column-vertex j. The
+// frontier x must be col-aligned over rows (RowTL); the result is
+// row-aligned over columns (ColTL). Used by the Karp–Sipser and dynamic
+// mindegree initializers to maintain residual degrees.
+func (s *Solver) countMul(x *dvec.SparseInt) *dvec.SparseInt {
+	g := s.G
+	payload := make([]int64, 0, 2*len(x.Idx))
+	for _, gi := range x.Idx {
+		payload = append(payload, int64(gi), 1)
+	}
+	slabParts := g.Col.Allgatherv(payload)
+
+	counts := make([]int64, s.AT.Rows.Len())
+	work := 0
+	for _, part := range slabParts {
+		for off := 0; off < len(part); off += 2 {
+			lcol := int(part[off]) - s.AT.Cols.Lo
+			rows := s.AT.M.FindCol(lcol)
+			work += len(rows) + 1
+			for _, r := range rows {
+				counts[r]++
+			}
+		}
+	}
+	g.World.AddWork(work)
+
+	parts := make([][]int64, g.PC)
+	for r, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		gidx := s.AT.Rows.Lo + r
+		_, j := s.ColTL.OwnerCoords(gidx)
+		parts[j] = append(parts[j], int64(gidx), cnt)
+	}
+	got := g.Row.Alltoallv(parts)
+	merged := make(map[int]int64)
+	for _, in := range got {
+		for off := 0; off < len(in); off += 2 {
+			merged[int(in[off])] += in[off+1]
+		}
+	}
+	idx := make([]int, 0, len(merged))
+	for gi := range merged {
+		idx = append(idx, gi)
+	}
+	sort.Ints(idx)
+	out := dvec.NewSparseInt(s.ColTL)
+	for _, gi := range idx {
+		out.Append(gi, merged[gi])
+	}
+	g.World.AddWork(len(merged))
+	return out
+}
+
+// unmatchedColFrontier builds the initial frontier of a phase: every
+// unmatched column with itself as parent and root (Algorithm 2, lines 6-8).
+// The scan is multithreaded across the rank's worker pool (the paper's
+// OpenMP loops); the ordered append stays serial.
+func (s *Solver) unmatchedColFrontier(matec *dvec.Dense) *dvec.SparseV {
+	f := dvec.NewSparseV(s.ColL)
+	lo := s.ColL.MyRange().Lo
+	mask := make([]bool, len(matec.Local))
+	parallel.For(len(matec.Local), s.Cfg.Threads, func(clo, chi int) {
+		for i := clo; i < chi; i++ {
+			mask[i] = matec.Local[i] == semiring.None
+		}
+	})
+	for i, un := range mask {
+		if un {
+			f.Append(lo+i, semiring.Self(int64(lo+i)))
+		}
+	}
+	s.G.World.AddWork(len(matec.Local))
+	return f
+}
+
+// countUnmatched returns the global number of unmatched entries of a mate
+// vector, with the local scan multithreaded. Collective.
+func (s *Solver) countUnmatched(mate *dvec.Dense) int {
+	local := parallel.MapReduce(len(mate.Local), s.Cfg.Threads, func(lo, hi int) int64 {
+		var n int64
+		for i := lo; i < hi; i++ {
+			if mate.Local[i] == semiring.None {
+				n++
+			}
+		}
+		return n
+	}, func(a, b int64) int64 { return a + b })
+	s.G.World.AddWork(len(mate.Local))
+	return int(s.G.World.Allreduce(mpi.OpSum, local))
+}
+
+// gatherMeter returns this rank's cumulative meter; used by drivers to
+// compute modeled times.
+func (s *Solver) gatherMeter() mpi.Meter {
+	return s.G.World.MeterSnapshot()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"mcmdist/internal/mpi"
+)
+
+// Op labels the primitive categories of the runtime breakdown (Fig. 5).
+type Op string
+
+// Breakdown categories. "Other" absorbs frontier bookkeeping and reductions.
+const (
+	OpSpMV    Op = "spmv"
+	OpSelect  Op = "select"
+	OpInvert  Op = "invert"
+	OpPrune   Op = "prune"
+	OpAugment Op = "augment"
+	OpInit    Op = "init"
+	OpOther   Op = "other"
+)
+
+// Ops lists the categories in display order.
+var Ops = []Op{OpInit, OpSpMV, OpSelect, OpInvert, OpPrune, OpAugment, OpOther}
+
+// Stats aggregates one rank's (and after merging, the whole run's)
+// measurements.
+type Stats struct {
+	Phases     int // MS-BFS phases executed (repeat-until rounds)
+	Iterations int // level-synchronous frontier iterations, all phases
+	// PushIterations and PullIterations split the iterations by SpMV
+	// direction when direction optimization is enabled.
+	PushIterations, PullIterations int
+	// Augmentations counts how many times each variant ran.
+	LevelParallelAugments int
+	PathParallelAugments  int
+	AugmentedPaths        int // total augmenting paths applied
+	InitCardinality       int // matching size after the initializer
+	Cardinality           int // final matching size
+	// Tree-grafting counters (MCMGraft): full resets performed and total
+	// rows released from augmented trees.
+	GraftResets       int
+	GraftReleasedRows int
+
+	// Wall is wall-clock time per category for this rank (in-process
+	// simulation time, useful for relative breakdown).
+	Wall map[Op]time.Duration
+	// Meter is the communication/work meter delta per category for this
+	// rank, the input to the alpha-beta cost model.
+	Meter map[Op]mpi.Meter
+}
+
+// newStats returns a zeroed Stats with allocated maps.
+func newStats() *Stats {
+	return &Stats{Wall: make(map[Op]time.Duration), Meter: make(map[Op]mpi.Meter)}
+}
+
+// TotalWall sums wall time across categories.
+func (s *Stats) TotalWall() time.Duration {
+	var t time.Duration
+	for _, d := range s.Wall {
+		t += d
+	}
+	return t
+}
+
+// TotalMeter sums the per-category meters.
+func (s *Stats) TotalMeter() mpi.Meter {
+	var m mpi.Meter
+	for _, d := range s.Meter {
+		m = m.Add(d)
+	}
+	return m
+}
+
+// MergeMax folds another rank's stats into s, taking per-category maxima for
+// wall time and meters (critical-path approximation) and verifying the
+// SPMD-replicated counters agree.
+func (s *Stats) MergeMax(o *Stats) {
+	for op, d := range o.Wall {
+		if d > s.Wall[op] {
+			s.Wall[op] = d
+		}
+	}
+	for op, m := range o.Meter {
+		s.Meter[op] = s.Meter[op].Max(m)
+	}
+}
+
+// tracker measures one rank's per-category wall time and meter deltas.
+type tracker struct {
+	comm  *mpi.Comm
+	stats *Stats
+}
+
+// track runs fn, attributing its wall time and meter delta to op.
+func (t *tracker) track(op Op, fn func()) {
+	before := t.comm.MeterSnapshot()
+	start := time.Now()
+	fn()
+	t.stats.Wall[op] += time.Since(start)
+	t.stats.Meter[op] = t.stats.Meter[op].Add(t.comm.MeterSnapshot().Sub(before))
+}

@@ -1,0 +1,129 @@
+package dm
+
+import (
+	"mcmdist/internal/matching"
+	"mcmdist/internal/spmat"
+)
+
+// FineBlock is one diagonal block of the fine Dulmage–Mendelsohn
+// decomposition: a strongly connected component of the square block's
+// contracted digraph. Rows and Cols have equal length and the matching
+// pairs them bijectively.
+type FineBlock struct {
+	Rows, Cols []int
+}
+
+// Fine refines the square block (SR, SC) into its irreducible diagonal
+// blocks: contract each matched pair (mate(c), c) into one node, add an arc
+// c -> c' whenever A(mate(c), c') != 0 with c' != c in SC, and take the
+// strongly connected components in reverse topological order. Ordering the
+// square block by the returned blocks makes it block upper triangular with
+// irreducible diagonal blocks — the form sparse solvers factorize block by
+// block.
+func Fine(a *spmat.CSC, m *matching.Matching, c *Coarse) []FineBlock {
+	n := len(c.SC)
+	if n == 0 {
+		return nil
+	}
+	// Map global column index -> contracted node id.
+	id := make(map[int]int, n)
+	for k, j := range c.SC {
+		id[j] = k
+	}
+	at := a.Transpose()
+	// adj[k] lists contracted successors of node k: columns adjacent to
+	// node k's matched row.
+	adj := make([][]int, n)
+	for k, j := range c.SC {
+		row := int(m.MateC[j])
+		for _, j2 := range at.Col(row) {
+			if k2, ok := id[j2]; ok && k2 != k {
+				adj[k] = append(adj[k], k2)
+			}
+		}
+	}
+
+	comps := tarjanSCC(adj)
+
+	blocks := make([]FineBlock, len(comps))
+	for bi, comp := range comps {
+		for _, k := range comp {
+			j := c.SC[k]
+			blocks[bi].Cols = append(blocks[bi].Cols, j)
+			blocks[bi].Rows = append(blocks[bi].Rows, int(m.MateC[j]))
+		}
+	}
+	return blocks
+}
+
+// tarjanSCC computes strongly connected components with an iterative
+// Tarjan's algorithm. Components are emitted in reverse topological order
+// of the condensation (Tarjan's natural output order).
+func tarjanSCC(adj [][]int) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: close the frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if low[v] < low[frames[len(frames)-1].v] {
+					low[frames[len(frames)-1].v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

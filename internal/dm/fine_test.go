@@ -1,0 +1,171 @@
+package dm
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmdist/internal/matching"
+	"mcmdist/internal/spmat"
+)
+
+func TestTarjanSimpleCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 plus 3 -> 0: two components, {0,1,2} and {3},
+	// with {0,1,2} first (reverse topological).
+	adj := [][]int{{1}, {2}, {0}, {0}}
+	comps := tarjanSCC(adj)
+	if len(comps) != 2 {
+		t.Fatalf("%d components", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Fatalf("components %v", comps)
+	}
+}
+
+func TestTarjanDAG(t *testing.T) {
+	// 0 -> 1 -> 2: three singletons, emitted 2, 1, 0.
+	comps := tarjanSCC([][]int{{1}, {2}, {}})
+	if len(comps) != 3 {
+		t.Fatalf("%d components", len(comps))
+	}
+	order := []int{comps[0][0], comps[1][0], comps[2][0]}
+	if order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("order %v, want reverse topological", order)
+	}
+}
+
+func TestTarjanEmpty(t *testing.T) {
+	if got := tarjanSCC(nil); len(got) != 0 {
+		t.Fatal("nonempty components for empty graph")
+	}
+}
+
+func TestTarjanSelfLoopsAndBigRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < 3; k++ {
+			adj[v] = append(adj[v], rng.Intn(n))
+		}
+	}
+	comps := tarjanSCC(adj)
+	seen := make([]bool, n)
+	total := 0
+	for _, comp := range comps {
+		for _, v := range comp {
+			if seen[v] {
+				t.Fatalf("vertex %d in two components", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("components cover %d of %d", total, n)
+	}
+}
+
+// checkFine validates the fine decomposition invariants: blocks partition
+// the square part, each block is square and internally matched, and the
+// ordering is block upper triangular (no edge from a later block's row to
+// an earlier block's column — i.e. edges only go from a block to itself or
+// to blocks emitted before it, which are its descendants in the
+// condensation).
+func checkFine(t *testing.T, a *spmat.CSC, m *matching.Matching, c *Coarse, blocks []FineBlock) {
+	t.Helper()
+	colPos := make(map[int]int) // column -> block index
+	total := 0
+	for bi, b := range blocks {
+		if len(b.Rows) != len(b.Cols) {
+			t.Fatalf("block %d not square", bi)
+		}
+		for k, j := range b.Cols {
+			colPos[j] = bi
+			if int(m.MateC[j]) != b.Rows[k] {
+				t.Fatalf("block %d: row/col %d not matched pair", bi, k)
+			}
+			total++
+		}
+	}
+	if total != len(c.SC) {
+		t.Fatalf("fine blocks cover %d of %d square columns", total, len(c.SC))
+	}
+	// Condensation acyclicity: an edge from block bi's matched row to a
+	// column in block bj implies bj <= bi (bj emitted earlier or same,
+	// since Tarjan emits descendants first).
+	at := a.Transpose()
+	for bi, b := range blocks {
+		for _, r := range b.Rows {
+			for _, j2 := range at.Col(r) {
+				if bj, ok := colPos[j2]; ok && bj > bi {
+					t.Fatalf("edge from block %d to later block %d breaks triangular form", bi, bj)
+				}
+			}
+		}
+	}
+}
+
+func TestFineRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		nr, nc := 1+rng.Intn(40), 1+rng.Intn(40)
+		a := randomBipartite(rng, nr, nc, rng.Intn(4*(nr+nc)))
+		m := matching.HopcroftKarp(a, nil)
+		c, err := Decompose(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := Fine(a, m, c)
+		checkFine(t, a, m, c, blocks)
+	}
+}
+
+func TestFineIdentityAllSingletons(t *testing.T) {
+	const n = 8
+	coo := spmat.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i)
+	}
+	a := coo.ToCSC()
+	m := matching.HopcroftKarp(a, nil)
+	c, _ := Decompose(a, m)
+	blocks := Fine(a, m, c)
+	if len(blocks) != n {
+		t.Fatalf("%d blocks, want %d singletons", len(blocks), n)
+	}
+}
+
+func TestFineFullCycleOneBlock(t *testing.T) {
+	// Circulant pattern: diagonal + superdiagonal (wrapping): the
+	// contracted digraph is one big cycle -> a single irreducible block.
+	const n = 6
+	coo := spmat.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i)
+		coo.Add(i, (i+1)%n)
+	}
+	a := coo.ToCSC()
+	m := matching.HopcroftKarp(a, nil)
+	c, _ := Decompose(a, m)
+	if len(c.SC) != n {
+		t.Fatalf("square block %d", len(c.SC))
+	}
+	blocks := Fine(a, m, c)
+	if len(blocks) != 1 || len(blocks[0].Cols) != n {
+		t.Fatalf("blocks %v, want one n-block", blocks)
+	}
+}
+
+func TestFineEmptySquare(t *testing.T) {
+	// All-vertical graph: no square block, no fine blocks.
+	coo := spmat.NewCOO(1, 3)
+	for j := 0; j < 3; j++ {
+		coo.Add(0, j)
+	}
+	a := coo.ToCSC()
+	m := matching.HopcroftKarp(a, nil)
+	c, _ := Decompose(a, m)
+	if blocks := Fine(a, m, c); blocks != nil {
+		t.Fatalf("blocks %v on empty square part", blocks)
+	}
+}

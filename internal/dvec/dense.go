@@ -1,0 +1,113 @@
+package dvec
+
+import (
+	"fmt"
+
+	"mcmdist/internal/mpi"
+)
+
+// Dense is one rank's piece of a distributed dense vector of int64 (the
+// paper's mate, parent and path vectors, with semiring.None marking missing
+// entries).
+type Dense struct {
+	L     Layout
+	Local []int64 // values for MyRange(), index-shifted by MyRange().Lo
+}
+
+// NewDense builds a distributed dense vector with every element fill.
+func NewDense(l Layout, fill int64) *Dense {
+	local := make([]int64, l.MyRange().Len())
+	for i := range local {
+		local[i] = fill
+	}
+	return &Dense{L: l, Local: local}
+}
+
+// NewDenseFrom builds a distributed dense vector from a replicated global
+// slice (each rank keeps only its block). Intended for tests and input
+// loading.
+func NewDenseFrom(l Layout, global []int64) *Dense {
+	if len(global) != l.N {
+		panic(fmt.Sprintf("dvec: global slice length %d != %d", len(global), l.N))
+	}
+	r := l.MyRange()
+	local := make([]int64, r.Len())
+	copy(local, global[r.Lo:r.Hi])
+	return &Dense{L: l, Local: local}
+}
+
+// At returns the value at global index g, which must be owned by this rank.
+func (d *Dense) At(g int) int64 {
+	r := d.L.MyRange()
+	if !r.Contains(g) {
+		panic(fmt.Sprintf("dvec: index %d outside local range [%d,%d)", g, r.Lo, r.Hi))
+	}
+	return d.Local[g-r.Lo]
+}
+
+// SetAt stores v at global index g, which must be owned by this rank.
+func (d *Dense) SetAt(g int, v int64) {
+	r := d.L.MyRange()
+	if !r.Contains(g) {
+		panic(fmt.Sprintf("dvec: index %d outside local range [%d,%d)", g, r.Lo, r.Hi))
+	}
+	d.Local[g-r.Lo] = v
+}
+
+// Fill overwrites every local element with v.
+func (d *Dense) Fill(v int64) {
+	for i := range d.Local {
+		d.Local[i] = v
+	}
+}
+
+// Clone returns a deep copy sharing the layout.
+func (d *Dense) Clone() *Dense {
+	return &Dense{L: d.L, Local: append([]int64(nil), d.Local...)}
+}
+
+// CountEq returns the global number of elements equal to v. Collective.
+func (d *Dense) CountEq(v int64) int {
+	var local int64
+	for _, x := range d.Local {
+		if x == v {
+			local++
+		}
+	}
+	d.L.G.World.AddWork(len(d.Local))
+	return int(d.L.G.World.Allreduce(mpi.OpSum, local))
+}
+
+// Gather reconstructs the full vector on every rank. Collective; intended
+// for verification, result extraction and small outputs, not inner loops.
+func (d *Dense) Gather() []int64 {
+	c := d.L.G.World
+	r := d.L.MyRange()
+	// Ship (offset, values...) so receivers can place blocks.
+	payload := make([]int64, 0, len(d.Local)+1)
+	payload = append(payload, int64(r.Lo))
+	payload = append(payload, d.Local...)
+	parts := c.Allgatherv(payload)
+	out := make([]int64, d.L.N)
+	for _, p := range parts {
+		lo := int(p[0])
+		copy(out[lo:lo+len(p)-1], p[1:])
+	}
+	return out
+}
+
+// SparseWhere builds a sparse vector from the dense entries satisfying
+// pred, keeping their values. Local (the paper's "sparse vector from path_c
+// by removing entries with -1").
+func (d *Dense) SparseWhere(pred func(int64) bool) *SparseInt {
+	lo := d.L.MyRange().Lo
+	out := &SparseInt{L: d.L}
+	for i, v := range d.Local {
+		if pred(v) {
+			out.Idx = append(out.Idx, lo+i)
+			out.Val = append(out.Val, v)
+		}
+	}
+	d.L.G.World.AddWork(len(d.Local))
+	return out
+}

@@ -1,0 +1,312 @@
+// Package gen generates deterministic structural stand-ins for the 13
+// University of Florida (SuiteSparse) matrices of the paper's Table II. The
+// collection itself is not available offline, so each matrix is replaced by a
+// synthetic generator reproducing its structural class — sparsity, degree
+// distribution, diameter regime, and (after a maximal matching) a nontrivial
+// number of unmatched vertices, which is the selection criterion the paper
+// states for its test set.
+//
+// The `scale` parameter controls size: a stand-in has on the order of
+// 2^scale vertices per side, so the suite can be sized down for unit tests
+// and up for benchmarks. Every generator is deterministic in (scale, seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/spmat"
+)
+
+// Class identifies the structural family of a stand-in matrix.
+type Class int
+
+const (
+	// ClassRoad is a near-planar road network: tiny average degree,
+	// enormous diameter (road_usa, europe_osm).
+	ClassRoad Class = iota
+	// ClassTriangulation is a planar triangulation: average degree ~6,
+	// large diameter (delaunay_n24, hugetrace-00020).
+	ClassTriangulation
+	// ClassBanded is a banded substitution-like matrix with regular row
+	// degrees (cage15).
+	ClassBanded
+	// ClassPowerLaw is a skewed, scale-free link graph (wikipedia,
+	// ljournal-2008, wb-edu).
+	ClassPowerLaw
+	// ClassCircuit is a circuit simulation matrix: strong diagonal,
+	// sparse off-diagonals, a few dense rows/columns (Freescale1, rajat31).
+	ClassCircuit
+	// ClassKKT is a saddle-point KKT system with an empty trailing
+	// diagonal block (nlpkkt200, kkt_power).
+	ClassKKT
+	// ClassCoPurchase is a product co-purchase network with local
+	// clustering plus random long links (amazon-2008).
+	ClassCoPurchase
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassRoad:
+		return "road"
+	case ClassTriangulation:
+		return "triangulation"
+	case ClassBanded:
+		return "banded"
+	case ClassPowerLaw:
+		return "powerlaw"
+	case ClassCircuit:
+		return "circuit"
+	case ClassKKT:
+		return "kkt"
+	case ClassCoPurchase:
+		return "copurchase"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Spec names one Table II stand-in.
+type Spec struct {
+	Name  string // the paper's matrix name
+	Class Class
+	Seed  int64 // base seed, so each stand-in differs within a class
+}
+
+// Suite returns the 13 stand-ins corresponding to the paper's Table II, in a
+// stable order.
+func Suite() []Spec {
+	return []Spec{
+		{Name: "amazon-2008", Class: ClassCoPurchase, Seed: 101},
+		{Name: "cage15", Class: ClassBanded, Seed: 102},
+		{Name: "delaunay_n24", Class: ClassTriangulation, Seed: 103},
+		{Name: "europe_osm", Class: ClassRoad, Seed: 104},
+		{Name: "Freescale1", Class: ClassCircuit, Seed: 105},
+		{Name: "hugetrace-00020", Class: ClassTriangulation, Seed: 106},
+		{Name: "kkt_power", Class: ClassKKT, Seed: 107},
+		{Name: "ljournal-2008", Class: ClassPowerLaw, Seed: 108},
+		{Name: "nlpkkt200", Class: ClassKKT, Seed: 109},
+		{Name: "rajat31", Class: ClassCircuit, Seed: 110},
+		{Name: "road_usa", Class: ClassRoad, Seed: 111},
+		{Name: "wb-edu", Class: ClassPowerLaw, Seed: 112},
+		{Name: "wikipedia-20070206", Class: ClassPowerLaw, Seed: 113},
+	}
+}
+
+// FindSpec returns the suite entry with the given name.
+func FindSpec(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown matrix %q", name)
+}
+
+// Generate builds the stand-in for spec at the given scale (roughly 2^scale
+// vertices per side). Scale must be in [4, 26].
+func Generate(spec Spec, scale int) (*spmat.CSC, error) {
+	if scale < 4 || scale > 26 {
+		return nil, fmt.Errorf("gen: scale %d out of range [4,26]", scale)
+	}
+	n := 1 << uint(scale)
+	rng := rand.New(rand.NewSource(spec.Seed*1_000_003 + int64(scale)))
+	switch spec.Class {
+	case ClassRoad:
+		return road(n, rng), nil
+	case ClassTriangulation:
+		return triangulation(n, rng), nil
+	case ClassBanded:
+		return banded(n, 5, rng), nil
+	case ClassPowerLaw:
+		return powerLaw(scale, rng), nil
+	case ClassCircuit:
+		return circuit(n, rng), nil
+	case ClassKKT:
+		return kkt(n, rng), nil
+	case ClassCoPurchase:
+		return coPurchase(n, rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown class %v", spec.Class)
+	}
+}
+
+// MustGenerate is Generate but panics on error, for known-good arguments.
+func MustGenerate(spec Spec, scale int) *spmat.CSC {
+	m, err := Generate(spec, scale)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// gridSide returns the closest square-ish grid dimensions for n vertices.
+func gridSide(n int) (w, h int) {
+	w = 1
+	for w*w < n {
+		w++
+	}
+	h = (n + w - 1) / w
+	return w, h
+}
+
+// road builds a symmetric near-planar lattice with dropped edges and rare
+// shortcuts, giving average degree ≈ 2.5 and a huge diameter.
+func road(n int, rng *rand.Rand) *spmat.CSC {
+	w, h := gridSide(n)
+	n = w * h
+	coo := spmat.NewCOO(n, n)
+	add := func(u, v int) {
+		coo.Add(u, v)
+		coo.Add(v, u)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := y*w + x
+			// Drop ~35% of lattice edges to make the network irregular.
+			if x+1 < w && rng.Float64() > 0.35 {
+				add(u, u+1)
+			}
+			if y+1 < h && rng.Float64() > 0.35 {
+				add(u, u+w)
+			}
+			// Rare highway shortcut.
+			if rng.Float64() < 0.01 {
+				add(u, rng.Intn(n))
+			}
+		}
+	}
+	return coo.ToCSC()
+}
+
+// triangulation builds a symmetric planar-like triangulated grid: lattice
+// edges plus one diagonal per cell, average degree ≈ 6.
+func triangulation(n int, rng *rand.Rand) *spmat.CSC {
+	w, h := gridSide(n)
+	n = w * h
+	coo := spmat.NewCOO(n, n)
+	add := func(u, v int) {
+		coo.Add(u, v)
+		coo.Add(v, u)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := y*w + x
+			if x+1 < w {
+				add(u, u+1)
+			}
+			if y+1 < h {
+				add(u, u+w)
+			}
+			if x+1 < w && y+1 < h {
+				if rng.Intn(2) == 0 {
+					add(u, u+w+1) // "\" diagonal
+				} else {
+					add(u+1, u+w) // "/" diagonal
+				}
+			}
+		}
+	}
+	return coo.ToCSC()
+}
+
+// banded builds an unsymmetric band matrix: each row has ~deg nonzeros at
+// random offsets within a band, like the cage DNA-electrophoresis family.
+func banded(n, deg int, rng *rand.Rand) *spmat.CSC {
+	band := 8 * deg
+	coo := spmat.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i)
+		for k := 0; k < deg-1; k++ {
+			off := rng.Intn(2*band+1) - band
+			j := i + off
+			if j < 0 || j >= n {
+				j = i
+			}
+			coo.Add(i, j)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// powerLaw builds a skewed unsymmetric link graph via R-MAT with G500
+// parameters at edge factor 8.
+func powerLaw(scale int, rng *rand.Rand) *spmat.CSC {
+	return rmat.MustGenerate(rmat.G500, scale, 8, rng.Int63())
+}
+
+// circuit builds a circuit-like matrix: full diagonal, a few sparse random
+// off-diagonals per row, and a handful of dense rows and columns (power and
+// ground nets).
+func circuit(n int, rng *rand.Rand) *spmat.CSC {
+	coo := spmat.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i)
+		for k := 0; k < 2; k++ {
+			if rng.Float64() < 0.8 {
+				coo.Add(i, rng.Intn(n))
+			}
+		}
+	}
+	// Dense nets: ~sqrt(n) rows/cols touched by ~sqrt(n) elements each.
+	w, _ := gridSide(n)
+	for k := 0; k < 4; k++ {
+		net := rng.Intn(n)
+		for t := 0; t < w; t++ {
+			coo.Add(net, rng.Intn(n))
+			coo.Add(rng.Intn(n), net)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// kkt builds a saddle-point structure [H Aᵀ; A 0]: H is nH x nH sparse SPD-
+// patterned, A is nA x nH with ~3 nonzeros per row, and the trailing nA x nA
+// block is empty, so structural deficiency is plausible and maximal
+// matchings leave many vertices unmatched.
+func kkt(n int, rng *rand.Rand) *spmat.CSC {
+	nH := (2 * n) / 3
+	nA := n - nH
+	coo := spmat.NewCOO(n, n)
+	for i := 0; i < nH; i++ {
+		coo.Add(i, i)
+		for k := 0; k < 2; k++ {
+			j := rng.Intn(nH)
+			coo.Add(i, j)
+			coo.Add(j, i)
+		}
+	}
+	for r := 0; r < nA; r++ {
+		for k := 0; k < 3; k++ {
+			c := rng.Intn(nH)
+			coo.Add(nH+r, c) // A
+			coo.Add(c, nH+r) // Aᵀ
+		}
+	}
+	return coo.ToCSC()
+}
+
+// coPurchase builds an amazon-like directed co-purchase graph: each column
+// (product) links to a few locally clustered rows plus occasional random
+// rows.
+func coPurchase(n int, rng *rand.Rand) *spmat.CSC {
+	coo := spmat.NewCOO(n, n)
+	for j := 0; j < n; j++ {
+		deg := 1 + rng.Intn(8)
+		for k := 0; k < deg; k++ {
+			var i int
+			if rng.Float64() < 0.7 {
+				i = j + rng.Intn(201) - 100 // local cluster
+				if i < 0 || i >= n {
+					i = rng.Intn(n)
+				}
+			} else {
+				i = rng.Intn(n)
+			}
+			coo.Add(i, j)
+		}
+	}
+	return coo.ToCSC()
+}

@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestSuiteHasThirteenEntries(t *testing.T) {
+	s := Suite()
+	if len(s) != 13 {
+		t.Fatalf("suite has %d entries, want 13 (Table II)", len(s))
+	}
+	seen := map[string]bool{}
+	for _, sp := range s {
+		if seen[sp.Name] {
+			t.Fatalf("duplicate name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+}
+
+func TestFindSpec(t *testing.T) {
+	sp, err := FindSpec("road_usa")
+	if err != nil || sp.Class != ClassRoad {
+		t.Fatalf("FindSpec(road_usa) = %+v, %v", sp, err)
+	}
+	if _, err := FindSpec("definitely-not-a-matrix"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestGenerateAllClassesSmall(t *testing.T) {
+	for _, sp := range Suite() {
+		m, err := Generate(sp, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if m.NRows == 0 || m.NCols == 0 || m.NNZ() == 0 {
+			t.Fatalf("%s: degenerate matrix %dx%d nnz=%d", sp.Name, m.NRows, m.NCols, m.NNZ())
+		}
+		// Structural sanity: every nonzero in range is implied by CSC
+		// construction; check average degree is in a plausible sparse range.
+		avg := float64(m.NNZ()) / float64(m.NCols)
+		if avg < 0.5 || avg > 64 {
+			t.Fatalf("%s: average column degree %.1f outside sparse regime", sp.Name, avg)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, sp := range Suite()[:4] {
+		a := MustGenerate(sp, 8)
+		b := MustGenerate(sp, 8)
+		if !a.Equal(b) {
+			t.Fatalf("%s: not deterministic", sp.Name)
+		}
+	}
+}
+
+func TestGenerateScaleBounds(t *testing.T) {
+	sp := Suite()[0]
+	if _, err := Generate(sp, 3); err == nil {
+		t.Error("scale 3 accepted")
+	}
+	if _, err := Generate(sp, 27); err == nil {
+		t.Error("scale 27 accepted")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		ClassRoad: "road", ClassTriangulation: "triangulation", ClassBanded: "banded",
+		ClassPowerLaw: "powerlaw", ClassCircuit: "circuit", ClassKKT: "kkt",
+		ClassCoPurchase: "copurchase",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Errorf("unknown class string = %q", Class(99).String())
+	}
+}
+
+func TestRoadIsSymmetricAndSparse(t *testing.T) {
+	sp, _ := FindSpec("road_usa")
+	m := MustGenerate(sp, 10)
+	if !m.Equal(m.Transpose()) {
+		t.Fatal("road graph not symmetric")
+	}
+	avg := float64(m.NNZ()) / float64(m.NCols)
+	if avg > 4 {
+		t.Fatalf("road average degree %.2f too high", avg)
+	}
+}
+
+func TestTriangulationDegreeRegime(t *testing.T) {
+	sp, _ := FindSpec("delaunay_n24")
+	m := MustGenerate(sp, 10)
+	if !m.Equal(m.Transpose()) {
+		t.Fatal("triangulation not symmetric")
+	}
+	avg := float64(m.NNZ()) / float64(m.NCols)
+	if avg < 4 || avg > 7 {
+		t.Fatalf("triangulation average degree %.2f, want ~6", avg)
+	}
+}
+
+func TestKKTTrailingBlockEmpty(t *testing.T) {
+	sp, _ := FindSpec("nlpkkt200")
+	m := MustGenerate(sp, 10)
+	nH := (2 * m.NCols) / 3
+	for j := nH; j < m.NCols; j++ {
+		for _, i := range m.Col(j) {
+			if i >= nH {
+				t.Fatalf("KKT (2,2) block has entry (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestKKTIsSymmetric(t *testing.T) {
+	sp, _ := FindSpec("kkt_power")
+	m := MustGenerate(sp, 9)
+	if !m.Equal(m.Transpose()) {
+		t.Fatal("KKT pattern not symmetric")
+	}
+}
+
+func TestBandedHasFullDiagonal(t *testing.T) {
+	sp, _ := FindSpec("cage15")
+	m := MustGenerate(sp, 9)
+	for i := 0; i < m.NRows; i++ {
+		if !m.Has(i, i) {
+			t.Fatalf("banded matrix missing diagonal at %d", i)
+		}
+	}
+}
+
+func TestCircuitHasFullDiagonal(t *testing.T) {
+	sp, _ := FindSpec("rajat31")
+	m := MustGenerate(sp, 9)
+	for i := 0; i < m.NRows; i++ {
+		if !m.Has(i, i) {
+			t.Fatalf("circuit matrix missing diagonal at %d", i)
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	sp, _ := FindSpec("wikipedia-20070206")
+	m := MustGenerate(sp, 11)
+	maxDeg := 0
+	for j := 0; j < m.NCols; j++ {
+		if d := m.ColDegree(j); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(m.NNZ()) / float64(m.NCols)
+	if float64(maxDeg) < 10*avg {
+		t.Fatalf("power-law max degree %d not skewed vs avg %.1f", maxDeg, avg)
+	}
+}

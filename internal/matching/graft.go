@@ -1,0 +1,146 @@
+package matching
+
+import (
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// MSBFSGraft computes a maximum cardinality matching with the tree-grafting
+// variant of multi-source BFS [Azad, Buluç, Pothen], the paper's
+// shared-memory comparator (Section VI-E) and declared future work for the
+// distributed algorithm. The key idea: after a phase augments some trees,
+// only the vertices of those (now dead) trees are released; the alternating
+// structure of the surviving "active" trees is still valid, so the next
+// phase resumes from their frontiers instead of re-traversing the graph from
+// scratch. Released rows are grafted onto active trees when rediscovered.
+//
+// Rendition note: when a grafted phase discovers no augmenting path, this
+// implementation falls back to one full-reset MS-BFS phase before declaring
+// the matching maximum. The fallback keeps the termination condition
+// identical to Algorithm 1's ("no augmenting path in a fresh sweep") while
+// preserving the traversal savings of grafting in the common case.
+func MSBFSGraft(a *spmat.CSC, init *Matching) *Matching {
+	m := cloneOrEmpty(a, init)
+	n1, n2 := a.NRows, a.NCols
+
+	parentR := make([]int64, n1)
+	rootR := make([]int64, n1)
+	rootC := make([]int64, n2) // tree owning each column, None if free
+	pathEnd := make([]int64, n2)
+
+	resetAll := func() {
+		for i := range parentR {
+			parentR[i] = semiring.None
+			rootR[i] = semiring.None
+		}
+		for j := range rootC {
+			rootC[j] = semiring.None
+		}
+	}
+	resetAll()
+
+	// releaseTrees frees every vertex owned by a root in dead, so later
+	// phases can graft them onto surviving trees.
+	releaseTrees := func(dead map[int64]bool) {
+		for i := 0; i < n1; i++ {
+			if rootR[i] != semiring.None && dead[rootR[i]] {
+				parentR[i] = semiring.None
+				rootR[i] = semiring.None
+			}
+		}
+		for j := 0; j < n2; j++ {
+			if rootC[j] != semiring.None && dead[rootC[j]] {
+				rootC[j] = semiring.None
+			}
+		}
+	}
+
+	// phase runs one level-synchronous sweep starting from the given column
+	// frontier, honoring existing tree ownership, and augments what it
+	// finds. It returns the number of augmentations.
+	phase := func(frontier []int64) int {
+		for j := range pathEnd {
+			pathEnd[j] = semiring.None
+		}
+		dead := make(map[int64]bool)
+		found := 0
+		for len(frontier) > 0 {
+			var next []int64
+			for _, j := range frontier {
+				root := rootC[j]
+				if root == semiring.None || dead[root] {
+					continue
+				}
+				for _, i := range a.Col(int(j)) {
+					if rootR[i] != semiring.None {
+						continue // owned by an active tree (possibly mine)
+					}
+					if dead[root] {
+						break
+					}
+					parentR[i] = j
+					rootR[i] = root
+					if m.MateR[i] == semiring.None {
+						pathEnd[root] = int64(i)
+						dead[root] = true
+						found++
+					} else {
+						mate := m.MateR[i]
+						rootC[mate] = root
+						next = append(next, mate)
+					}
+				}
+			}
+			frontier = frontier[:0]
+			for _, j := range next {
+				if !dead[rootC[j]] {
+					frontier = append(frontier, j)
+				}
+			}
+		}
+		// Augment and release the dead trees.
+		for root := 0; root < n2; root++ {
+			if pathEnd[root] == semiring.None {
+				continue
+			}
+			i := pathEnd[root]
+			for {
+				j := parentR[i]
+				prevMate := m.MateC[j]
+				m.Match(int(i), int(j))
+				if prevMate == semiring.None {
+					break
+				}
+				i = prevMate
+			}
+		}
+		releaseTrees(dead)
+		return found
+	}
+
+	freshFrontier := func() []int64 {
+		var f []int64
+		for j := 0; j < n2; j++ {
+			if m.MateC[j] == semiring.None {
+				rootC[j] = int64(j)
+				f = append(f, int64(j))
+			}
+		}
+		return f
+	}
+
+	for {
+		// Grafted phase: new trees start at unmatched columns; rows released
+		// from dead trees are up for grabs; active trees persist but their
+		// frontiers were exhausted, so growth happens by grafting released
+		// rows onto whichever tree reaches them first.
+		if phase(freshFrontier()) > 0 {
+			continue
+		}
+		// Nothing found with grafting: verify with one full-reset sweep.
+		resetAll()
+		if phase(freshFrontier()) == 0 {
+			return m
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package matching
+
+import (
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// HopcroftKarp computes a maximum cardinality matching in O(m*sqrt(n)) by
+// alternating BFS layering and layered DFS augmentation (Section II-A). It
+// serves as this repository's correctness oracle. init (optional) is a
+// matching to start from; it is not modified.
+func HopcroftKarp(a *spmat.CSC, init *Matching) *Matching {
+	m := cloneOrEmpty(a, init)
+	n2 := a.NCols
+
+	const inf = int(^uint(0) >> 1)
+	distC := make([]int, n2)
+	queue := make([]int, 0, n2)
+
+	// bfs layers unmatched columns at distance 0 and alternates
+	// column -> row (free edge) -> column (matched edge); it reports whether
+	// any unmatched row is reachable.
+	bfs := func() bool {
+		queue = queue[:0]
+		for j := 0; j < n2; j++ {
+			if m.MateC[j] == semiring.None {
+				distC[j] = 0
+				queue = append(queue, j)
+			} else {
+				distC[j] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			for _, i := range a.Col(j) {
+				mj := m.MateR[i]
+				if mj == semiring.None {
+					found = true
+					continue
+				}
+				if distC[mj] == inf {
+					distC[mj] = distC[j] + 1
+					queue = append(queue, int(mj))
+				}
+			}
+		}
+		return found
+	}
+
+	// dfs searches for a vertex-disjoint augmenting path from column j along
+	// the BFS layering, flipping it on success.
+	var dfs func(j int) bool
+	dfs = func(j int) bool {
+		for _, i := range a.Col(j) {
+			mj := m.MateR[i]
+			if mj == semiring.None {
+				m.Match(i, j)
+				return true
+			}
+			if distC[mj] == distC[j]+1 && dfs(int(mj)) {
+				m.Match(i, j)
+				return true
+			}
+		}
+		distC[j] = inf // dead end: exclude from this phase
+		return false
+	}
+
+	for bfs() {
+		for j := 0; j < n2; j++ {
+			if m.MateC[j] == semiring.None {
+				dfs(j)
+			}
+		}
+	}
+	return m
+}

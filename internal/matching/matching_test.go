@@ -1,0 +1,415 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcmdist/internal/gen"
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/spmat"
+)
+
+func tiny(t *testing.T, nr, nc int, edges ...[2]int) *spmat.CSC {
+	t.Helper()
+	c := spmat.NewCOO(nr, nc)
+	for _, e := range edges {
+		c.Add(e[0], e[1])
+	}
+	return c.ToCSC()
+}
+
+func randomBipartite(rng *rand.Rand, nr, nc, m int) *spmat.CSC {
+	c := spmat.NewCOO(nr, nc)
+	for k := 0; k < m; k++ {
+		c.Add(rng.Intn(nr), rng.Intn(nc))
+	}
+	return c.ToCSC()
+}
+
+func TestMatchingBasics(t *testing.T) {
+	m := NewMatching(3, 4)
+	if m.Cardinality() != 0 {
+		t.Fatal("fresh matching not empty")
+	}
+	m.Match(1, 2)
+	if m.Cardinality() != 1 || m.MateR[1] != 2 || m.MateC[2] != 1 {
+		t.Fatalf("Match bookkeeping wrong: %+v", m)
+	}
+	cl := m.Clone()
+	cl.Match(0, 0)
+	if m.Cardinality() != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	a := tiny(t, 2, 2, [2]int{0, 0}, [2]int{1, 1})
+	m := NewMatching(2, 2)
+	m.Match(0, 0)
+	if err := m.Validate(a); err != nil {
+		t.Fatalf("valid matching rejected: %v", err)
+	}
+	bad := m.Clone()
+	bad.MateR[0] = 1 // (0,1) is not an edge and MateC[1] disagrees
+	if err := bad.Validate(a); err == nil {
+		t.Fatal("inconsistent mates accepted")
+	}
+	bad2 := NewMatching(2, 2)
+	bad2.MateR[0] = 1
+	bad2.MateC[1] = 0
+	if err := bad2.Validate(a); err == nil {
+		t.Fatal("non-edge matching accepted")
+	}
+	bad3 := NewMatching(2, 2)
+	bad3.MateR[0] = 5
+	if err := bad3.Validate(a); err == nil {
+		t.Fatal("out-of-range mate accepted")
+	}
+	if err := NewMatching(3, 2).Validate(a); err == nil {
+		t.Fatal("wrong-size matching accepted")
+	}
+}
+
+func TestIsMaximal(t *testing.T) {
+	a := tiny(t, 2, 2, [2]int{0, 0}, [2]int{1, 1})
+	m := NewMatching(2, 2)
+	if m.IsMaximal(a) {
+		t.Fatal("empty matching reported maximal on a matchable graph")
+	}
+	m.Match(0, 0)
+	m.Match(1, 1)
+	if !m.IsMaximal(a) {
+		t.Fatal("perfect matching not maximal")
+	}
+}
+
+func maximalAlgos() map[string]func(*spmat.CSC) *Matching {
+	return map[string]func(*spmat.CSC) *Matching{
+		"greedy":       Greedy,
+		"karp-sipser":  func(a *spmat.CSC) *Matching { return KarpSipser(a, 1) },
+		"dynmindegree": DynMinDegree,
+	}
+}
+
+func mcmAlgos() map[string]func(*spmat.CSC, *Matching) *Matching {
+	return map[string]func(*spmat.CSC, *Matching) *Matching{
+		"hopcroft-karp": HopcroftKarp,
+		"ms-bfs":        MSBFS,
+		"pothen-fan":    PothenFan,
+		"ms-bfs-graft":  MSBFSGraft,
+		"push-relabel":  PushRelabel,
+	}
+}
+
+func TestMaximalAlgorithmsAreValidAndMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		nr, nc := 1+rng.Intn(60), 1+rng.Intn(60)
+		a := randomBipartite(rng, nr, nc, rng.Intn(6*(nr+nc)))
+		for name, algo := range maximalAlgos() {
+			m := algo(a)
+			if err := m.Validate(a); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if !m.IsMaximal(a) {
+				t.Fatalf("trial %d %s: not maximal", trial, name)
+			}
+		}
+	}
+}
+
+func TestMaximalApproximationRatio(t *testing.T) {
+	// Any maximal matching has cardinality >= MCM/2 (Section II).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		a := randomBipartite(rng, 50, 50, 200)
+		opt := HopcroftKarp(a, nil).Cardinality()
+		for name, algo := range maximalAlgos() {
+			c := algo(a).Cardinality()
+			if 2*c < opt {
+				t.Fatalf("trial %d %s: cardinality %d < half of optimal %d", trial, name, c, opt)
+			}
+		}
+	}
+}
+
+func TestKarpSipserDegreeOneChains(t *testing.T) {
+	// A path graph r0-c0-r1-c1-...: Karp-Sipser's degree-1 rule finds the
+	// perfect matching where pure random matching can fail.
+	const n = 20
+	c := spmat.NewCOO(n, n)
+	for k := 0; k < n; k++ {
+		c.Add(k, k)
+		if k+1 < n {
+			c.Add(k+1, k)
+		}
+	}
+	a := c.ToCSC()
+	m := KarpSipser(a, 7)
+	if m.Cardinality() != n {
+		t.Fatalf("Karp-Sipser found %d on a chain with perfect matching %d", m.Cardinality(), n)
+	}
+}
+
+func TestMCMAlgorithmsAgreeWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		nr, nc := 1+rng.Intn(50), 1+rng.Intn(50)
+		a := randomBipartite(rng, nr, nc, rng.Intn(5*(nr+nc)))
+		want := HopcroftKarp(a, nil).Cardinality()
+		for name, algo := range mcmAlgos() {
+			m := algo(a, nil)
+			if err := m.Validate(a); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if got := m.Cardinality(); got != want {
+				t.Fatalf("trial %d %s: cardinality %d, oracle %d", trial, name, got, want)
+			}
+		}
+	}
+}
+
+func TestMCMWithInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		a := randomBipartite(rng, 40, 45, 250)
+		want := HopcroftKarp(a, nil).Cardinality()
+		for initName, initAlgo := range maximalAlgos() {
+			init := initAlgo(a)
+			for name, algo := range mcmAlgos() {
+				m := algo(a, init)
+				if err := m.Validate(a); err != nil {
+					t.Fatalf("%s+%s: %v", initName, name, err)
+				}
+				if got := m.Cardinality(); got != want {
+					t.Fatalf("%s+%s: %d, oracle %d", initName, name, got, want)
+				}
+			}
+			// init must not have been mutated.
+			if err := init.Validate(a); err != nil {
+				t.Fatalf("%s: init mutated: %v", initName, err)
+			}
+		}
+	}
+}
+
+func TestMCMOnStructuredGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("structured suite in -short mode")
+	}
+	for _, sp := range gen.Suite() {
+		a := gen.MustGenerate(sp, 7)
+		want := HopcroftKarp(a, nil).Cardinality()
+		for name, algo := range mcmAlgos() {
+			if got := algo(a, nil).Cardinality(); got != want {
+				t.Errorf("%s on %s: %d, oracle %d", name, sp.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestMCMOnRMAT(t *testing.T) {
+	for _, p := range []rmat.Params{rmat.G500, rmat.SSCA, rmat.ER} {
+		a := rmat.MustGenerate(p, 8, 4, 11)
+		want := HopcroftKarp(a, nil).Cardinality()
+		for name, algo := range mcmAlgos() {
+			if got := algo(a, nil).Cardinality(); got != want {
+				t.Errorf("%s on rmat %+v: %d, oracle %d", name, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPerfectMatchingOnIdentity(t *testing.T) {
+	const n = 30
+	c := spmat.NewCOO(n, n)
+	for k := 0; k < n; k++ {
+		c.Add(k, k)
+	}
+	a := c.ToCSC()
+	for name, algo := range mcmAlgos() {
+		if got := algo(a, nil).Cardinality(); got != n {
+			t.Errorf("%s: %d on identity, want %d", name, got, n)
+		}
+	}
+}
+
+func TestStructurallyDeficient(t *testing.T) {
+	// 4 columns all adjacent only to row 0: MCM = 1.
+	a := tiny(t, 3, 4, [2]int{0, 0}, [2]int{0, 1}, [2]int{0, 2}, [2]int{0, 3})
+	for name, algo := range mcmAlgos() {
+		m := algo(a, nil)
+		if got := m.Cardinality(); got != 1 {
+			t.Errorf("%s: %d, want 1", name, got)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	a := tiny(t, 5, 5)
+	for name, algo := range mcmAlgos() {
+		if got := algo(a, nil).Cardinality(); got != 0 {
+			t.Errorf("%s: %d on empty graph", name, got)
+		}
+	}
+	for name, algo := range maximalAlgos() {
+		if got := algo(a).Cardinality(); got != 0 {
+			t.Errorf("%s: %d on empty graph", name, got)
+		}
+	}
+}
+
+func TestZeroDimensions(t *testing.T) {
+	a := tiny(t, 0, 0)
+	for name, algo := range mcmAlgos() {
+		if got := algo(a, nil).Cardinality(); got != 0 {
+			t.Errorf("%s: %d on 0x0", name, got)
+		}
+	}
+}
+
+// TestAugmentationRaisesCardinalityByPathCount checks the Section II
+// invariant |M ⊕ P| = |M| + |P| indirectly: starting MCM algorithms from a
+// maximal matching must close exactly the deficiency.
+func TestDeficiencyClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomBipartite(rng, 80, 80, 240)
+	init := Greedy(a)
+	opt := HopcroftKarp(a, nil).Cardinality()
+	got := MSBFS(a, init).Cardinality()
+	if got != opt {
+		t.Fatalf("MSBFS from greedy: %d, want %d", got, opt)
+	}
+	if init.Cardinality() > got {
+		t.Fatal("augmentation lost edges")
+	}
+}
+
+// TestLongPathAugmentation exercises a graph whose only augmenting path is
+// long: a ladder forcing O(n)-length alternating paths.
+func TestLongPathAugmentation(t *testing.T) {
+	// Columns c0..c{n-1}, rows r0..r{n-1}; ci adjacent to ri and r{i+1};
+	// initial matching ci-r{i+1} for i<n-1 leaves c{n-1} and r0 unmatched,
+	// with the unique augmenting path traversing the whole ladder.
+	const n = 400
+	c := spmat.NewCOO(n, n)
+	for k := 0; k < n; k++ {
+		c.Add(k, k)
+		if k+1 < n {
+			c.Add(k+1, k)
+		}
+	}
+	a := c.ToCSC()
+	init := NewMatching(n, n)
+	for k := 0; k < n-1; k++ {
+		init.Match(k+1, k)
+	}
+	for name, algo := range mcmAlgos() {
+		m := algo(a, init)
+		if err := m.Validate(a); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Cardinality() != n {
+			t.Errorf("%s: %d, want perfect %d", name, m.Cardinality(), n)
+		}
+	}
+}
+
+func TestKarpSipserSeedsAllValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomBipartite(rng, 30, 30, 120)
+	for seed := int64(0); seed < 5; seed++ {
+		m := KarpSipser(a, seed)
+		if err := m.Validate(a); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !m.IsMaximal(a) {
+			t.Fatalf("seed %d: not maximal", seed)
+		}
+	}
+}
+
+func BenchmarkMaximalInitializers(b *testing.B) {
+	a := rmat.MustGenerate(rmat.G500, 13, 8, 5)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Greedy(a)
+		}
+	})
+	b.Run("karp-sipser", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KarpSipser(a, int64(i))
+		}
+	})
+	b.Run("dynmindegree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DynMinDegree(a)
+		}
+	})
+}
+
+func BenchmarkMCMAlgorithms(b *testing.B) {
+	a := rmat.MustGenerate(rmat.G500, 13, 8, 5)
+	for name, algo := range mcmAlgos() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algo(a, nil)
+			}
+		})
+	}
+}
+
+// TestQuickAllAlgorithmsAgree is the property-based heart of the package:
+// for arbitrary random graphs, every MCM algorithm (with and without every
+// initializer) agrees with Hopcroft-Karp and every result is certified
+// structurally valid.
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	f := func(nr, nc uint8, seed int64) bool {
+		rows, cols := int(nr%40)+1, int(nc%40)+1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomBipartite(rng, rows, cols, rng.Intn(4*(rows+cols)))
+		want := HopcroftKarp(a, nil).Cardinality()
+		for _, algo := range mcmAlgos() {
+			m := algo(a, nil)
+			if m.Validate(a) != nil || m.Cardinality() != want {
+				return false
+			}
+		}
+		for _, init := range maximalAlgos() {
+			im := init(a)
+			if im.Validate(a) != nil || !im.IsMaximal(a) {
+				return false
+			}
+			if MSBFS(a, im).Cardinality() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetricDifferenceInvariant: augmenting a matching along one
+// augmenting path raises cardinality by exactly one — checked by comparing
+// the sequence of cardinalities PothenFan reaches pass by pass against the
+// size deltas (indirect, via monotonicity plus final agreement).
+func TestMonotoneImprovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randomBipartite(rng, 60, 60, 200)
+	prev := 0
+	for _, init := range maximalAlgos() {
+		m := init(a)
+		if c := m.Cardinality(); c < prev/2 {
+			t.Fatalf("wild cardinality swings between heuristics")
+		} else {
+			prev = c
+		}
+		full := HopcroftKarp(a, m)
+		if full.Cardinality() < m.Cardinality() {
+			t.Fatal("HK lost cardinality from warm start")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package matching
+
+import (
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// MSBFS computes a maximum cardinality matching with the serial form of the
+// paper's Algorithm 1: level-synchronous multi-source BFS phases that grow
+// vertex-disjoint alternating trees from every unmatched column at once,
+// collect at most one augmenting path per tree, and augment them all. This
+// is the algorithm MCM-DIST parallelizes; the serial version doubles as a
+// readable specification and a differential-testing partner. init
+// (optional) is not modified.
+func MSBFS(a *spmat.CSC, init *Matching) *Matching {
+	m := cloneOrEmpty(a, init)
+	n1, n2 := a.NRows, a.NCols
+
+	parentR := make([]int64, n1) // parent column of each visited row, per phase
+	rootR := make([]int64, n1)   // tree root of each visited row, per phase
+	pathEnd := make([]int64, n2) // root column -> unmatched row ending its augmenting path
+
+	for {
+		for i := range parentR {
+			parentR[i] = semiring.None
+			rootR[i] = semiring.None
+		}
+		for j := range pathEnd {
+			pathEnd[j] = semiring.None
+		}
+		// Initial frontier: every unmatched column, its own root.
+		frontier := make([]int64, 0, n2)
+		for j := 0; j < n2; j++ {
+			if m.MateC[j] == semiring.None {
+				frontier = append(frontier, int64(j))
+			}
+		}
+		rootC := make(map[int64]int64, len(frontier))
+		for _, j := range frontier {
+			rootC[j] = j
+		}
+		deadTree := make(map[int64]bool) // roots whose tree found a path this phase
+
+		found := 0
+		for len(frontier) > 0 {
+			next := frontier[:0:0]
+			nextRoots := make(map[int64]int64)
+			for _, j := range frontier {
+				root := rootC[j]
+				if deadTree[root] {
+					continue // pruned: its tree already has a path
+				}
+				for _, i := range a.Col(int(j)) {
+					if parentR[i] != semiring.None {
+						continue // visited this phase
+					}
+					if deadTree[root] {
+						break
+					}
+					parentR[i] = j
+					rootR[i] = root
+					if m.MateR[i] == semiring.None {
+						// Augmenting path discovered: record its end row and
+						// kill the tree.
+						pathEnd[root] = int64(i)
+						deadTree[root] = true
+						found++
+					} else {
+						mate := m.MateR[i]
+						next = append(next, mate)
+						nextRoots[mate] = root
+					}
+				}
+			}
+			// Drop pruned trees' columns from the next frontier.
+			frontier = frontier[:0]
+			for _, j := range next {
+				if !deadTree[nextRoots[j]] {
+					frontier = append(frontier, j)
+					rootC[j] = nextRoots[j]
+				}
+			}
+		}
+		if found == 0 {
+			return m
+		}
+		// Augment along each recorded path by walking parent/mate chains.
+		for root := 0; root < n2; root++ {
+			if pathEnd[root] == semiring.None {
+				continue
+			}
+			i := pathEnd[root]
+			for {
+				j := parentR[i]
+				prevMate := m.MateC[j]
+				m.Match(int(i), int(j))
+				if prevMate == semiring.None {
+					break // reached the root column
+				}
+				i = prevMate
+			}
+		}
+	}
+}

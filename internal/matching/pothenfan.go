@@ -1,0 +1,95 @@
+package matching
+
+import (
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// PothenFan computes a maximum cardinality matching with the Pothen–Fan
+// algorithm (Section II-A): repeated passes of multi-source depth-first
+// searches with lookahead. Each pass runs one DFS from every unmatched
+// column; row vertices visited in a pass are never revisited within it, so
+// the paths found in a pass are vertex-disjoint. The lookahead pointer scans
+// each column's adjacency list at most once per pass for an unmatched row,
+// which is the optimization that makes the algorithm fast in practice. init
+// (optional) is not modified.
+func PothenFan(a *spmat.CSC, init *Matching) *Matching {
+	m := cloneOrEmpty(a, init)
+	n1, n2 := a.NRows, a.NCols
+
+	visitedR := make([]int, n1)  // pass number when row was last visited
+	lookahead := make([]int, n2) // per-column scan position for lookahead
+	iter := make([]int, n2)      // per-column scan position for DFS descent
+	colStack := make([]int, 0, n2)
+	rowTrail := make([]int, 0, n2) // row chosen at each stack level
+	pass := 0
+
+	for {
+		pass++
+		for j := range lookahead {
+			lookahead[j] = 0
+			iter[j] = 0
+		}
+		augmented := 0
+
+		for j0 := 0; j0 < n2; j0++ {
+			if m.MateC[j0] != semiring.None {
+				continue
+			}
+			// Iterative DFS from unmatched column j0 along alternating paths.
+			colStack = colStack[:0]
+			rowTrail = rowTrail[:0]
+			colStack = append(colStack, j0)
+			found := false
+			for len(colStack) > 0 && !found {
+				j := colStack[len(colStack)-1]
+				col := a.Col(j)
+				// Lookahead: is any neighbor of j unmatched?
+				for lookahead[j] < len(col) {
+					i := col[lookahead[j]]
+					lookahead[j]++
+					if m.MateR[i] == semiring.None && visitedR[i] != pass {
+						visitedR[i] = pass
+						rowTrail = append(rowTrail, i)
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+				// Descend: advance to the next unvisited matched row.
+				descended := false
+				for iter[j] < len(col) {
+					i := col[iter[j]]
+					iter[j]++
+					if visitedR[i] == pass || m.MateR[i] == semiring.None {
+						continue
+					}
+					visitedR[i] = pass
+					rowTrail = append(rowTrail, i)
+					colStack = append(colStack, int(m.MateR[i]))
+					descended = true
+					break
+				}
+				if !descended {
+					// Backtrack.
+					colStack = colStack[:len(colStack)-1]
+					if len(rowTrail) > 0 {
+						rowTrail = rowTrail[:len(rowTrail)-1]
+					}
+				}
+			}
+			if found {
+				// colStack[k] -- rowTrail[k] are the path edges to flip.
+				for k := len(colStack) - 1; k >= 0; k-- {
+					m.Match(rowTrail[k], colStack[k])
+				}
+				augmented++
+			}
+		}
+		if augmented == 0 {
+			return m
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package matching
+
+import (
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// PushRelabel computes a maximum cardinality matching with the push–relabel
+// method, the other major MCM family the paper discusses (Section II-A; the
+// distributed push-relabel attempt of Langguth et al. is the paper's
+// closest prior work). This is the bipartite specialization: each unmatched
+// column carries one unit of excess; a push matches the column to its
+// minimum-label neighbor row (evicting that row's previous column back to
+// excess, the "double push"), and the row's label rises by 2, so the FIFO
+// loop terminates.
+//
+// Two standard engineering measures keep it fast and sound on structurally
+// deficient inputs, where labels would otherwise churn up to O(n):
+//
+//   - when a column's minimum neighbor label reaches a small limit, a
+//     global "hopelessness sweep" (one reverse alternating BFS from the
+//     unmatched rows, O(m)) retires every column that provably has no
+//     augmenting path — the role the gap heuristic plays in max-flow
+//     push-relabel;
+//   - a column that hits the limit but is *not* hopeless gets its
+//     augmenting path applied directly by one explicit BFS, guaranteeing
+//     progress and overall soundness regardless of label dynamics.
+//
+// init (optional) is not modified.
+func PushRelabel(a *spmat.CSC, init *Matching) *Matching {
+	m := cloneOrEmpty(a, init)
+	n1, n2 := a.NRows, a.NCols
+	if n1 == 0 || n2 == 0 {
+		return m
+	}
+	at := a.Transpose()
+
+	psi := make([]int, n1) // row labels; rise by 2 per push received
+
+	queue := make([]int, 0, n2)
+	inQueue := make([]bool, n2)
+	for j := 0; j < n2; j++ {
+		if m.MateC[j] == semiring.None && a.ColDegree(j) > 0 {
+			queue = append(queue, j)
+			inQueue[j] = true
+		}
+	}
+
+	// A low limit bounds label churn; correctness never depends on it.
+	limit := 64
+	retired := make([]bool, n2)
+	sweepStale := true // matching changed since the last hopelessness sweep
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		inQueue[j] = false
+		if m.MateC[j] != semiring.None || retired[j] {
+			continue
+		}
+		best, bestPsi := -1, int(^uint(0)>>1)
+		for _, i := range a.Col(j) {
+			if psi[i] < bestPsi {
+				best, bestPsi = i, psi[i]
+			}
+		}
+		if best < 0 {
+			continue // isolated
+		}
+		if bestPsi >= limit {
+			if sweepStale {
+				retireHopeless(a, at, m, retired)
+				sweepStale = false
+			}
+			if retired[j] {
+				continue
+			}
+			// Not hopeless: an augmenting path exists; apply it directly.
+			if augmentFromColumn(a, m, j) {
+				sweepStale = true
+			} else {
+				retired[j] = true // defensive; unreachable for a fresh sweep
+			}
+			continue
+		}
+		prev := m.MateR[best]
+		m.Match(best, j)
+		sweepStale = true
+		psi[best] = bestPsi + 2
+		if prev != semiring.None {
+			pj := int(prev)
+			m.MateC[pj] = semiring.None
+			if !inQueue[pj] {
+				queue = append(queue, pj)
+				inQueue[pj] = true
+			}
+		}
+	}
+	return m
+}
+
+// retireHopeless marks every column with no augmenting path under the
+// current matching: a column can be augmented iff it is reachable by the
+// reverse alternating BFS from the unmatched rows (row -> column along any
+// free edge, column -> its mate row). One O(m) sweep; retirement is
+// permanent because augmenting paths never reappear once gone.
+func retireHopeless(a, at *spmat.CSC, m *Matching, retired []bool) {
+	canAugment := make([]bool, a.NCols)
+	visitedR := make([]bool, a.NRows)
+	var queueR []int
+	for i := 0; i < a.NRows; i++ {
+		if m.MateR[i] == semiring.None {
+			visitedR[i] = true
+			queueR = append(queueR, i)
+		}
+	}
+	for len(queueR) > 0 {
+		r := queueR[len(queueR)-1]
+		queueR = queueR[:len(queueR)-1]
+		for _, c := range at.Col(r) {
+			if canAugment[c] {
+				continue
+			}
+			canAugment[c] = true
+			if mi := m.MateC[c]; mi != semiring.None && !visitedR[mi] {
+				visitedR[mi] = true
+				queueR = append(queueR, int(mi))
+			}
+		}
+	}
+	for j := range retired {
+		if !canAugment[j] && m.MateC[j] == semiring.None {
+			retired[j] = true
+		}
+	}
+}
+
+// augmentFromColumn runs one alternating BFS from unmatched column j and
+// augments along a discovered path, reporting success. O(m).
+func augmentFromColumn(a *spmat.CSC, m *Matching, j int) bool {
+	if m.MateC[j] != semiring.None {
+		return false
+	}
+	parent := make(map[int]int) // row -> column that discovered it
+	frontier := []int{j}
+	endRow := -1
+	for len(frontier) > 0 && endRow < 0 {
+		var next []int
+		for _, c := range frontier {
+			for _, r := range a.Col(c) {
+				if _, seen := parent[r]; seen {
+					continue
+				}
+				parent[r] = c
+				if m.MateR[r] == semiring.None {
+					endRow = r
+					break
+				}
+				next = append(next, int(m.MateR[r]))
+			}
+			if endRow >= 0 {
+				break
+			}
+		}
+		frontier = next
+	}
+	if endRow < 0 {
+		return false
+	}
+	r := endRow
+	for {
+		c := parent[r]
+		prev := m.MateC[c]
+		m.Match(r, c)
+		if prev == semiring.None {
+			return true
+		}
+		r = int(prev)
+	}
+}

@@ -1,0 +1,242 @@
+package mpi
+
+import "fmt"
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() {
+	parts := make([]any, c.Size())
+	c.exchange(parts)
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers pass nil. The result is a fresh copy on every rank except root.
+func (c *Comm) Bcast(root int, data []int64) []int64 {
+	size := c.Size()
+	parts := make([]any, size)
+	if c.member == root {
+		for d := 0; d < size; d++ {
+			parts[d] = data
+		}
+	}
+	got := c.exchange(parts)
+	depth := logTreeDepth(size)
+	c.addComm(KindBcast, depth, depth*int64(len(asInts(got[root]))))
+	if c.member == root {
+		return data
+	}
+	return append([]int64(nil), asInts(got[root])...)
+}
+
+// Allgatherv gathers each rank's contribution on every rank. The result has
+// one slice per rank, in rank order; slices received from other ranks are
+// copies. This is the "expand" primitive of the 2D SpMV and the
+// communication step of PRUNE; the paper costs it with the ring algorithm:
+// p-1 messages and the received volume.
+func (c *Comm) Allgatherv(data []int64) [][]int64 {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = data
+	}
+	got := c.exchange(parts)
+	out := make([][]int64, size)
+	var words int64
+	for s := 0; s < size; s++ {
+		in := asInts(got[s])
+		if s == c.member {
+			out[s] = data
+			continue
+		}
+		words += int64(len(in))
+		out[s] = append([]int64(nil), in...)
+	}
+	c.addComm(KindAllgather, int64(size-1), words)
+	return out
+}
+
+// Alltoallv sends parts[d] to rank d and returns the slices received, one
+// per source rank. Received slices alias the sender's slice only through an
+// explicit copy. This is the personalized all-to-all used by the "fold"
+// phase of SpMV and by INVERT.
+func (c *Comm) Alltoallv(parts [][]int64) [][]int64 {
+	size := c.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d parts on %d ranks", len(parts), size))
+	}
+	anyParts := make([]any, size)
+	var words int64
+	for d := 0; d < size; d++ {
+		anyParts[d] = parts[d]
+		if d != c.member {
+			words += int64(len(parts[d]))
+		}
+	}
+	got := c.exchange(anyParts)
+	out := make([][]int64, size)
+	for s := 0; s < size; s++ {
+		in := asInts(got[s])
+		if s == c.member {
+			out[s] = in
+			continue
+		}
+		out[s] = append([]int64(nil), in...)
+	}
+	c.addComm(KindAlltoall, int64(size-1), words)
+	return out
+}
+
+// Gatherv collects every rank's contribution on root, in rank order. Non-root
+// ranks receive nil.
+func (c *Comm) Gatherv(root int, data []int64) [][]int64 {
+	size := c.Size()
+	parts := make([]any, size)
+	parts[root] = data
+	got := c.exchange(parts)
+	if c.member != root {
+		c.addComm(KindGather, 1, int64(len(data)))
+		return nil
+	}
+	out := make([][]int64, size)
+	var words int64
+	for s := 0; s < size; s++ {
+		in := asInts(got[s])
+		if s == root {
+			out[s] = data
+			continue
+		}
+		words += int64(len(in))
+		out[s] = append([]int64(nil), in...)
+	}
+	c.addComm(KindGather, int64(size-1), words)
+	return out
+}
+
+// Scatterv distributes parts[d] from root to rank d and returns each rank's
+// slice. Non-root callers pass nil.
+func (c *Comm) Scatterv(root int, parts [][]int64) []int64 {
+	size := c.Size()
+	anyParts := make([]any, size)
+	if c.member == root {
+		if len(parts) != size {
+			panic(fmt.Sprintf("mpi: Scatterv with %d parts on %d ranks", len(parts), size))
+		}
+		for d := 0; d < size; d++ {
+			anyParts[d] = parts[d]
+		}
+		var words int64
+		for d := 0; d < size; d++ {
+			if d != root {
+				words += int64(len(parts[d]))
+			}
+		}
+		c.addComm(KindScatter, int64(size-1), words)
+	}
+	got := c.exchange(anyParts)
+	in := asInts(got[root])
+	if c.member == root {
+		return in
+	}
+	c.addComm(KindScatter, 1, int64(len(in)))
+	return append([]int64(nil), in...)
+}
+
+// ReduceOp is an associative, commutative reduction operator.
+type ReduceOp func(a, b int64) int64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b int64) int64 { return a + b }
+	OpMax ReduceOp = func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	OpLor ReduceOp = func(a, b int64) int64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	}
+)
+
+// Allreduce reduces val across all ranks with op and returns the result on
+// every rank. Costed as a binomial reduce-broadcast tree.
+func (c *Comm) Allreduce(op ReduceOp, val int64) int64 {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = []int64{val}
+	}
+	got := c.exchange(parts)
+	acc := asInts(got[0])[0]
+	for s := 1; s < size; s++ {
+		acc = op(acc, asInts(got[s])[0])
+	}
+	depth := logTreeDepth(size)
+	c.addComm(KindReduce, 2*depth, 2*depth)
+	return acc
+}
+
+// Split partitions the communicator: ranks passing the same color form a new
+// communicator, ordered by (key, rank). Every rank must call Split; a
+// negative color yields a nil communicator (MPI_COMM_NULL).
+func (c *Comm) Split(color, key int) *Comm {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = []int64{int64(color), int64(key)}
+	}
+	got := c.exchange(parts)
+	if color < 0 {
+		return nil
+	}
+	type memberInfo struct{ key, member int }
+	var members []memberInfo
+	for s := 0; s < size; s++ {
+		ck := asInts(got[s])
+		if int(ck[0]) == color {
+			members = append(members, memberInfo{key: int(ck[1]), member: s})
+		}
+	}
+	// Sort by (key, member); insertion sort keeps this dependency-free.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j].key < members[j-1].key ||
+			(members[j].key == members[j-1].key && members[j].member < members[j-1].member)); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	worldRanks := make([]int, len(members))
+	myIndex := -1
+	for i, m := range members {
+		worldRanks[i] = c.st.ranks[m.member]
+		if m.member == c.member {
+			myIndex = i
+		}
+	}
+	// All members derive the same id, so they share one commState via the
+	// world registry. The parent generation makes repeated Splits distinct.
+	id := fmt.Sprintf("%s/split@%d/c%d", c.st.id, c.nextGen, color)
+	w := c.st.world
+	w.mu.Lock()
+	st, ok := w.splits[id]
+	if !ok {
+		st = newCommState(w, id, worldRanks)
+		w.splits[id] = st
+	}
+	w.mu.Unlock()
+	return &Comm{st: st, member: myIndex, worldRank: c.worldRank}
+}
+
+func asInts(v any) []int64 {
+	if v == nil {
+		return nil
+	}
+	return v.([]int64)
+}

@@ -1,0 +1,334 @@
+// Package mpi is an in-process, deterministic stand-in for the MPI runtime
+// the paper's implementation relies on (Cray MPICH2 on the Edison Cray XC30).
+// Go has no MPI ecosystem, so each MPI process ("rank") is simulated by a
+// goroutine; ranks interact only through this package's communicator API, so
+// algorithm code written against it has the same structure as true
+// distributed-memory SPMD code.
+//
+// The package provides:
+//
+//   - SPMD launch (Run), communicators, and sub-communicator Split, used for
+//     the 2D process grid's row and column communicators;
+//   - the bulk-synchronous collectives CombBLAS uses: Barrier, Bcast,
+//     Allgatherv, Alltoallv, Gatherv, Scatterv, Allreduce;
+//   - one-sided RMA windows with Get, Put and FetchAndOp, matching the
+//     MPI_GET / MPI_PUT / MPI_FETCH_AND_OP calls of the paper's path-parallel
+//     augmentation (Algorithm 4);
+//   - per-rank communication meters (messages, words, local work) from which
+//     the α-β cost model of the paper's Section IV-B is evaluated.
+//
+// Payloads are []int64 throughout: every object the matching algorithms
+// communicate (indices, mates, parents, roots) is an integer, and a flat
+// integer payload makes the word-count metering exact.
+//
+// Metering conventions (per rank, documented so the cost model is auditable):
+//
+//   - Alltoallv: p-1 messages; words = total sent to other ranks.
+//   - Allgatherv (ring algorithm, as in the paper): p-1 messages; words =
+//     total received from other ranks.
+//   - Gatherv/Scatterv: root counts p-1 messages and the full volume moved;
+//     leaves count 1 message and their own contribution.
+//   - Bcast/Allreduce (binomial tree): ceil(log2 p) messages and one payload
+//     copy per tree level.
+//   - RMA Get/Put/FetchAndOp: 1 message per call plus the words moved;
+//     operations on the caller's own window are local and cost nothing.
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// CommKind labels the collective family a transfer belongs to, for the
+// per-kind telemetry that attributes algorithm phases to communication
+// patterns (e.g. INVERT to personalized all-to-all, PRUNE to allgather).
+type CommKind int
+
+// The collective families.
+const (
+	KindAllgather CommKind = iota
+	KindAlltoall
+	KindGather
+	KindScatter
+	KindBcast
+	KindReduce
+	KindRMA
+	numKinds
+)
+
+// String names the kind.
+func (k CommKind) String() string {
+	switch k {
+	case KindAllgather:
+		return "allgather"
+	case KindAlltoall:
+		return "alltoall"
+	case KindGather:
+		return "gather"
+	case KindScatter:
+		return "scatter"
+	case KindBcast:
+		return "bcast"
+	case KindReduce:
+		return "reduce"
+	case KindRMA:
+		return "rma"
+	default:
+		return fmt.Sprintf("CommKind(%d)", int(k))
+	}
+}
+
+// Meter accumulates per-rank communication and computation counts.
+type Meter struct {
+	Msgs  int64 // messages sent or received (latency units, α)
+	Words int64 // 8-byte words moved (bandwidth units, β)
+	Work  int64 // local operations recorded via AddWork (compute units, F)
+}
+
+// Add returns the element-wise sum of two meters.
+func (m Meter) Add(o Meter) Meter {
+	return Meter{Msgs: m.Msgs + o.Msgs, Words: m.Words + o.Words, Work: m.Work + o.Work}
+}
+
+// Sub returns the element-wise difference m - o.
+func (m Meter) Sub(o Meter) Meter {
+	return Meter{Msgs: m.Msgs - o.Msgs, Words: m.Words - o.Words, Work: m.Work - o.Work}
+}
+
+// Max returns the element-wise maximum of two meters.
+func (m Meter) Max(o Meter) Meter {
+	out := m
+	if o.Msgs > out.Msgs {
+		out.Msgs = o.Msgs
+	}
+	if o.Words > out.Words {
+		out.Words = o.Words
+	}
+	if o.Work > out.Work {
+		out.Work = o.Work
+	}
+	return out
+}
+
+// World is one SPMD execution: a set of ranks and their shared runtime state.
+type World struct {
+	size   int
+	meters []meterCell
+
+	mu     sync.Mutex
+	splits map[string]*commState
+	wins   map[string]*winState
+}
+
+type meterCell struct {
+	msgs, words, work atomic.Int64
+	kinds             [numKinds]kindCell
+}
+
+type kindCell struct {
+	msgs, words atomic.Int64
+}
+
+// commState is the shared half of a communicator: the collective rendezvous
+// for one group of ranks. Each participating rank holds a *Comm handle that
+// pairs this state with its member index.
+type commState struct {
+	id      string
+	world   *World
+	ranks   []int // world ranks of the members, in member order
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int64 // generation currently collecting contributions
+	arrived int
+	inbox   [][]any           // inbox[src member][dst member]
+	results map[int64][][]any // completed gen -> outbox[dst member][src member]
+	taken   map[int64]int
+}
+
+func newCommState(w *World, id string, ranks []int) *commState {
+	st := &commState{
+		id:      id,
+		world:   w,
+		ranks:   ranks,
+		inbox:   make([][]any, len(ranks)),
+		results: make(map[int64][][]any),
+		taken:   make(map[int64]int),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	st        *commState
+	member    int   // index within st.ranks
+	worldRank int   // rank in the world
+	nextGen   int64 // this rank's collective-call counter on this comm
+}
+
+// Run launches fn on size ranks and waits for all of them. It returns the
+// world (for meter inspection) and the first error any rank returned.
+func Run(size int, fn func(c *Comm) error) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: size %d must be positive", size)
+	}
+	w := &World{
+		size:   size,
+		meters: make([]meterCell, size),
+		splits: make(map[string]*commState),
+		wins:   make(map[string]*winState),
+	}
+	ranks := make([]int, size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	st := newCommState(w, "world", ranks)
+
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(&Comm{st: st, member: r, worldRank: r})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.member }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.st.ranks) }
+
+// WorldRank returns this rank's index in the world communicator.
+func (c *Comm) WorldRank() int { return c.worldRank }
+
+// World returns the world this communicator belongs to.
+func (c *Comm) World() *World { return c.st.world }
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// AddWork records n units of local computation for the cost model.
+func (c *Comm) AddWork(n int) {
+	c.st.world.meters[c.worldRank].work.Add(int64(n))
+}
+
+func (c *Comm) addComm(kind CommKind, msgs, words int64) {
+	cell := &c.st.world.meters[c.worldRank]
+	cell.msgs.Add(msgs)
+	cell.words.Add(words)
+	cell.kinds[kind].msgs.Add(msgs)
+	cell.kinds[kind].words.Add(words)
+}
+
+// MeterSnapshot returns this rank's cumulative meter.
+func (c *Comm) MeterSnapshot() Meter {
+	cell := &c.st.world.meters[c.worldRank]
+	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(), Work: cell.work.Load()}
+}
+
+// KindMeter returns this rank's cumulative meter for one collective family
+// (Work is always zero: local work has no kind).
+func (c *Comm) KindMeter(kind CommKind) Meter {
+	cell := &c.st.world.meters[c.worldRank]
+	return Meter{Msgs: cell.kinds[kind].msgs.Load(), Words: cell.kinds[kind].words.Load()}
+}
+
+// RankKindMeter returns the given world rank's meter for one collective
+// family.
+func (w *World) RankKindMeter(rank int, kind CommKind) Meter {
+	cell := &w.meters[rank]
+	return Meter{Msgs: cell.kinds[kind].msgs.Load(), Words: cell.kinds[kind].words.Load()}
+}
+
+// RankMeter returns the cumulative meter of the given world rank.
+func (w *World) RankMeter(rank int) Meter {
+	cell := &w.meters[rank]
+	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(), Work: cell.work.Load()}
+}
+
+// MaxMeter returns the element-wise maximum meter over all ranks, an
+// approximation of the critical-path cost for load-balanced SPMD phases.
+func (w *World) MaxMeter() Meter {
+	var m Meter
+	for r := 0; r < w.size; r++ {
+		m = m.Max(w.RankMeter(r))
+	}
+	return m
+}
+
+// TotalMeter returns the element-wise sum of all rank meters.
+func (w *World) TotalMeter() Meter {
+	var m Meter
+	for r := 0; r < w.size; r++ {
+		m = m.Add(w.RankMeter(r))
+	}
+	return m
+}
+
+// exchange is the collective rendezvous underlying every collective: member
+// r contributes parts (one entry per destination member) and receives one
+// entry per source member. All members of the communicator must call
+// collectives in the same order (standard MPI semantics); the generation
+// counter enforces matching.
+func (c *Comm) exchange(parts []any) []any {
+	st := c.st
+	size := len(st.ranks)
+	if len(parts) != size {
+		panic(fmt.Sprintf("mpi: exchange with %d parts on a %d-rank comm", len(parts), size))
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	gen := c.nextGen
+	c.nextGen++
+	for st.gen != gen {
+		st.cond.Wait()
+	}
+	st.inbox[c.member] = parts
+	st.arrived++
+	if st.arrived == size {
+		out := make([][]any, size)
+		for d := 0; d < size; d++ {
+			out[d] = make([]any, size)
+			for s := 0; s < size; s++ {
+				out[d][s] = st.inbox[s][d]
+			}
+		}
+		for s := range st.inbox {
+			st.inbox[s] = nil
+		}
+		st.results[gen] = out
+		st.arrived = 0
+		st.gen++
+		st.cond.Broadcast()
+	} else {
+		for st.results[gen] == nil {
+			st.cond.Wait()
+		}
+	}
+	res := st.results[gen][c.member]
+	st.taken[gen]++
+	if st.taken[gen] == size {
+		delete(st.results, gen)
+		delete(st.taken, gen)
+	}
+	return res
+}
+
+func logTreeDepth(p int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	return int64(bits.Len(uint(p - 1)))
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import "fmt"
+
+// winState is the shared half of an RMA window: every rank's exposed local
+// slice plus a lock per rank providing the atomicity MPI guarantees for
+// accumulate-style operations.
+type winState struct {
+	ranks []rankWindow
+}
+
+type rankWindow struct {
+	mu   chan struct{} // binary semaphore; avoids copying sync.Mutex values
+	data []int64
+}
+
+// Win is one rank's handle on a remote-memory-access window, the analogue of
+// MPI_Win. The paper's path-parallel augmentation (Algorithm 4) manipulates
+// the distributed mate and parent vectors through exactly these operations.
+type Win struct {
+	comm *Comm
+	st   *winState
+}
+
+// WinCreate collectively exposes each rank's local slice for one-sided
+// access. Every rank of the communicator must call it with its own slice
+// (which may be nil). The caller retains ownership of the slice; remote
+// ranks access it only through Get, Put and FetchAndOp.
+func WinCreate(c *Comm, local []int64) *Win {
+	size := c.Size()
+	// Rendezvous the slice headers through the world registry keyed by a
+	// collectively agreed id; the exchange also acts as the barrier
+	// MPI_Win_create implies.
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = local
+	}
+	id := fmt.Sprintf("%s/win@%d", c.st.id, c.nextGen)
+	got := c.exchangeAny(parts)
+	w := c.st.world
+	w.mu.Lock()
+	st, ok := w.wins[id]
+	if !ok {
+		st = &winState{ranks: make([]rankWindow, size)}
+		for s := 0; s < size; s++ {
+			var data []int64
+			if got[s] != nil {
+				data = got[s].([]int64)
+			}
+			sem := make(chan struct{}, 1)
+			sem <- struct{}{}
+			st.ranks[s] = rankWindow{mu: sem, data: data}
+		}
+		w.wins[id] = st
+	}
+	w.mu.Unlock()
+	return &Win{comm: c, st: st}
+}
+
+// exchangeAny is exchange with arbitrary payloads (used only for rendezvous
+// of window ids/slices; no metering).
+func (c *Comm) exchangeAny(parts []any) []any {
+	return c.exchange(parts)
+}
+
+func (w *Win) lock(rank int)   { <-w.st.ranks[rank].mu }
+func (w *Win) unlock(rank int) { w.st.ranks[rank].mu <- struct{}{} }
+
+// Get reads n elements starting at off from rank's window. One RMA message
+// unless the target is the caller itself.
+func (w *Win) Get(rank, off, n int) []int64 {
+	w.lock(rank)
+	out := append([]int64(nil), w.st.ranks[rank].data[off:off+n]...)
+	w.unlock(rank)
+	if rank != w.comm.Rank() {
+		w.comm.addComm(KindRMA, 1, int64(n))
+	}
+	return out
+}
+
+// Get1 reads a single element, the common case in path-parallel augmentation.
+func (w *Win) Get1(rank, off int) int64 {
+	return w.Get(rank, off, 1)[0]
+}
+
+// Put writes data into rank's window starting at off.
+func (w *Win) Put(rank, off int, data []int64) {
+	w.lock(rank)
+	copy(w.st.ranks[rank].data[off:off+len(data)], data)
+	w.unlock(rank)
+	if rank != w.comm.Rank() {
+		w.comm.addComm(KindRMA, 1, int64(len(data)))
+	}
+}
+
+// Put1 writes a single element.
+func (w *Win) Put1(rank, off int, v int64) {
+	w.Put(rank, off, []int64{v})
+}
+
+// FetchAndOp atomically applies op to the element at (rank, off) with the
+// given operand and returns the value held before the update, matching
+// MPI_Fetch_and_op. With OpReplace it is an atomic swap.
+func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
+	w.lock(rank)
+	data := w.st.ranks[rank].data
+	old := data[off]
+	data[off] = op(old, operand)
+	w.unlock(rank)
+	if rank != w.comm.Rank() {
+		w.comm.addComm(KindRMA, 1, 2)
+	}
+	return old
+}
+
+// OpReplace makes FetchAndOp behave as an atomic swap (MPI_REPLACE).
+var OpReplace ReduceOp = func(_, b int64) int64 { return b }
+
+// CompareAndSwap atomically replaces the element at (rank, off) with next if
+// it currently equals expect, returning the previous value, matching
+// MPI_Compare_and_swap.
+func (w *Win) CompareAndSwap(rank, off int, expect, next int64) int64 {
+	w.lock(rank)
+	data := w.st.ranks[rank].data
+	old := data[off]
+	if old == expect {
+		data[off] = next
+	}
+	w.unlock(rank)
+	if rank != w.comm.Rank() {
+		w.comm.addComm(KindRMA, 1, 2)
+	}
+	return old
+}
+
+// Fence is a collective synchronization closing an RMA epoch, the analogue
+// of MPI_Win_fence.
+func (w *Win) Fence() {
+	w.comm.Barrier()
+}

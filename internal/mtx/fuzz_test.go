@@ -1,0 +1,37 @@
+package mtx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the Matrix Market parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip through Write/Read
+// to an equal matrix.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 5.0\n3 1 -2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n0 0 0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 9\n1 1\n")
+	f.Add("junk\n1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("write of accepted matrix failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v", err)
+		}
+		if !m.Equal(back) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

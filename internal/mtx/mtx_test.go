@@ -1,0 +1,168 @@
+package mtx
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcmdist/internal/spmat"
+)
+
+func TestReadPatternGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 4 3
+1 1
+3 2
+2 4
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows != 3 || m.NCols != 4 || m.NNZ() != 3 {
+		t.Fatalf("dims/nnz = %dx%d/%d", m.NRows, m.NCols, m.NNZ())
+	}
+	for _, e := range [][2]int{{0, 0}, {2, 1}, {1, 3}} {
+		if !m.Has(e[0], e[1]) {
+			t.Errorf("missing (%d,%d)", e[0], e[1])
+		}
+	}
+}
+
+func TestReadRealValuesDiscarded(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 2 3.25
+2 1 -1e-3
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(0, 1) || !m.Has(1, 0) {
+		t.Fatal("pattern wrong")
+	}
+}
+
+func TestReadSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer symmetric
+3 3 3
+1 1 5
+2 1 7
+3 2 9
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 5 { // diagonal not duplicated
+		t.Fatalf("nnz = %d, want 5", m.NNZ())
+	}
+	if !m.Has(0, 1) || !m.Has(1, 0) || !m.Has(1, 2) || !m.Has(2, 1) || !m.Has(0, 0) {
+		t.Fatal("symmetric expansion wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad banner":    "%%NotMatrixMarket matrix coordinate pattern general\n1 1 0\n",
+		"bad object":    "%%MatrixMarket vector coordinate pattern general\n1 1 0\n",
+		"array format":  "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"complex field": "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"skew symmetry": "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1\n",
+		"no size":       "%%MatrixMarket matrix coordinate pattern general\n% only comments\n",
+		"bad size":      "%%MatrixMarket matrix coordinate pattern general\nx y z\n",
+		"out of range":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+		"zero index":    "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n",
+		"short line":    "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
+		"missing value": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"bad row":       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\na 1\n",
+		"bad col":       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 b\n",
+		"wrong count":   "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		nr, nc := 1+rng.Intn(30), 1+rng.Intn(30)
+		c := spmat.NewCOO(nr, nc)
+		for k := 0; k < rng.Intn(100); k++ {
+			c.Add(rng.Intn(nr), rng.Intn(nc))
+		}
+		m := c.ToCSC()
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Equal(back) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	c := spmat.NewCOO(5, 7)
+	c.Add(0, 0)
+	c.Add(4, 6)
+	c.Add(2, 3)
+	m := c.ToCSC()
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.mtx")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestBlankLinesTolerated(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n\n2 2 1\n\n1 2\n\n"
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || !m.Has(0, 1) {
+		t.Fatal("blank-line parse wrong")
+	}
+}
+
+func TestReadPaperExampleFixture(t *testing.T) {
+	m, err := ReadFile("../../testdata/paper_example.mtx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows != 5 || m.NCols != 5 || m.NNZ() != 10 {
+		t.Fatalf("fixture %dx%d nnz %d", m.NRows, m.NCols, m.NNZ())
+	}
+	// Spot-check the worked example's structure: c2 (0-indexed) touches
+	// r1, r2, r3.
+	for _, i := range []int{1, 2, 3} {
+		if !m.Has(i, 2) {
+			t.Fatalf("fixture missing (%d,2)", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package parallel provides the intra-rank worker pool that plays the role
+// of the paper's OpenMP threading: local computation inside each simulated
+// MPI rank is "fully multithreaded" while communication stays funneled
+// through the rank itself (MPI_THREAD_FUNNELED). On the simulation host the
+// goroutines share physical cores, so the wall-clock benefit is bounded by
+// the hardware; the cost model accounts for the modeled t-way speedup of
+// the local-work term separately (costmodel.Machine.Time).
+package parallel
+
+import "sync"
+
+// For splits the index range [0, n) into near-equal contiguous chunks and
+// runs fn(lo, hi) on each with `threads` goroutines. threads <= 1 or tiny n
+// runs inline with no goroutine overhead. fn must not assume any chunk
+// ordering; chunks never overlap and cover [0, n) exactly.
+func For(n, threads int, fn func(lo, hi int)) {
+	const minChunk = 256 // below this, goroutine overhead dominates
+	if threads <= 1 || n <= minChunk {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	if threads > n/minChunk {
+		threads = n / minChunk
+		if threads < 1 {
+			threads = 1
+		}
+	}
+	var wg sync.WaitGroup
+	base, rem := n/threads, n%threads
+	lo := 0
+	for w := 0; w < threads; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// MapReduce runs fn over [0, n) chunks in parallel, each chunk producing a
+// partial int64, and combines the partials with combine (which must be
+// associative and commutative). The zero partial must be the identity.
+func MapReduce(n, threads int, fn func(lo, hi int) int64, combine func(a, b int64) int64) int64 {
+	const minChunk = 256
+	if threads <= 1 || n <= minChunk {
+		if n <= 0 {
+			return 0
+		}
+		return fn(0, n)
+	}
+	if threads > n/minChunk {
+		threads = n / minChunk
+		if threads < 1 {
+			threads = 1
+		}
+	}
+	partials := make([]int64, threads)
+	var wg sync.WaitGroup
+	base, rem := n/threads, n%threads
+	lo := 0
+	for w := 0; w < threads; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = fn(lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}

@@ -1,0 +1,107 @@
+// Package rmat implements the Recursive MATrix (R-MAT) generator of
+// Chakrabarti, Zhan & Faloutsos, used by the paper (Section V-B) to create
+// its synthetic test set:
+//
+//   - G500: a=0.57, b=c=0.19, d=0.05 (Graph500 benchmark, skewed degrees)
+//   - SSCA: a=0.6,  b=c=d=0.4/3     (HPCS SSCA#2 benchmark)
+//   - ER:   a=b=c=d=0.25            (Erdős–Rényi, uniform degrees)
+//
+// A scale-s matrix is 2^s x 2^s; G500 and ER use 32 nonzeros per row on
+// average, SSCA uses 16, matching the paper's configuration.
+package rmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmdist/internal/spmat"
+)
+
+// Params holds the four R-MAT quadrant probabilities. They must be
+// non-negative and sum to 1.
+type Params struct {
+	A, B, C, D float64
+}
+
+// The three parameter sets used in the paper, Section V-B.
+var (
+	G500 = Params{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+	SSCA = Params{A: 0.6, B: 0.4 / 3, C: 0.4 / 3, D: 0.4 / 3}
+	ER   = Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}
+)
+
+// EdgeFactor returns the paper's average nonzeros per row for the parameter
+// class: 16 for SSCA, 32 otherwise.
+func (p Params) EdgeFactor() int {
+	if p == SSCA {
+		return 16
+	}
+	return 32
+}
+
+func (p Params) validate() error {
+	if p.A < 0 || p.B < 0 || p.C < 0 || p.D < 0 {
+		return fmt.Errorf("rmat: negative probability in %+v", p)
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: probabilities sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Generate creates a scale x scale R-MAT pattern matrix (2^scale rows and
+// columns) with approximately edgeFactor*2^scale nonzeros before duplicate
+// removal. The generator is deterministic in seed.
+func Generate(p Params, scale, edgeFactor int, seed int64) (*spmat.CSC, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if scale < 0 || scale > 30 {
+		return nil, fmt.Errorf("rmat: scale %d out of range [0,30]", scale)
+	}
+	if edgeFactor <= 0 {
+		return nil, fmt.Errorf("rmat: edgeFactor %d must be positive", edgeFactor)
+	}
+	n := 1 << uint(scale)
+	nedges := n * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+
+	coo := spmat.NewCOO(n, n)
+	coo.Entries = make([]spmat.Triple, 0, nedges)
+	for e := 0; e < nedges; e++ {
+		i, j := 0, 0
+		for level := 0; level < scale; level++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left quadrant: nothing to add
+			case r < p.A+p.B:
+				j |= 1 << uint(scale-1-level)
+			case r < p.A+p.B+p.C:
+				i |= 1 << uint(scale-1-level)
+			default:
+				i |= 1 << uint(scale-1-level)
+				j |= 1 << uint(scale-1-level)
+			}
+		}
+		coo.Add(i, j)
+	}
+	return coo.ToCSC(), nil
+}
+
+// MustGenerate is Generate for known-good parameters; it panics on error.
+func MustGenerate(p Params, scale, edgeFactor int, seed int64) *spmat.CSC {
+	m, err := Generate(p, scale, edgeFactor, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RandomPermutation returns a uniformly random permutation of [0, n) drawn
+// from seed. The paper randomly permutes inputs to balance load (Section
+// IV-A); callers apply it with (*spmat.CSC).Permute.
+func RandomPermutation(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}

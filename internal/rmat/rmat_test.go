@@ -1,0 +1,124 @@
+package rmat
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestGenerateDims(t *testing.T) {
+	for _, scale := range []int{0, 1, 4, 10} {
+		m := MustGenerate(ER, scale, 8, 1)
+		n := 1 << uint(scale)
+		if m.NRows != n || m.NCols != n {
+			t.Fatalf("scale %d: dims %dx%d, want %dx%d", scale, m.NRows, m.NCols, n, n)
+		}
+		if m.NNZ() > n*8 {
+			t.Fatalf("scale %d: nnz %d exceeds generated edges %d", scale, m.NNZ(), n*8)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(G500, 8, 16, 99)
+	b := MustGenerate(G500, 8, 16, 99)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := MustGenerate(G500, 8, 16, 100)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical matrices (suspicious)")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Params{A: -0.1, B: 0.5, C: 0.3, D: 0.3}, 4, 8, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := Generate(Params{A: 0.5, B: 0.1, C: 0.1, D: 0.1}, 4, 8, 1); err == nil {
+		t.Error("probabilities not summing to 1 accepted")
+	}
+	if _, err := Generate(ER, -1, 8, 1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := Generate(ER, 31, 8, 1); err == nil {
+		t.Error("huge scale accepted")
+	}
+	if _, err := Generate(ER, 4, 0, 1); err == nil {
+		t.Error("zero edge factor accepted")
+	}
+}
+
+func TestEdgeFactors(t *testing.T) {
+	if G500.EdgeFactor() != 32 || ER.EdgeFactor() != 32 || SSCA.EdgeFactor() != 16 {
+		t.Fatal("edge factors disagree with the paper's configuration")
+	}
+}
+
+// TestSkewness checks that G500 produces a more skewed degree distribution
+// than ER at the same scale: the maximum column degree of G500 should be
+// substantially larger.
+func TestSkewness(t *testing.T) {
+	scale, ef := 12, 16
+	g := MustGenerate(G500, scale, ef, 7)
+	e := MustGenerate(ER, scale, ef, 7)
+	maxDeg := func(m interface{ ColDegree(int) int }, n int) int {
+		best := 0
+		for j := 0; j < n; j++ {
+			if d := m.ColDegree(j); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	n := 1 << uint(scale)
+	gMax, eMax := maxDeg(g, n), maxDeg(e, n)
+	if gMax < 2*eMax {
+		t.Fatalf("G500 max degree %d not >> ER max degree %d", gMax, eMax)
+	}
+}
+
+// TestERDegreesNearUniform verifies ER column degrees concentrate around the
+// edge factor (Poisson-like: standard deviation ~ sqrt(mean)).
+func TestERDegreesNearUniform(t *testing.T) {
+	scale, ef := 12, 16
+	m := MustGenerate(ER, scale, ef, 13)
+	n := 1 << uint(scale)
+	var sum, sumsq float64
+	for j := 0; j < n; j++ {
+		d := float64(m.ColDegree(j))
+		sum += d
+		sumsq += d * d
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if mean < float64(ef)*0.8 || mean > float64(ef)*1.01 {
+		t.Fatalf("ER mean degree %.2f far from %d", mean, ef)
+	}
+	if std > 2*math.Sqrt(mean) {
+		t.Fatalf("ER degree std %.2f too large for mean %.2f", std, mean)
+	}
+}
+
+func TestRandomPermutationValid(t *testing.T) {
+	p := RandomPermutation(100, 3)
+	q := append([]int(nil), p...)
+	sort.Ints(q)
+	for i, v := range q {
+		if v != i {
+			t.Fatalf("not a permutation: sorted[%d]=%d", i, v)
+		}
+	}
+	p2 := RandomPermutation(100, 3)
+	for i := range p {
+		if p[i] != p2[i] {
+			t.Fatal("permutation not deterministic in seed")
+		}
+	}
+}
+
+func BenchmarkGenerateG500Scale14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MustGenerate(G500, 14, 16, int64(i))
+	}
+}

@@ -1,0 +1,80 @@
+package spmat
+
+// DCSC is the doubly compressed sparse columns format used by CombBLAS for
+// local submatrices (Buluç & Gilbert). Unlike CSC it does not spend O(ncols)
+// storage on empty columns: only the nzc columns that contain at least one
+// nonzero are represented.
+//
+//	JC[k]          = index of the k-th nonempty column (strictly increasing)
+//	CP[k]..CP[k+1] = range of IR holding the row indices of column JC[k]
+//	IR             = row indices, sorted within each column
+//
+// DCSC matters in the 2D distribution because a local submatrix of an
+// n/√p-column slab frequently has far fewer than n/√p nonempty columns
+// (hypersparsity), and iterating over it must cost O(nzc), not O(ncols).
+type DCSC struct {
+	NRows, NCols int
+	JC           []int // nonempty column indices, len nzc
+	CP           []int // column pointers, len nzc+1
+	IR           []int // row indices, len nnz
+}
+
+// ToDCSC converts a CSC matrix to DCSC form.
+func (m *CSC) ToDCSC() *DCSC {
+	d := &DCSC{NRows: m.NRows, NCols: m.NCols, IR: m.RowIdx}
+	for j := 0; j < m.NCols; j++ {
+		if m.ColPtr[j+1] > m.ColPtr[j] {
+			d.JC = append(d.JC, j)
+			d.CP = append(d.CP, m.ColPtr[j])
+		}
+	}
+	d.CP = append(d.CP, len(m.RowIdx))
+	return d
+}
+
+// ToCSC expands the DCSC matrix back to plain CSC form.
+func (d *DCSC) ToCSC() *CSC {
+	m := &CSC{
+		NRows:  d.NRows,
+		NCols:  d.NCols,
+		ColPtr: make([]int, d.NCols+1),
+		RowIdx: d.IR,
+	}
+	for k, j := range d.JC {
+		m.ColPtr[j+1] = d.CP[k+1] - d.CP[k]
+	}
+	for j := 0; j < d.NCols; j++ {
+		m.ColPtr[j+1] += m.ColPtr[j]
+	}
+	return m
+}
+
+// NNZ returns the number of nonzeros.
+func (d *DCSC) NNZ() int { return len(d.IR) }
+
+// NZC returns the number of nonempty columns.
+func (d *DCSC) NZC() int { return len(d.JC) }
+
+// ColByIndex returns the j-th nonempty column: its column index and its
+// sorted row indices. The slice aliases the matrix storage.
+func (d *DCSC) ColByIndex(k int) (col int, rows []int) {
+	return d.JC[k], d.IR[d.CP[k]:d.CP[k+1]]
+}
+
+// FindCol returns the sorted row indices of column j, or nil when the column
+// is empty, using binary search over JC in O(log nzc).
+func (d *DCSC) FindCol(j int) []int {
+	lo, hi := 0, len(d.JC)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.JC[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.JC) && d.JC[lo] == j {
+		return d.IR[d.CP[lo]:d.CP[lo+1]]
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package spmat
+
+// Block describes one contiguous block of a 1D index range that has been
+// split across processes: global indices [Lo, Hi) map to local 0..Hi-Lo.
+type Block struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the block.
+func (b Block) Len() int { return b.Hi - b.Lo }
+
+// Contains reports whether global index g falls inside the block.
+func (b Block) Contains(g int) bool { return g >= b.Lo && g < b.Hi }
+
+// SplitRange partitions [0, n) into parts near-equal contiguous blocks, the
+// first n%parts blocks being one longer, matching the usual MPI block
+// distribution.
+func SplitRange(n, parts int) []Block {
+	if parts <= 0 {
+		panic("spmat: SplitRange with parts <= 0")
+	}
+	out := make([]Block, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for k := 0; k < parts; k++ {
+		size := base
+		if k < rem {
+			size++
+		}
+		out[k] = Block{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// OwnerOf returns the index of the block containing global index g, for
+// blocks produced by SplitRange(n, parts). O(1).
+func OwnerOf(n, parts, g int) int {
+	base, rem := n/parts, n%parts
+	cut := rem * (base + 1)
+	if g < cut {
+		return g / (base + 1)
+	}
+	if base == 0 {
+		return parts - 1 // g >= cut impossible unless n==cut; defensive
+	}
+	return rem + (g-cut)/base
+}
+
+// LocalMatrix is the submatrix owned by one process of the 2D grid: the
+// intersection of one row slab and one column slab of the global matrix,
+// stored in DCSC with local (block-relative) indices.
+type LocalMatrix struct {
+	Rows, Cols Block // global index ranges of this block
+	M          *DCSC // local submatrix, indices relative to Rows.Lo/Cols.Lo
+}
+
+// Distribute2D splits the global matrix into pr x pc local matrices.
+// Element (i, j) of the result is the block owned by grid process (i, j):
+// global rows in rowBlocks[i], global columns in colBlocks[j].
+func Distribute2D(a *CSC, pr, pc int) [][]*LocalMatrix {
+	rowBlocks := SplitRange(a.NRows, pr)
+	colBlocks := SplitRange(a.NCols, pc)
+
+	coos := make([][]*COO, pr)
+	for i := range coos {
+		coos[i] = make([]*COO, pc)
+		for j := range coos[i] {
+			coos[i][j] = NewCOO(rowBlocks[i].Len(), colBlocks[j].Len())
+		}
+	}
+	for j := 0; j < a.NCols; j++ {
+		pj := OwnerOf(a.NCols, pc, j)
+		lj := j - colBlocks[pj].Lo
+		for _, i := range a.Col(j) {
+			pi := OwnerOf(a.NRows, pr, i)
+			coos[pi][pj].Add(i-rowBlocks[pi].Lo, lj)
+		}
+	}
+
+	out := make([][]*LocalMatrix, pr)
+	for i := range out {
+		out[i] = make([]*LocalMatrix, pc)
+		for j := range out[i] {
+			out[i][j] = &LocalMatrix{
+				Rows: rowBlocks[i],
+				Cols: colBlocks[j],
+				M:    coos[i][j].ToCSC().ToDCSC(),
+			}
+		}
+	}
+	return out
+}

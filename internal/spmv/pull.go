@@ -1,0 +1,139 @@
+package spmv
+
+import (
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// MulPull is the bottom-up ("pull") counterpart of Mul, implementing the
+// direction optimization the paper lists as future work ("the bottom-up
+// BFS in distributed memory"). Instead of scattering from frontier columns
+// to rows, every not-yet-visited row scans its own adjacency list and stops
+// at the first frontier neighbor, which touches far fewer edges when the
+// frontier is a large fraction of the columns — the classic
+// Beamer/Buluç-style 2D direction-optimized BFS step.
+//
+//   - rowAdj is the calling rank's local block in row-major (CSR) form:
+//     rowAdj.Col(r) lists the local column neighbors of local row r.
+//   - visited marks rows discovered in earlier iterations of the phase
+//     (the π_r vector); their identities are allgathered along the grid
+//     row so every rank can skip them, mirroring the replicated visited
+//     bitmap of real direction-optimized implementations.
+//
+// The result is semantically interchangeable with Mul's: every reachable
+// unvisited row appears exactly once with a parent that is one of its
+// frontier neighbors and that parent's root. The specific parent may
+// differ from Mul's (pull stops at the first local hit; the fold still
+// combines cross-rank candidates with op), which is harmless for MS-BFS:
+// any discovering neighbor yields a valid alternating tree. Collective.
+//
+// The returned PullStats carry this rank's local scan counts so callers can
+// adapt the push/pull decision: in matching (unlike plain BFS) a large
+// frontier can consist mostly of structurally deficient columns whose
+// neighborhoods never hit, making pull scans unproductive.
+func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
+	visited *dvec.Dense, op semiring.AddOp, outL dvec.Layout) (*dvec.SparseV, PullStats) {
+	g := x.L.G
+	if x.L.Kind != dvec.ColAligned {
+		panic("spmv: frontier must be column-aligned")
+	}
+	if outL.Kind != dvec.RowAligned {
+		panic("spmv: output layout must be row-aligned")
+	}
+	if !visited.L.Same(outL) {
+		panic("spmv: visited vector must share the output layout")
+	}
+	if rowAdj.NCols != a.Rows.Len() || rowAdj.NRows != a.Cols.Len() {
+		panic("spmv: rowAdj does not match the local block")
+	}
+
+	// Expand the frontier along my grid column (same as the push direction)
+	// into a dense lookup over my column slab.
+	payload := make([]int64, 0, 3*len(x.Idx))
+	for k, gi := range x.Idx {
+		payload = append(payload, int64(gi), x.Val[k].Parent, x.Val[k].Root)
+	}
+	slabParts := g.Col.Allgatherv(payload)
+	width := a.Cols.Len()
+	inFrontier := make([]bool, width)
+	frontierVal := make([]semiring.Vertex, width)
+	for _, part := range slabParts {
+		for off := 0; off < len(part); off += 3 {
+			lcol := int(part[off]) - a.Cols.Lo
+			inFrontier[lcol] = true
+			frontierVal[lcol] = semiring.Vertex{Parent: part[off+1], Root: part[off+2]}
+		}
+	}
+
+	// Replicate the visited-row set across my grid row: each rank
+	// contributes the visited rows of its own piece of the row slab.
+	lo := visited.L.MyRange().Lo
+	var mine []int64
+	for i, v := range visited.Local {
+		if v != semiring.None {
+			mine = append(mine, int64(lo+i))
+		}
+	}
+	visParts := g.Row.Allgatherv(mine)
+	skip := make([]bool, a.Rows.Len())
+	nvis := 0
+	for _, part := range visParts {
+		nvis += len(part)
+		for _, gr := range part {
+			skip[int(gr)-a.Rows.Lo] = true
+		}
+	}
+	// The dense visited/frontier bitmaps are scanned with packed bitwise
+	// operations in real bottom-up implementations: 64 entries per word.
+	g.World.AddWork(len(visited.Local)/64 + len(skip)/64 + nvis + 1)
+
+	// Pull: every unvisited local row scans its adjacency and stops at the
+	// first frontier neighbor.
+	type hit struct {
+		row  int
+		cand semiring.Vertex
+	}
+	var hits []hit
+	work := len(skip) / 64 // packed scan over the skip bitmap
+	for r := 0; r < rowAdj.NCols; r++ {
+		if skip[r] {
+			continue
+		}
+		for _, lc := range rowAdj.Col(r) {
+			work++
+			if inFrontier[lc] {
+				gcol := int64(a.Cols.Lo + lc)
+				hits = append(hits, hit{row: r, cand: semiring.Multiply(gcol, frontierVal[lc])})
+				break // direction optimization: first hit suffices
+			}
+		}
+	}
+	g.World.AddWork(work)
+
+	// Fold: identical to the push direction.
+	parts := make([][]int64, g.PC)
+	for _, h := range hits {
+		grow := a.Rows.Lo + h.row
+		_, j := outL.OwnerCoords(grow)
+		parts[j] = append(parts[j], int64(grow), h.cand.Parent, h.cand.Root)
+	}
+	got := g.Row.Alltoallv(parts)
+
+	out := mergeSortedTriples(got, op, outL)
+	g.World.AddWork(out.LocalNnz())
+	return out, PullStats{Scanned: work, Hits: len(hits)}
+}
+
+// PullStats reports one rank's local bottom-up scan productivity.
+type PullStats struct {
+	Scanned int // adjacency entries examined (including bitmap words)
+	Hits    int // rows that found a frontier parent
+}
+
+// RowMajor converts a local block to the row-major (CSR) adjacency MulPull
+// needs: the returned matrix's column r lists the local column indices
+// adjacent to local row r.
+func RowMajor(a *spmat.LocalMatrix) *spmat.CSC {
+	return a.M.ToCSC().Transpose()
+}

@@ -1,0 +1,134 @@
+// Package spmv implements the distributed sparse matrix–sparse vector
+// multiplication over BFS semirings that is "at the heart of the matrix
+// algebraic formulation" (paper Sections III-B and IV-B). It follows the 2D
+// CombBLAS algorithm: an "expand" phase (allgather of the frontier along the
+// grid column), a work-efficient local multiply over the DCSC submatrix, and
+// a "fold" phase (personalized all-to-all along the grid row) that merges
+// partial results with the semiring addition.
+package spmv
+
+import (
+	"fmt"
+
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// Mul computes y = A·x over the (select2nd, op) semiring. A is the calling
+// rank's local block of the globally distributed matrix, x a ColAligned
+// frontier over the matrix's columns, and outL the RowAligned layout of the
+// result. Collective: every rank of the grid must call it together.
+//
+// The result has one entry per row vertex reachable from the frontier; its
+// parent is the frontier column that discovered it (op resolving conflicts)
+// and its root is inherited from that column.
+func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Layout) *dvec.SparseV {
+	g := x.L.G
+	if x.L.Kind != dvec.ColAligned {
+		panic("spmv: frontier must be column-aligned")
+	}
+	if outL.Kind != dvec.RowAligned {
+		panic("spmv: output layout must be row-aligned")
+	}
+	if outL.G != g {
+		panic("spmv: layouts on different grids")
+	}
+	if a.Cols.Hi > x.L.N || a.Rows.Hi > outL.N {
+		panic(fmt.Sprintf("spmv: local block %v x %v outside vector lengths %d, %d",
+			a.Rows, a.Cols, outL.N, x.L.N))
+	}
+
+	// Expand: allgather the frontier pieces along my grid column. The union
+	// of the pieces is exactly my column slab, i.e. the frontier entries my
+	// local block can act on.
+	payload := make([]int64, 0, 3*len(x.Idx))
+	for k, gi := range x.Idx {
+		payload = append(payload, int64(gi), x.Val[k].Parent, x.Val[k].Root)
+	}
+	slabParts := g.Col.Allgatherv(payload)
+
+	// Local multiply into a dense scratch over my row block.
+	scratch := make([]semiring.Vertex, a.Rows.Len())
+	present := make([]bool, a.Rows.Len())
+	work := 0
+	for _, part := range slabParts {
+		for off := 0; off < len(part); off += 3 {
+			gcol := int(part[off])
+			v := semiring.Vertex{Parent: part[off+1], Root: part[off+2]}
+			lcol := gcol - a.Cols.Lo
+			if lcol < 0 || lcol >= a.Cols.Len() {
+				panic(fmt.Sprintf("spmv: expanded column %d outside block %v", gcol, a.Cols))
+			}
+			rows := a.M.FindCol(lcol)
+			work += len(rows) + 1
+			cand := semiring.Multiply(int64(gcol), v)
+			for _, r := range rows {
+				if !present[r] {
+					present[r] = true
+					scratch[r] = cand
+				} else {
+					scratch[r] = op.Combine(scratch[r], cand)
+				}
+			}
+		}
+	}
+	g.World.AddWork(work)
+
+	// Fold: route each discovered row to its owner within my grid row and
+	// merge with the semiring addition.
+	parts := make([][]int64, g.PC)
+	for r := 0; r < len(scratch); r++ {
+		if !present[r] {
+			continue
+		}
+		grow := a.Rows.Lo + r
+		_, j := outL.OwnerCoords(grow)
+		parts[j] = append(parts[j], int64(grow), scratch[r].Parent, scratch[r].Root)
+	}
+	got := g.Row.Alltoallv(parts)
+
+	out := mergeSortedTriples(got, op, outL)
+	g.World.AddWork(out.LocalNnz())
+	return out
+}
+
+// mergeSortedTriples k-way merges the per-sender triple streams — each
+// already sorted by global index, because senders emit their scratch rows
+// in increasing order — into one sparse vector, combining duplicates with
+// the semiring addition. Avoiding a hash map here matters: the fold runs
+// once per BFS iteration and its output feeds straight into ordered
+// Appends.
+func mergeSortedTriples(got [][]int64, op semiring.AddOp, outL dvec.Layout) *dvec.SparseV {
+	heads := make([]int, len(got))
+	out := dvec.NewSparseV(outL)
+	for {
+		best := -1
+		bestIdx := 0
+		for s, h := range heads {
+			if h >= len(got[s]) {
+				continue
+			}
+			gi := int(got[s][h])
+			if best == -1 || gi < bestIdx {
+				best, bestIdx = s, gi
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		h := heads[best]
+		acc := semiring.Vertex{Parent: got[best][h+1], Root: got[best][h+2]}
+		heads[best] += 3
+		// Absorb equal indices from every stream (including more from the
+		// winner, though each sender emits an index at most once).
+		for s := range got {
+			for heads[s] < len(got[s]) && int(got[s][heads[s]]) == bestIdx {
+				cand := semiring.Vertex{Parent: got[s][heads[s]+1], Root: got[s][heads[s]+2]}
+				acc = op.Combine(acc, cand)
+				heads[s] += 3
+			}
+		}
+		out.Append(bestIdx, acc)
+	}
+}

@@ -1,0 +1,423 @@
+package mcmdist
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mcmdist/internal/core"
+	"mcmdist/internal/costmodel"
+	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/verify"
+)
+
+// Unmatched marks an unmatched vertex in the mate vectors (-1).
+const Unmatched int64 = -1
+
+// Matching is a bipartite matching as two mate vectors: MateR[i] is the
+// column matched to row i and MateC[j] the row matched to column j, with
+// Unmatched (-1) elsewhere.
+type Matching struct {
+	// MateR[i] is the column matched to row i; MateC[j] the row matched to
+	// column j; Unmatched (-1) elsewhere.
+	MateR, MateC []int64
+}
+
+// Cardinality returns |M|, the number of matched edges.
+func (m *Matching) Cardinality() int {
+	n := 0
+	for _, v := range m.MateC {
+		if v != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Matching) internal() *matching.Matching {
+	return &matching.Matching{MateR: m.MateR, MateC: m.MateC}
+}
+
+func fromInternal(m *matching.Matching) *Matching {
+	return &Matching{MateR: m.MateR, MateC: m.MateC}
+}
+
+// Verify checks structural validity: mutually consistent mate vectors whose
+// matched pairs are edges of g.
+func (g *Graph) Verify(m *Matching) error {
+	return verify.Valid(g.a, m.internal())
+}
+
+// VerifyMaximum certifies that m is a maximum cardinality matching of g via
+// the König–Egerváry vertex-cover certificate (no second matching algorithm
+// involved).
+func (g *Graph) VerifyMaximum(m *Matching) error {
+	return verify.Maximum(g.a, m.internal())
+}
+
+// Initializer selects the distributed maximal-matching initializer.
+type Initializer int
+
+// Initializer choices (paper Section VI-A; DynamicMindegree is the default
+// the paper selects).
+const (
+	NoInit Initializer = iota
+	GreedyInit
+	KarpSipserInit
+	DynamicMindegreeInit
+)
+
+// Semiring selects the SpMV semiring addition of Section III-B.
+type Semiring int
+
+// Semiring choices.
+const (
+	MinParent Semiring = iota
+	RandRoot
+	RandParent
+)
+
+// Augmentation selects the augmentation strategy of Section IV-B.
+type Augmentation int
+
+// Augmentation choices.
+const (
+	// AutoAugment switches at the paper's k < 2p² criterion.
+	AutoAugment Augmentation = iota
+	// LevelParallel is the bulk-synchronous Algorithm 3.
+	LevelParallel
+	// PathParallel is the one-sided RMA Algorithm 4.
+	PathParallel
+)
+
+// Options configures MaximumMatching.
+type Options struct {
+	// Procs is the number of simulated distributed-memory ranks; unless
+	// GridRows/GridCols are set it must be a perfect square (the only
+	// configuration the paper's CombBLAS build supports). 0 means 1.
+	Procs int
+	// GridRows and GridCols select an explicit, possibly rectangular
+	// process grid (an extension over the paper); both must be set
+	// together, and their product becomes the rank count.
+	GridRows, GridCols int
+	// Threads models intra-rank compute threads (the paper uses 12 per
+	// socket); it scales the local-work term of the cost model. 0 means 1.
+	Threads int
+	// Init selects the maximal-matching initializer. The zero value is
+	// NoInit; the paper's recommended setting is DynamicMindegreeInit.
+	Init Initializer
+	// Semiring selects the SpMV conflict resolution; MinParent is the
+	// deterministic default, RandRoot balances alternating-tree sizes.
+	Semiring Semiring
+	// Augment selects how augmenting paths are applied.
+	Augment Augmentation
+	// DisablePrune turns off the pruning of satisfied alternating trees
+	// (Algorithm 2, Step 6) — the Fig. 8 ablation.
+	DisablePrune bool
+	// DirectionOptimized enables the bottom-up ("pull") BFS direction for
+	// large frontiers, the optimization the paper lists as future work.
+	DirectionOptimized bool
+	// TreeGrafting selects the tree-grafting MCM variant (distributed
+	// MS-BFS-Graft, also listed as future work): alternating trees persist
+	// across phases and only augmented trees release their vertices,
+	// eliminating redundant edge re-traversals.
+	TreeGrafting bool
+	// Permute randomly permutes rows and columns before distribution for
+	// load balance (Section IV-A).
+	Permute bool
+	// Seed drives the permutation.
+	Seed int64
+	// Trace, when non-nil, receives one line per level-synchronous
+	// iteration: phase, frontier size, paths found, and the SpMV direction
+	// used.
+	Trace io.Writer
+}
+
+func (o Options) toConfig() core.Config {
+	cfg := core.Config{
+		Procs:              o.Procs,
+		GridRows:           o.GridRows,
+		GridCols:           o.GridCols,
+		Threads:            o.Threads,
+		DisablePrune:       o.DisablePrune,
+		DirectionOptimized: o.DirectionOptimized,
+		TreeGrafting:       o.TreeGrafting,
+		Permute:            o.Permute,
+		Seed:               o.Seed,
+	}
+	switch o.Init {
+	case GreedyInit:
+		cfg.Init = core.InitGreedy
+	case KarpSipserInit:
+		cfg.Init = core.InitKarpSipser
+	case DynamicMindegreeInit:
+		cfg.Init = core.InitDynMinDegree
+	default:
+		cfg.Init = core.InitNone
+	}
+	switch o.Semiring {
+	case RandRoot:
+		cfg.AddOp = semiring.RandRoot
+	case RandParent:
+		cfg.AddOp = semiring.RandParent
+	default:
+		cfg.AddOp = semiring.MinParent
+	}
+	switch o.Augment {
+	case LevelParallel:
+		cfg.Augment = core.AugmentLevelParallel
+	case PathParallel:
+		cfg.Augment = core.AugmentPathParallel
+	default:
+		cfg.Augment = core.AugmentAuto
+	}
+	if o.Trace != nil {
+		trace := o.Trace
+		cfg.OnIteration = func(ii core.IterInfo) {
+			dir := "push"
+			if ii.Pull {
+				dir = "pull"
+			}
+			fmt.Fprintf(trace, "phase %d iter %d: frontier %d, %d paths, %s\n",
+				ii.Phase, ii.Iteration, ii.FrontierSize, ii.NewPaths, dir)
+		}
+	}
+	return cfg
+}
+
+// CommStats counts one rank's communication and local work: messages
+// (latency units), 8-byte words (bandwidth units) and local operations.
+type CommStats struct {
+	// Msgs counts messages (latency units), Words 8-byte words moved
+	// (bandwidth units), Work local operations (compute units).
+	Msgs, Words, Work int64
+}
+
+// Stats reports a distributed run.
+type Stats struct {
+	// Cardinality is |M| of the returned matching; InitCardinality is the
+	// size after the maximal-matching initializer.
+	Cardinality, InitCardinality int
+	// Phases counts augmenting MS-BFS phases; Iterations the
+	// level-synchronous frontier steps across all phases, split by SpMV
+	// direction when direction optimization is on.
+	Phases, Iterations int
+	// PushIterations and PullIterations split Iterations by SpMV direction.
+	PushIterations, PullIterations int
+	// AugmentedPaths is the total number of augmenting paths applied;
+	// the two counters split them by augmentation variant used.
+	AugmentedPaths, LevelParallelAugments, PathParallelAugments int
+	// Procs and Threads echo the effective configuration.
+	Procs, Threads int
+	// WallByOp is the per-primitive wall-clock breakdown (rank maximum),
+	// keyed by "spmv", "invert", "prune", "select", "augment", "init",
+	// "other" — the Fig. 5 decomposition.
+	WallByOp map[string]time.Duration
+	// CommByOp is the per-primitive communication breakdown (rank maximum).
+	CommByOp map[string]CommStats
+	// PerRank holds every rank's cumulative totals.
+	PerRank []CommStats
+}
+
+// MachineModel holds alpha-beta cost-model constants (seconds per local op,
+// per message, per 8-byte word).
+type MachineModel struct {
+	// Name labels the machine in reports.
+	Name string
+	// TOp is seconds per local graph operation.
+	TOp float64
+	// Alpha is seconds of latency per message.
+	Alpha float64
+	// Beta is seconds per 8-byte word transferred.
+	Beta float64
+}
+
+// EdisonXC30 approximates the paper's evaluation platform: a Cray XC30 with
+// the Aries dragonfly interconnect.
+var EdisonXC30 = MachineModel{
+	Name:  costmodel.Edison.Name,
+	TOp:   costmodel.Edison.TOp,
+	Alpha: costmodel.Edison.Alpha,
+	Beta:  costmodel.Edison.Beta,
+}
+
+func (mm MachineModel) internal() costmodel.Machine {
+	return costmodel.Machine{Name: mm.Name, TOp: mm.TOp, Alpha: mm.Alpha, Beta: mm.Beta}
+}
+
+// ModeledSeconds projects the run onto the machine model: the maximum over
+// ranks of F*t_op/threads + alpha*S + beta*W (Section IV-B).
+func (st *Stats) ModeledSeconds(mm MachineModel) float64 {
+	m := mm.internal()
+	var worst float64
+	for _, cs := range st.PerRank {
+		t := m.Time(toMeter(cs), st.Threads)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// ModeledBreakdown projects the per-primitive communication breakdown onto
+// the machine model, in seconds.
+func (st *Stats) ModeledBreakdown(mm MachineModel) map[string]float64 {
+	m := mm.internal()
+	out := make(map[string]float64, len(st.CommByOp))
+	for k, cs := range st.CommByOp {
+		out[k] = m.Time(toMeter(cs), st.Threads)
+	}
+	return out
+}
+
+// MaximumMatching computes a maximum cardinality matching of g with the
+// distributed MCM-DIST algorithm on opts.Procs simulated ranks.
+func MaximumMatching(g *Graph, opts Options) (*Matching, *Stats, error) {
+	res, err := core.Solve(g.a, opts.toConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{
+		Cardinality:           res.Stats.Cardinality,
+		InitCardinality:       res.Stats.InitCardinality,
+		Phases:                res.Stats.Phases,
+		Iterations:            res.Stats.Iterations,
+		PushIterations:        res.Stats.PushIterations,
+		PullIterations:        res.Stats.PullIterations,
+		AugmentedPaths:        res.Stats.AugmentedPaths,
+		LevelParallelAugments: res.Stats.LevelParallelAugments,
+		PathParallelAugments:  res.Stats.PathParallelAugments,
+		Procs:                 res.Procs,
+		Threads:               res.Threads,
+		WallByOp:              make(map[string]time.Duration),
+		CommByOp:              make(map[string]CommStats),
+	}
+	for op, d := range res.Stats.Wall {
+		st.WallByOp[string(op)] = d
+	}
+	for op, m := range res.Stats.Meter {
+		st.CommByOp[string(op)] = CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
+	}
+	for _, m := range res.PerRank {
+		st.PerRank = append(st.PerRank, CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
+	}
+	return fromInternal(res.Matching), st, nil
+}
+
+// SerialAlgorithm selects a shared-memory MCM baseline.
+type SerialAlgorithm int
+
+// Serial MCM algorithms (Section II).
+const (
+	// HopcroftKarp is the O(m*sqrt(n)) oracle.
+	HopcroftKarp SerialAlgorithm = iota
+	// PothenFan is multi-source DFS with lookahead.
+	PothenFan
+	// MSBFS is the serial form of the algorithm MCM-DIST parallelizes.
+	MSBFS
+	// MSBFSGraft is the tree-grafting variant, the paper's shared-memory
+	// comparator.
+	MSBFSGraft
+	// PushRelabelAlg is the push-relabel method, the other MCM family of
+	// Section II-A (the paper's closest distributed prior work, Langguth
+	// et al., parallelized it).
+	PushRelabelAlg
+)
+
+// MaximumMatchingSerial computes an MCM with the selected shared-memory
+// baseline, optionally warm-started from init (pass nil to start empty).
+func MaximumMatchingSerial(g *Graph, alg SerialAlgorithm, init *Matching) (*Matching, error) {
+	var in *matching.Matching
+	if init != nil {
+		in = init.internal()
+	}
+	switch alg {
+	case HopcroftKarp:
+		return fromInternal(matching.HopcroftKarp(g.a, in)), nil
+	case PothenFan:
+		return fromInternal(matching.PothenFan(g.a, in)), nil
+	case MSBFS:
+		return fromInternal(matching.MSBFS(g.a, in)), nil
+	case MSBFSGraft:
+		return fromInternal(matching.MSBFSGraft(g.a, in)), nil
+	case PushRelabelAlg:
+		return fromInternal(matching.PushRelabel(g.a, in)), nil
+	default:
+		return nil, fmt.Errorf("mcmdist: unknown serial algorithm %d", int(alg))
+	}
+}
+
+// MaximalAlgorithm selects a serial maximal-matching heuristic.
+type MaximalAlgorithm int
+
+// Maximal matching heuristics (Section II-A).
+const (
+	GreedyMaximal MaximalAlgorithm = iota
+	KarpSipserMaximal
+	DynamicMindegreeMaximal
+)
+
+// MaximalMatching computes a maximal (not necessarily maximum) matching
+// with the selected heuristic; seed drives Karp–Sipser's randomness.
+func MaximalMatching(g *Graph, alg MaximalAlgorithm, seed int64) (*Matching, error) {
+	switch alg {
+	case GreedyMaximal:
+		return fromInternal(matching.Greedy(g.a)), nil
+	case KarpSipserMaximal:
+		return fromInternal(matching.KarpSipser(g.a, seed)), nil
+	case DynamicMindegreeMaximal:
+		return fromInternal(matching.DynMinDegree(g.a)), nil
+	default:
+		return nil, fmt.Errorf("mcmdist: unknown maximal algorithm %d", int(alg))
+	}
+}
+
+func toMeter(cs CommStats) mpi.Meter {
+	return mpi.Meter{Msgs: cs.Msgs, Words: cs.Words, Work: cs.Work}
+}
+
+// HallViolator returns, when m (a maximum matching of g) leaves columns
+// unmatched, a set S of columns with |N(S)| < |S| — a Hall-condition
+// violator proving no matching can saturate the columns. Returns nil when
+// all columns are matched. The gap |S| - |N(S)| equals the deficiency.
+func (g *Graph) HallViolator(m *Matching) []int {
+	return verify.HallViolator(g.a, m.internal())
+}
+
+// MaximumTransversal returns a row permutation placing a maximum number of
+// nonzeros on the diagonal of g's matrix: row perm[i] of the original
+// matrix moves to row i... precisely, perm[i] = j means original row i
+// moves to position j, so column j's matched entry lands on the diagonal.
+// Unmatched rows fill the remaining positions arbitrarily. This is the
+// sparse-solver preprocessing step that motivates the paper (Section I).
+func MaximumTransversal(g *Graph, m *Matching) []int {
+	n := g.Rows()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	for j := 0; j < g.Cols() && j < n; j++ {
+		if r := m.MateC[j]; r != Unmatched {
+			perm[r] = j
+		}
+	}
+	used := make([]bool, n)
+	for _, p := range perm {
+		if p >= 0 {
+			used[p] = true
+		}
+	}
+	next := 0
+	for i := range perm {
+		if perm[i] == -1 {
+			for used[next] {
+				next++
+			}
+			perm[i] = next
+			used[next] = true
+		}
+	}
+	return perm
+}

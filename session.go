@@ -1,0 +1,163 @@
+package mcmdist
+
+import (
+	"fmt"
+	"time"
+
+	"mcmdist/internal/core"
+	"mcmdist/internal/grid"
+	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/spmat"
+)
+
+// DistributedGraph is a graph pre-distributed onto a fixed process grid.
+// Distribution (blocking A and Aᵀ across the grid) is the expensive setup
+// step; a DistributedGraph pays it once and can then run many matching
+// computations — the usage pattern of a sparse solver that factorizes many
+// matrices with one nonzero pattern, and the "already distributed" premise
+// of the paper's Section VI-E.
+type DistributedGraph struct {
+	g       *Graph
+	procs   int
+	side    int
+	blocks  [][]*spmat.LocalMatrix
+	blocksT [][]*spmat.LocalMatrix
+}
+
+// Distribute blocks the graph onto procs simulated ranks (a perfect
+// square). The returned DistributedGraph is immutable and safe for
+// sequential reuse across solves.
+func Distribute(g *Graph, procs int) (*DistributedGraph, error) {
+	if procs <= 0 {
+		procs = 1
+	}
+	side := grid.Square(procs)
+	if side*side != procs {
+		return nil, fmt.Errorf("mcmdist: Procs = %d is not a perfect square", procs)
+	}
+	return &DistributedGraph{
+		g:       g,
+		procs:   procs,
+		side:    side,
+		blocks:  spmat.Distribute2D(g.a, side, side),
+		blocksT: spmat.Distribute2D(g.a.Transpose(), side, side),
+	}, nil
+}
+
+// Procs returns the number of ranks the graph is distributed over.
+func (dg *DistributedGraph) Procs() int { return dg.procs }
+
+// Graph returns the underlying graph.
+func (dg *DistributedGraph) Graph() *Graph { return dg.g }
+
+// MaximumMatching runs MCM-DIST on the pre-distributed blocks. opts.Procs
+// and opts.Permute are ignored (fixed at distribution time; permute before
+// calling Distribute when load balancing is wanted).
+func (dg *DistributedGraph) MaximumMatching(opts Options) (*Matching, *Stats, error) {
+	opts.Procs = dg.procs
+	cfg := opts.toConfig()
+
+	perRankStats := make([]*core.Stats, dg.procs)
+	perRankMeter := make([]mpi.Meter, dg.procs)
+	var mateR, mateC []int64
+	err := core.RunDistributed(dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
+		cfg, func(s *core.Solver) error {
+			mater, matec := s.MaximalInit()
+			if cfg.TreeGrafting {
+				s.MCMGraft(mater, matec)
+			} else {
+				s.MCM(mater, matec)
+			}
+			fullR := mater.Gather()
+			fullC := matec.Gather()
+			if s.G.World.Rank() == 0 {
+				mateR, mateC = fullR, fullC
+			}
+			perRankStats[s.G.World.Rank()] = s.Stats
+			perRankMeter[s.G.World.Rank()] = s.G.World.MeterSnapshot()
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	merged := perRankStats[0]
+	for _, st := range perRankStats[1:] {
+		merged.MergeMax(st)
+	}
+	m := &Matching{MateR: mateR, MateC: mateC}
+	st := statsFromCore(merged, perRankMeter, dg.procs, cfg.Threads)
+	return m, st, nil
+}
+
+// MaximalMatchingDistributed runs only the distributed maximal-matching
+// initializer (the paper's companion algorithms [21]): a fast 1/2-or-better
+// approximation without the MCM phases.
+func (dg *DistributedGraph) MaximalMatchingDistributed(init Initializer, threads int) (*Matching, *Stats, error) {
+	opts := Options{Procs: dg.procs, Threads: threads, Init: init}
+	cfg := opts.toConfig()
+	if cfg.Init == core.InitNone {
+		return nil, nil, fmt.Errorf("mcmdist: maximal matching needs an initializer other than NoInit")
+	}
+
+	perRankStats := make([]*core.Stats, dg.procs)
+	perRankMeter := make([]mpi.Meter, dg.procs)
+	var mateR, mateC []int64
+	err := core.RunDistributed(dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
+		cfg, func(s *core.Solver) error {
+			mater, matec := s.MaximalInit()
+			fullR := mater.Gather()
+			fullC := matec.Gather()
+			if s.G.World.Rank() == 0 {
+				mateR, mateC = fullR, fullC
+			}
+			s.Stats.Cardinality = s.Stats.InitCardinality
+			perRankStats[s.G.World.Rank()] = s.Stats
+			perRankMeter[s.G.World.Rank()] = s.G.World.MeterSnapshot()
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged := perRankStats[0]
+	for _, st := range perRankStats[1:] {
+		merged.MergeMax(st)
+	}
+	m := &Matching{MateR: mateR, MateC: mateC}
+	return m, statsFromCore(merged, perRankMeter, dg.procs, cfg.Threads), nil
+}
+
+// IsMaximal reports whether no edge of g joins two unmatched vertices.
+func (g *Graph) IsMaximal(m *Matching) bool {
+	return (&matching.Matching{MateR: m.MateR, MateC: m.MateC}).IsMaximal(g.a)
+}
+
+// statsFromCore converts merged per-rank core stats into the public form.
+func statsFromCore(cs *core.Stats, perRank []mpi.Meter, procs, threads int) *Stats {
+	st := &Stats{
+		Cardinality:           cs.Cardinality,
+		InitCardinality:       cs.InitCardinality,
+		Phases:                cs.Phases,
+		Iterations:            cs.Iterations,
+		PushIterations:        cs.PushIterations,
+		PullIterations:        cs.PullIterations,
+		AugmentedPaths:        cs.AugmentedPaths,
+		LevelParallelAugments: cs.LevelParallelAugments,
+		PathParallelAugments:  cs.PathParallelAugments,
+		Procs:                 procs,
+		Threads:               threads,
+		WallByOp:              make(map[string]time.Duration),
+		CommByOp:              make(map[string]CommStats),
+	}
+	for op, d := range cs.Wall {
+		st.WallByOp[string(op)] = d
+	}
+	for op, m := range cs.Meter {
+		st.CommByOp[string(op)] = CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
+	}
+	for _, m := range perRank {
+		st.PerRank = append(st.PerRank, CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
+	}
+	return st
+}

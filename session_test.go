@@ -1,0 +1,79 @@
+package mcmdist
+
+import "testing"
+
+func TestDistributedGraphReuse(t *testing.T) {
+	g := mustRMAT(t, G500, 9, 4, 13)
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Procs() != 4 || dg.Graph() != g {
+		t.Fatal("accessor mismatch")
+	}
+	oracle, _ := MaximumMatchingSerial(g, HopcroftKarp, nil)
+	want := oracle.Cardinality()
+
+	// Several solves over the same distribution, varied configurations.
+	for _, opts := range []Options{
+		{Init: DynamicMindegreeInit},
+		{Init: GreedyInit, TreeGrafting: true},
+		{Init: NoInit, Semiring: RandRoot},
+	} {
+		m, st, err := dg.MaximumMatching(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cardinality() != want {
+			t.Fatalf("opts %+v: %d, oracle %d", opts, m.Cardinality(), want)
+		}
+		if err := g.VerifyMaximum(m); err != nil {
+			t.Fatal(err)
+		}
+		if st.Procs != 4 || len(st.PerRank) != 4 {
+			t.Fatalf("stats plumbing wrong: %+v", st)
+		}
+	}
+}
+
+func TestDistributeRejectsNonSquare(t *testing.T) {
+	g := mustRMAT(t, ER, 5, 4, 1)
+	if _, err := Distribute(g, 6); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	dg, err := Distribute(g, 0)
+	if err != nil || dg.Procs() != 1 {
+		t.Fatalf("procs 0 should default to 1: %v", err)
+	}
+}
+
+func TestMaximalMatchingDistributed(t *testing.T) {
+	g := mustRMAT(t, ER, 9, 5, 21)
+	dg, err := Distribute(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, _ := MaximumMatchingSerial(g, HopcroftKarp, nil)
+	for _, init := range []Initializer{GreedyInit, KarpSipserInit, DynamicMindegreeInit} {
+		m, st, err := dg.MaximalMatchingDistributed(init, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Verify(m); err != nil {
+			t.Fatalf("init %d: %v", init, err)
+		}
+		if !g.IsMaximal(m) {
+			t.Fatalf("init %d: not maximal", init)
+		}
+		if 2*m.Cardinality() < oracle.Cardinality() {
+			t.Fatalf("init %d: below 1/2-approximation (%d vs %d)",
+				init, m.Cardinality(), oracle.Cardinality())
+		}
+		if st.Cardinality != m.Cardinality() {
+			t.Fatalf("stats cardinality mismatch")
+		}
+	}
+	if _, _, err := dg.MaximalMatchingDistributed(NoInit, 1); err == nil {
+		t.Fatal("NoInit accepted for maximal matching")
+	}
+}
