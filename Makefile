@@ -1,0 +1,22 @@
+# Build/test entry points for mcmdist. Plain go commands — no generated
+# code, no external tools.
+
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulated MPI runtime is goroutine-per-rank; the race detector
+# exercises the rendezvous and the buffer-lending collectives directly.
+race:
+	$(GO) test -race ./...
+
+# Allocation benchmarks for the runtime-context arena: SpMV push/pull,
+# the Table I primitive chain, and an end-to-end solve.
+bench:
+	$(GO) test -bench Allocs -benchmem -run '^$$' ./internal/spmv/ ./internal/dvec/ .

@@ -157,3 +157,25 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkSolveAllocs measures end-to-end allocations of one full
+// MCM-DIST solve on a pre-distributed graph — the hot path a long-lived
+// session pays per matching request. EXPERIMENTS.md records the
+// before/after numbers for the runtime-context buffer-reuse refactor.
+func BenchmarkSolveAllocs(b *testing.B) {
+	g, err := RMAT(ER, 10, 8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dg.MaximumMatching(Options{Init: GreedyInit}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

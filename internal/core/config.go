@@ -118,6 +118,11 @@ type Config struct {
 	// Permute applies a random symmetric permutation before distributing,
 	// the load-balancing step of Section IV-A.
 	Permute bool
+	// DisableReuse turns off the per-rank runtime context's buffer arena
+	// and scratch reuse: every borrow falls back to a fresh allocation.
+	// The pooling on/off equivalence tests use this; production runs leave
+	// it false.
+	DisableReuse bool
 	// Seed drives the permutation and any randomized initializer.
 	Seed int64
 	// OnIteration, when non-nil, is invoked by rank 0 after every

@@ -78,7 +78,9 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 				})
 				if !s.Cfg.DisablePrune {
 					s.tr.track(OpPrune, func() {
-						fr = fr.PruneRoots(ufr.Roots().Val)
+						roots := ufr.RootVals(s.G.RT.GetInts(ufr.LocalNnz()))
+						fr = fr.PruneRoots(roots)
+						s.G.RT.PutInts(roots)
 					})
 				}
 			}

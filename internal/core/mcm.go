@@ -113,7 +113,9 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 				// path (the Fig. 8 ablation switch).
 				if !s.Cfg.DisablePrune {
 					s.tr.track(OpPrune, func() {
-						fr = fr.PruneRoots(ufr.Roots().Val)
+						roots := ufr.RootVals(s.G.RT.GetInts(ufr.LocalNnz()))
+						fr = fr.PruneRoots(roots)
+						s.G.RT.PutInts(roots)
 					})
 				}
 			}

@@ -7,6 +7,7 @@ import (
 	"mcmdist/internal/matching"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/rmat"
+	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmat"
 )
@@ -54,7 +55,7 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 	var mateR, mateC []int64
 
 	_, err = mpi.Run(cfg.Procs, func(c *mpi.Comm) error {
-		g, err := grid.New(c, pr, pc)
+		g, err := grid.NewWithRT(c, pr, pc, newRankCtx(c, cfg, nil, 0))
 		if err != nil {
 			return err
 		}
@@ -145,8 +146,18 @@ func RunDistributed(side, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 // pr x pc.
 func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, fn func(*Solver) error) error {
+	return RunDistributedGridCtx(pr, pc, n1, n2, blocks, blocksT, cfg, nil, fn)
+}
+
+// RunDistributedGridCtx is RunDistributedGrid with caller-supplied runtime
+// contexts, one per rank (indexed by world rank). A session that solves
+// repeatedly on the same distributed graph passes the same contexts every
+// time, so the arena and scratch warmed up by one solve serve the next. A
+// nil ctxs builds fresh contexts, honoring cfg.DisableReuse.
+func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+	cfg Config, ctxs []*rt.Ctx, fn func(*Solver) error) error {
 	_, err := mpi.Run(pr*pc, func(c *mpi.Comm) error {
-		g, err := grid.New(c, pr, pc)
+		g, err := grid.NewWithRT(c, pr, pc, newRankCtx(c, cfg, ctxs, c.Rank()))
 		if err != nil {
 			return err
 		}
@@ -154,4 +165,17 @@ func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatr
 		return fn(s)
 	})
 	return err
+}
+
+// newRankCtx picks the runtime context for one rank: the caller-supplied
+// one when present, otherwise a fresh context that is enabled or disabled
+// per cfg.DisableReuse.
+func newRankCtx(c *mpi.Comm, cfg Config, ctxs []*rt.Ctx, rank int) *rt.Ctx {
+	if ctxs != nil {
+		return ctxs[rank]
+	}
+	if cfg.DisableReuse {
+		return rt.NewDisabled(c)
+	}
+	return rt.New(c)
 }

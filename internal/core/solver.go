@@ -1,12 +1,11 @@
 package core
 
 import (
-	"sort"
-
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/grid"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/parallel"
+	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmat"
 )
@@ -53,7 +52,7 @@ func NewSolver(g *grid.Grid, cfg Config, n1, n2 int, a, at *spmat.LocalMatrix) *
 		RowTL: dvec.NewLayout(g, n1, dvec.ColAligned),
 		ColTL: dvec.NewLayout(g, n2, dvec.RowAligned),
 		Stats: st,
-		tr:    &tracker{comm: g.World, stats: st},
+		tr:    &tracker{ctx: g.RT, stats: st},
 	}
 }
 
@@ -64,52 +63,58 @@ func NewSolver(g *grid.Grid, cfg Config, n1, n2 int, a, at *spmat.LocalMatrix) *
 // mindegree initializers to maintain residual degrees.
 func (s *Solver) countMul(x *dvec.SparseInt) *dvec.SparseInt {
 	g := s.G
-	payload := make([]int64, 0, 2*len(x.Idx))
+	ctx := g.RT
+	payload := ctx.GetInts(2 * len(x.Idx))
 	for _, gi := range x.Idx {
 		payload = append(payload, int64(gi), 1)
 	}
-	slabParts := g.Col.Allgatherv(payload)
+	slab := g.Col.AllgathervInto(payload, ctx.GetInts(2*len(x.Idx)*g.PR))
+	ctx.PutInts(payload)
 
-	counts := make([]int64, s.AT.Rows.Len())
+	// Per-column hit counters in the persistent scratch; the Parent field
+	// carries the count, the epoch stamp replaces zero-initialization.
+	sc := ctx.Scratch("count.cols", s.AT.Rows.Len())
 	work := 0
-	for _, part := range slabParts {
-		for off := 0; off < len(part); off += 2 {
-			lcol := int(part[off]) - s.AT.Cols.Lo
-			rows := s.AT.M.FindCol(lcol)
-			work += len(rows) + 1
-			for _, r := range rows {
-				counts[r]++
+	for off := 0; off < len(slab); off += 2 {
+		lcol := int(slab[off]) - s.AT.Cols.Lo
+		rows := s.AT.M.FindCol(lcol)
+		work += len(rows) + 1
+		for _, r := range rows {
+			if !sc.Has(r) {
+				sc.Set(r, semiring.Vertex{Parent: 1})
+			} else {
+				sc.Val[r].Parent++
 			}
 		}
 	}
 	g.World.AddWork(work)
+	ctx.PutInts(slab)
 
-	parts := make([][]int64, g.PC)
-	for r, cnt := range counts {
-		if cnt == 0 {
+	parts := ctx.GetParts(g.PC)
+	for r := 0; r < s.AT.Rows.Len(); r++ {
+		if !sc.Has(r) {
 			continue
 		}
 		gidx := s.AT.Rows.Lo + r
 		_, j := s.ColTL.OwnerCoords(gidx)
-		parts[j] = append(parts[j], int64(gidx), cnt)
+		parts[j] = append(parts[j], int64(gidx), sc.Val[r].Parent)
 	}
-	got := g.Row.Alltoallv(parts)
-	merged := make(map[int]int64)
-	for _, in := range got {
-		for off := 0; off < len(in); off += 2 {
-			merged[int(in[off])] += in[off+1]
+	flat := g.Row.AlltoallvFlat(parts, ctx.GetInts(0))
+	ctx.PutParts(parts)
+	// Each sender emits its (index, count) pairs in increasing index order;
+	// sort the union and sum duplicates arriving from different senders.
+	rt.SortRecords(flat, 2)
+	out := dvec.NewSparseInt(s.ColTL)
+	for off := 0; off < len(flat); off += 2 {
+		gi := int(flat[off])
+		if n := len(out.Idx); n > 0 && out.Idx[n-1] == gi {
+			out.Val[n-1] += flat[off+1]
+		} else {
+			out.Append(gi, flat[off+1])
 		}
 	}
-	idx := make([]int, 0, len(merged))
-	for gi := range merged {
-		idx = append(idx, gi)
-	}
-	sort.Ints(idx)
-	out := dvec.NewSparseInt(s.ColTL)
-	for _, gi := range idx {
-		out.Append(gi, merged[gi])
-	}
-	g.World.AddWork(len(merged))
+	g.World.AddWork(out.LocalNnz())
+	ctx.PutInts(flat)
 	return out
 }
 
@@ -120,7 +125,9 @@ func (s *Solver) countMul(x *dvec.SparseInt) *dvec.SparseInt {
 func (s *Solver) unmatchedColFrontier(matec *dvec.Dense) *dvec.SparseV {
 	f := dvec.NewSparseV(s.ColL)
 	lo := s.ColL.MyRange().Lo
-	mask := make([]bool, len(matec.Local))
+	// Arena-borrowed mask: contents are undefined on borrow, but the
+	// parallel scan overwrites every element before the serial pass reads it.
+	mask := s.G.RT.GetBools(len(matec.Local))
 	parallel.For(len(matec.Local), s.Cfg.Threads, func(clo, chi int) {
 		for i := clo; i < chi; i++ {
 			mask[i] = matec.Local[i] == semiring.None
@@ -131,6 +138,7 @@ func (s *Solver) unmatchedColFrontier(matec *dvec.Dense) *dvec.SparseV {
 			f.Append(lo+i, semiring.Self(int64(lo+i)))
 		}
 	}
+	s.G.RT.PutBools(mask)
 	s.G.World.AddWork(len(matec.Local))
 	return f
 }

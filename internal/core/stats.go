@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/rt"
 )
 
 // Op labels the primitive categories of the runtime breakdown (Fig. 5).
@@ -87,17 +88,18 @@ func (s *Stats) MergeMax(o *Stats) {
 	}
 }
 
-// tracker measures one rank's per-category wall time and meter deltas.
+// tracker measures one rank's per-category wall time and meter deltas. The
+// measurement itself lives in the runtime context's ledger (rt.Ctx.Track),
+// which survives across solves when a context is reused; the tracker
+// additionally writes each delta into this solve's Stats.
 type tracker struct {
-	comm  *mpi.Comm
+	ctx   *rt.Ctx
 	stats *Stats
 }
 
 // track runs fn, attributing its wall time and meter delta to op.
 func (t *tracker) track(op Op, fn func()) {
-	before := t.comm.MeterSnapshot()
-	start := time.Now()
-	fn()
-	t.stats.Wall[op] += time.Since(start)
-	t.stats.Meter[op] = t.stats.Meter[op].Add(t.comm.MeterSnapshot().Sub(before))
+	wall, delta := t.ctx.Track(string(op), fn)
+	t.stats.Wall[op] += wall
+	t.stats.Meter[op] = t.stats.Meter[op].Add(delta)
 }

@@ -96,3 +96,35 @@ func BenchmarkDenseGather(b *testing.B) {
 		d.Gather()
 	})
 }
+
+// BenchmarkTableIPrimitiveAllocs measures steady-state allocations of the
+// communicating Table I primitives (SELECT, INVERT, PRUNE) per iteration on
+// a fixed frontier — the per-level allocation cost of Algorithm 2's
+// bookkeeping steps. EXPERIMENTS.md records the before/after numbers for
+// the runtime-context buffer-reuse refactor.
+func BenchmarkTableIPrimitiveAllocs(b *testing.B) {
+	b.ReportAllocs()
+	_, err := mpi.Run(4, func(c *mpi.Comm) error {
+		g, err := grid.New(c, 2, 2)
+		if err != nil {
+			return err
+		}
+		s := benchSparse(g, 3)
+		d := NewDense(s.L, semiring.None)
+		rowL := NewLayout(g, benchN, RowAligned)
+		roots := make([]int64, 0, 64)
+		r := s.L.MyRange()
+		for gi := r.Lo; gi < r.Hi && len(roots) < 64; gi += 97 {
+			roots = append(roots, int64(gi))
+		}
+		for i := 0; i < b.N; i++ {
+			s.Select(d, func(v int64) bool { return v == semiring.None })
+			s.InvertParents(rowL)
+			s.PruneRoots(roots)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -58,9 +58,9 @@ func NewLayout(g *grid.Grid, n int, kind Kind) Layout {
 // slabOf returns the global range of the slab with the given index.
 func (l Layout) slabOf(slab int) spmat.Block {
 	if l.Kind == RowAligned {
-		return spmat.SplitRange(l.N, l.G.PR)[slab]
+		return spmat.BlockAt(l.N, l.G.PR, slab)
 	}
-	return spmat.SplitRange(l.N, l.G.PC)[slab]
+	return spmat.BlockAt(l.N, l.G.PC, slab)
 }
 
 // RangeAt returns the global index range owned by the rank at grid
@@ -68,11 +68,11 @@ func (l Layout) slabOf(slab int) spmat.Block {
 func (l Layout) RangeAt(i, j int) spmat.Block {
 	if l.Kind == RowAligned {
 		slab := l.slabOf(i)
-		sub := spmat.SplitRange(slab.Len(), l.G.PC)[j]
+		sub := spmat.BlockAt(slab.Len(), l.G.PC, j)
 		return spmat.Block{Lo: slab.Lo + sub.Lo, Hi: slab.Lo + sub.Hi}
 	}
 	slab := l.slabOf(j)
-	sub := spmat.SplitRange(slab.Len(), l.G.PR)[i]
+	sub := spmat.BlockAt(slab.Len(), l.G.PR, i)
 	return spmat.Block{Lo: slab.Lo + sub.Lo, Hi: slab.Lo + sub.Hi}
 }
 

@@ -2,9 +2,9 @@ package dvec
 
 import (
 	"fmt"
-	"sort"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 )
 
@@ -88,6 +88,10 @@ func (s *SparseV) Select(y *Dense, pred func(int64) bool) *SparseV {
 	}
 	lo := s.L.MyRange().Lo
 	out := NewSparseV(s.L)
+	if n := len(s.Idx); n > 0 {
+		out.Idx = make([]int, 0, n)
+		out.Val = make([]semiring.Vertex, 0, n)
+	}
 	for k, g := range s.Idx {
 		if pred(y.Local[g-lo]) {
 			out.Idx = append(out.Idx, g)
@@ -105,6 +109,10 @@ func (s *SparseInt) Select(y *Dense, pred func(int64) bool) *SparseInt {
 	}
 	lo := s.L.MyRange().Lo
 	out := NewSparseInt(s.L)
+	if n := len(s.Idx); n > 0 {
+		out.Idx = make([]int, 0, n)
+		out.Val = make([]int64, 0, n)
+	}
 	for k, g := range s.Idx {
 		if pred(y.Local[g-lo]) {
 			out.Idx = append(out.Idx, g)
@@ -181,6 +189,16 @@ func (s *SparseV) Roots() *SparseInt {
 	return out
 }
 
+// RootVals appends the entries' root values to buf and returns it — the
+// buffer-reusing counterpart of Roots().Val for the PRUNE call sites, which
+// only need the flat root list and can lend an arena buffer for it.
+func (s *SparseV) RootVals(buf []int64) []int64 {
+	for _, v := range s.Val {
+		buf = append(buf, v.Root)
+	}
+	return buf
+}
+
 // Parents returns a sparse int vector of the entries' parents — PARENT(x).
 func (s *SparseV) Parents() *SparseInt {
 	out := &SparseInt{
@@ -198,10 +216,13 @@ func (s *SparseV) Parents() *SparseInt {
 // index under outL and exchanges them with a personalized all-to-all over
 // the whole grid, the communication pattern Table I specifies for INVERT.
 // Each record is stride int64s, the first being the target global index.
-func invertExchange(l Layout, outL Layout, records []int64, stride int) [][]int64 {
+// The result is one flat arena buffer of received records, which the caller
+// must return with PutInts when done.
+func invertExchange(l Layout, outL Layout, records []int64, stride int) []int64 {
 	c := l.G.World
+	ctx := l.G.RT
 	p := c.Size()
-	parts := make([][]int64, p)
+	parts := ctx.GetParts(p)
 	for off := 0; off < len(records); off += stride {
 		tgt := int(records[off])
 		if tgt < 0 || tgt >= outL.N {
@@ -211,7 +232,9 @@ func invertExchange(l Layout, outL Layout, records []int64, stride int) [][]int6
 		parts[rank] = append(parts[rank], records[off:off+stride]...)
 	}
 	c.AddWork(len(records) / max(stride, 1))
-	return c.Alltoallv(parts)
+	flat := c.AlltoallvFlat(parts, ctx.GetInts(len(records)))
+	ctx.PutParts(parts)
+	return flat
 }
 
 // Invert computes the Table I INVERT primitive: a sparse vector z with
@@ -219,33 +242,24 @@ func invertExchange(l Layout, outL Layout, records []int64, stride int) [][]int6
 // entries carry the same value, the smallest source index wins ("we keep
 // the first index"). Collective: personalized all-to-all.
 func (s *SparseInt) Invert(outL Layout) *SparseInt {
-	records := make([]int64, 0, 2*len(s.Idx))
+	ctx := s.L.G.RT
+	records := ctx.GetInts(2 * len(s.Idx))
 	for k, g := range s.Idx {
 		records = append(records, s.Val[k], int64(g))
 	}
-	got := invertExchange(s.L, outL, records, 2)
-	type pair struct{ tgt, src int }
-	var pairs []pair
-	for _, in := range got {
-		for off := 0; off < len(in); off += 2 {
-			pairs = append(pairs, pair{tgt: int(in[off]), src: int(in[off+1])})
-		}
-	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].tgt != pairs[b].tgt {
-			return pairs[a].tgt < pairs[b].tgt
-		}
-		return pairs[a].src < pairs[b].src
-	})
+	flat := invertExchange(s.L, outL, records, 2)
+	ctx.PutInts(records)
+	rt.SortRecords(flat, 2)
 	out := NewSparseInt(outL)
-	for i, pr := range pairs {
-		if i > 0 && pairs[i-1].tgt == pr.tgt {
+	for off := 0; off < len(flat); off += 2 {
+		if off > 0 && flat[off-2] == flat[off] {
 			continue
 		}
-		out.Idx = append(out.Idx, pr.tgt)
-		out.Val = append(out.Val, int64(pr.src))
+		out.Idx = append(out.Idx, int(flat[off]))
+		out.Val = append(out.Val, flat[off+1])
 	}
-	s.L.G.World.AddWork(len(pairs))
+	s.L.G.World.AddWork(len(flat) / 2)
+	ctx.PutInts(flat)
 	return out
 }
 
@@ -254,11 +268,14 @@ func (s *SparseInt) Invert(outL Layout) *SparseInt {
 // root). This is the INVERT(f_r) step constructing the next column frontier.
 // Collective.
 func (s *SparseV) InvertParents(outL Layout) *SparseV {
-	records := make([]int64, 0, 3*len(s.Idx))
+	ctx := s.L.G.RT
+	records := ctx.GetInts(3 * len(s.Idx))
 	for k, g := range s.Idx {
 		records = append(records, s.Val[k].Parent, int64(g), s.Val[k].Root)
 	}
-	return invertVertex(s.L, outL, records)
+	out := invertVertex(s.L, outL, records)
+	ctx.PutInts(records)
+	return out
 }
 
 // InvertRoots inverts a VERTEX vector by its roots: the result has one entry
@@ -266,40 +283,30 @@ func (s *SparseV) InvertParents(outL Layout) *SparseV {
 // the INVERT(ROOT(uf_r)) step recording one augmenting path per alternating
 // tree. Collective.
 func (s *SparseV) InvertRoots(outL Layout) *SparseV {
-	records := make([]int64, 0, 3*len(s.Idx))
+	ctx := s.L.G.RT
+	records := ctx.GetInts(3 * len(s.Idx))
 	for k, g := range s.Idx {
 		records = append(records, s.Val[k].Root, int64(g), s.Val[k].Root)
 	}
-	return invertVertex(s.L, outL, records)
+	out := invertVertex(s.L, outL, records)
+	ctx.PutInts(records)
+	return out
 }
 
 func invertVertex(l Layout, outL Layout, records []int64) *SparseV {
-	got := invertExchange(l, outL, records, 3)
-	type rec struct {
-		tgt, src int
-		root     int64
-	}
-	var recs []rec
-	for _, in := range got {
-		for off := 0; off < len(in); off += 3 {
-			recs = append(recs, rec{tgt: int(in[off]), src: int(in[off+1]), root: in[off+2]})
-		}
-	}
-	sort.Slice(recs, func(a, b int) bool {
-		if recs[a].tgt != recs[b].tgt {
-			return recs[a].tgt < recs[b].tgt
-		}
-		return recs[a].src < recs[b].src
-	})
+	flat := invertExchange(l, outL, records, 3)
+	ctx := l.G.RT
+	rt.SortRecords(flat, 3)
 	out := NewSparseV(outL)
-	for i, r := range recs {
-		if i > 0 && recs[i-1].tgt == r.tgt {
+	for off := 0; off < len(flat); off += 3 {
+		if off > 0 && flat[off-3] == flat[off] {
 			continue
 		}
-		out.Idx = append(out.Idx, r.tgt)
-		out.Val = append(out.Val, semiring.Vertex{Parent: int64(r.src), Root: r.root})
+		out.Idx = append(out.Idx, int(flat[off]))
+		out.Val = append(out.Val, semiring.Vertex{Parent: flat[off+1], Root: flat[off+2]})
 	}
-	l.G.World.AddWork(len(recs))
+	l.G.World.AddWork(len(flat) / 3)
+	ctx.PutInts(flat)
 	return out
 }
 
@@ -310,22 +317,43 @@ func invertVertex(l Layout, outL Layout, records []int64) *SparseV {
 // pattern and ring cost the paper assigns to PRUNE. Collective.
 func (s *SparseV) PruneRoots(localRoots []int64) *SparseV {
 	c := s.L.G.World
-	parts := c.Allgatherv(localRoots)
-	banned := make(map[int64]struct{})
-	for _, p := range parts {
-		for _, r := range p {
-			banned[r] = struct{}{}
+	ctx := s.L.G.RT
+	banned := c.AllgathervInto(localRoots, ctx.GetInts(len(localRoots)*c.Size()))
+	// Sorted + deduped flat set instead of a per-call hash map: lookups are
+	// binary searches and the buffer goes back to the arena afterwards.
+	rt.SortRecords(banned, 1)
+	uniq := 0
+	for i := range banned {
+		if i == 0 || banned[i] != banned[uniq-1] {
+			banned[uniq] = banned[i]
+			uniq++
 		}
 	}
+	banned = banned[:uniq]
 	out := NewSparseV(s.L)
 	for k, g := range s.Idx {
-		if _, dead := banned[s.Val[k].Root]; !dead {
+		if !sortedHas(banned, s.Val[k].Root) {
 			out.Idx = append(out.Idx, g)
 			out.Val = append(out.Val, s.Val[k])
 		}
 	}
 	c.AddWork(len(s.Idx) + len(banned))
+	ctx.PutInts(banned)
 	return out
+}
+
+// sortedHas reports whether v occurs in the ascending-sorted slice a.
+func sortedHas(a []int64, v int64) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == v
 }
 
 // GatherInt reconstructs the full sparse vector as a dense []int64 slice on
@@ -411,29 +439,27 @@ func (s *SparseInt) Redistribute(outL Layout) *SparseInt {
 		panic(fmt.Sprintf("dvec: redistribute to different length %d != %d", outL.N, s.L.N))
 	}
 	c := s.L.G.World
-	parts := make([][]int64, c.Size())
+	ctx := s.L.G.RT
+	parts := ctx.GetParts(c.Size())
 	for k, g := range s.Idx {
 		rank, _ := outL.Owner(g)
 		parts[rank] = append(parts[rank], int64(g), s.Val[k])
 	}
-	got := c.Alltoallv(parts)
-	type pair struct {
-		idx int
-		val int64
-	}
-	var pairs []pair
-	for _, in := range got {
-		for off := 0; off < len(in); off += 2 {
-			pairs = append(pairs, pair{idx: int(in[off]), val: in[off+1]})
-		}
-	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].idx < pairs[b].idx })
+	flat := c.AlltoallvFlat(parts, ctx.GetInts(2*len(s.Idx)))
+	ctx.PutParts(parts)
+	rt.SortRecords(flat, 2)
 	out := NewSparseInt(outL)
-	for _, p := range pairs {
-		out.Idx = append(out.Idx, p.idx)
-		out.Val = append(out.Val, p.val)
+	n := len(flat) / 2
+	if n > 0 {
+		out.Idx = make([]int, 0, n)
+		out.Val = make([]int64, 0, n)
 	}
-	c.AddWork(len(s.Idx) + len(pairs))
+	for off := 0; off < len(flat); off += 2 {
+		out.Idx = append(out.Idx, int(flat[off]))
+		out.Val = append(out.Val, flat[off+1])
+	}
+	c.AddWork(len(s.Idx) + n)
+	ctx.PutInts(flat)
 	return out
 }
 

@@ -8,8 +8,23 @@ func (c *Comm) Barrier() {
 	c.exchange(parts)
 }
 
+// quiesce blocks until every rank has finished copying out of the previous
+// exchange. The copying collectives don't need it — their callers discard
+// send buffers — but the buffer-lending variants promise MPI's contract
+// that a send buffer may be reused the moment the call returns, and the
+// rt arena relies on that promise; without this rendezvous a recycled
+// buffer could be overwritten while a peer is still copying from it.
+func (c *Comm) quiesce() {
+	c.exchange(make([]any, c.Size()))
+}
+
 // Bcast distributes root's data to every rank and returns it. Non-root
-// callers pass nil. The result is a fresh copy on every rank except root.
+// callers pass nil. The result is a fresh copy on every rank except root;
+// root gets its own slice back uncopied, so a root that mutates the result
+// mutates data (matching MPI_Bcast, where root's buffer is both input and
+// output). An empty or nil broadcast moves no bytes along the tree, so it
+// meters nothing — ranks are not charged depth messages for a zero-length
+// payload.
 func (c *Comm) Bcast(root int, data []int64) []int64 {
 	size := c.Size()
 	parts := make([]any, size)
@@ -19,12 +34,15 @@ func (c *Comm) Bcast(root int, data []int64) []int64 {
 		}
 	}
 	got := c.exchange(parts)
-	depth := logTreeDepth(size)
-	c.addComm(KindBcast, depth, depth*int64(len(asInts(got[root]))))
+	payload := asInts(got[root])
+	if len(payload) > 0 {
+		depth := logTreeDepth(size)
+		c.addComm(KindBcast, depth, depth*int64(len(payload)))
+	}
 	if c.member == root {
 		return data
 	}
-	return append([]int64(nil), asInts(got[root])...)
+	return append([]int64(nil), payload...)
 }
 
 // Allgatherv gathers each rank's contribution on every rank. The result has
@@ -83,6 +101,102 @@ func (c *Comm) Alltoallv(parts [][]int64) [][]int64 {
 	}
 	c.addComm(KindAlltoall, int64(size-1), words)
 	return out
+}
+
+// AllgathervInto is the buffer-lending Allgatherv for hot paths: every
+// rank's contribution is appended into buf in rank order (the flat
+// concatenation the expand and PRUNE consumers actually want) and the grown
+// buffer is returned. buf may be nil or a recycled arena buffer; the result
+// never aliases data or another rank's memory, so the caller may return it
+// to an arena once done. Metering is identical to Allgatherv: p-1 messages
+// and the words received from other ranks.
+func (c *Comm) AllgathervInto(data []int64, buf []int64) []int64 {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = data
+	}
+	got := c.exchange(parts)
+	var words int64
+	for s := 0; s < size; s++ {
+		in := asInts(got[s])
+		if s != c.member {
+			words += int64(len(in))
+		}
+		buf = append(buf, in...)
+	}
+	c.addComm(KindAllgather, int64(size-1), words)
+	c.quiesce()
+	return buf
+}
+
+// AlltoallvInto is the buffer-lending Alltoallv: everything received is
+// stored contiguously in buf (grown as needed and returned second), and the
+// first result holds one subslice of that buffer per source rank, in source
+// order. Unlike Alltoallv, the self part is copied too — no subslice aliases
+// parts — so the caller may recycle both parts and buf afterwards. buf is
+// presized to the full receive volume before any subslice is taken, which
+// keeps every subslice valid. Metering is identical to Alltoallv: p-1
+// messages and the words sent to other ranks.
+func (c *Comm) AlltoallvInto(parts [][]int64, buf []int64) ([][]int64, []int64) {
+	size := c.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("mpi: AlltoallvInto with %d parts on %d ranks", len(parts), size))
+	}
+	anyParts := make([]any, size)
+	var words int64
+	for d := 0; d < size; d++ {
+		anyParts[d] = parts[d]
+		if d != c.member {
+			words += int64(len(parts[d]))
+		}
+	}
+	got := c.exchange(anyParts)
+	total := 0
+	for s := 0; s < size; s++ {
+		total += len(asInts(got[s]))
+	}
+	if cap(buf)-len(buf) < total {
+		grown := make([]int64, len(buf), len(buf)+total)
+		copy(grown, buf)
+		buf = grown
+	}
+	out := make([][]int64, size)
+	for s := 0; s < size; s++ {
+		start := len(buf)
+		buf = append(buf, asInts(got[s])...)
+		out[s] = buf[start:len(buf):len(buf)]
+	}
+	c.addComm(KindAlltoall, int64(size-1), words)
+	c.quiesce()
+	return out, buf
+}
+
+// AlltoallvFlat is AlltoallvInto without the per-source boundaries: the
+// received parts are appended into buf in source-rank order and the grown
+// buffer returned. It serves consumers (INVERT, redistribution) that sort
+// the union anyway and never look at who sent what. Metering is identical
+// to Alltoallv.
+func (c *Comm) AlltoallvFlat(parts [][]int64, buf []int64) []int64 {
+	size := c.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("mpi: AlltoallvFlat with %d parts on %d ranks", len(parts), size))
+	}
+	anyParts := make([]any, size)
+	var words int64
+	for d := 0; d < size; d++ {
+		anyParts[d] = parts[d]
+		if d != c.member {
+			words += int64(len(parts[d]))
+		}
+	}
+	got := c.exchange(anyParts)
+	for s := 0; s < size; s++ {
+		buf = append(buf, asInts(got[s])...)
+	}
+	c.addComm(KindAlltoall, int64(size-1), words)
+	c.quiesce()
+	return buf
 }
 
 // Gatherv collects every rank's contribution on root, in rank order. Non-root

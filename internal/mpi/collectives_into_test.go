@@ -1,0 +1,249 @@
+package mpi
+
+// Tests for the buffer-lending collective variants (AllgathervInto,
+// AlltoallvInto, AlltoallvFlat): each must agree byte-for-byte with its
+// copying counterpart, meter identically, and never alias caller memory —
+// plus the Bcast metering rule that an empty broadcast is free.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func rankPayload(rank, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rank*1000 + i)
+	}
+	return out
+}
+
+// TestAllgathervIntoMatchesCopy: flat result equals the rank-order
+// concatenation of Allgatherv, with identical metering, and the result does
+// not alias the caller's send buffer.
+func TestAllgathervIntoMatchesCopy(t *testing.T) {
+	const p = 4
+	w, err := Run(p, func(c *Comm) error {
+		data := rankPayload(c.Rank(), c.Rank()+1) // ragged sizes
+		before := c.MeterSnapshot()
+		copied := c.Allgatherv(data)
+		copyCost := c.MeterSnapshot().Sub(before)
+
+		buf := make([]int64, 0, 4)
+		before = c.MeterSnapshot()
+		flat := c.AllgathervInto(data, buf)
+		intoCost := c.MeterSnapshot().Sub(before)
+
+		if copyCost != intoCost {
+			return fmt.Errorf("rank %d: Into metered %+v, copy metered %+v", c.Rank(), intoCost, copyCost)
+		}
+		var want []int64
+		for _, part := range copied {
+			want = append(want, part...)
+		}
+		if len(flat) != len(want) {
+			return fmt.Errorf("rank %d: flat len %d, want %d", c.Rank(), len(flat), len(want))
+		}
+		for i := range want {
+			if flat[i] != want[i] {
+				return fmt.Errorf("rank %d: flat[%d] = %d, want %d", c.Rank(), i, flat[i], want[i])
+			}
+		}
+		// Mutating the send buffer must not change the gathered result.
+		for i := range data {
+			data[i] = -1
+		}
+		for i := range want {
+			if flat[i] != want[i] {
+				return fmt.Errorf("rank %d: result aliases send buffer at %d", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if m := w.RankMeter(r); m.Msgs != 2*(p-1) {
+			t.Errorf("rank %d msgs = %d, want %d", r, m.Msgs, 2*(p-1))
+		}
+	}
+}
+
+// TestAlltoallvIntoMatchesCopy: per-source subslices equal Alltoallv's
+// output, metering matches, and neither the self part nor any other part is
+// aliased by the result.
+func TestAlltoallvIntoMatchesCopy(t *testing.T) {
+	const p = 3
+	_, err := Run(p, func(c *Comm) error {
+		mkParts := func() [][]int64 {
+			parts := make([][]int64, p)
+			for d := 0; d < p; d++ {
+				parts[d] = rankPayload(c.Rank(), d+1)
+			}
+			return parts
+		}
+		before := c.MeterSnapshot()
+		want := c.Alltoallv(mkParts())
+		copyCost := c.MeterSnapshot().Sub(before)
+
+		parts := mkParts()
+		before = c.MeterSnapshot()
+		got, buf := c.AlltoallvInto(parts, nil)
+		intoCost := c.MeterSnapshot().Sub(before)
+
+		if copyCost != intoCost {
+			return fmt.Errorf("rank %d: Into metered %+v, copy metered %+v", c.Rank(), intoCost, copyCost)
+		}
+		total := 0
+		for s := 0; s < p; s++ {
+			if len(got[s]) != len(want[s]) {
+				return fmt.Errorf("rank %d src %d: len %d, want %d", c.Rank(), s, len(got[s]), len(want[s]))
+			}
+			for i := range want[s] {
+				if got[s][i] != want[s][i] {
+					return fmt.Errorf("rank %d src %d idx %d: %d, want %d", c.Rank(), s, i, got[s][i], want[s][i])
+				}
+			}
+			total += len(got[s])
+		}
+		if len(buf) != total {
+			return fmt.Errorf("rank %d: buf len %d, want %d", c.Rank(), len(buf), total)
+		}
+		// Scribble over the send parts (including the self part, which the
+		// copying Alltoallv aliases): the Into result must be unaffected.
+		for d := range parts {
+			for i := range parts[d] {
+				parts[d][i] = -9
+			}
+		}
+		for s := 0; s < p; s++ {
+			for i := range want[s] {
+				if got[s][i] != want[s][i] {
+					return fmt.Errorf("rank %d: result aliases parts[%d]", c.Rank(), s)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallvIntoPresizedBuf: when the lent buffer must grow, earlier
+// subslices must remain valid (the buffer is presized before slicing).
+func TestAlltoallvIntoPresizedBuf(t *testing.T) {
+	const p = 4
+	_, err := Run(p, func(c *Comm) error {
+		parts := make([][]int64, p)
+		for d := 0; d < p; d++ {
+			parts[d] = rankPayload(c.Rank(), 100)
+		}
+		got, buf := c.AlltoallvInto(parts, make([]int64, 0, 8))
+		off := 0
+		for s := 0; s < p; s++ {
+			for i := range got[s] {
+				if &got[s][i] != &buf[off+i] {
+					return fmt.Errorf("rank %d: src %d not backed by returned buf", c.Rank(), s)
+				}
+				if wantv := int64(s*1000 + i); got[s][i] != wantv {
+					return fmt.Errorf("rank %d src %d idx %d: %d, want %d", c.Rank(), s, i, got[s][i], wantv)
+				}
+			}
+			off += len(got[s])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallvFlatMatchesCopy: flat concatenation in source order, same
+// metering as the copying API.
+func TestAlltoallvFlatMatchesCopy(t *testing.T) {
+	const p = 3
+	_, err := Run(p, func(c *Comm) error {
+		mkParts := func() [][]int64 {
+			parts := make([][]int64, p)
+			for d := 0; d < p; d++ {
+				parts[d] = rankPayload(c.Rank()+d, (c.Rank()+d)%3)
+			}
+			return parts
+		}
+		before := c.MeterSnapshot()
+		want := c.Alltoallv(mkParts())
+		copyCost := c.MeterSnapshot().Sub(before)
+
+		before = c.MeterSnapshot()
+		flat := c.AlltoallvFlat(mkParts(), nil)
+		flatCost := c.MeterSnapshot().Sub(before)
+
+		if copyCost != flatCost {
+			return fmt.Errorf("rank %d: Flat metered %+v, copy metered %+v", c.Rank(), flatCost, copyCost)
+		}
+		var wantFlat []int64
+		for _, part := range want {
+			wantFlat = append(wantFlat, part...)
+		}
+		if len(flat) != len(wantFlat) {
+			return fmt.Errorf("rank %d: len %d, want %d", c.Rank(), len(flat), len(wantFlat))
+		}
+		for i := range wantFlat {
+			if flat[i] != wantFlat[i] {
+				return fmt.Errorf("rank %d idx %d: %d, want %d", c.Rank(), i, flat[i], wantFlat[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastEmptyMetersNothing: a zero-length broadcast charges neither
+// messages nor words on any rank, while a non-empty one still meters the
+// binomial tree.
+func TestBcastEmptyMetersNothing(t *testing.T) {
+	const p = 4
+	w, err := Run(p, func(c *Comm) error {
+		var data []int64
+		if c.Rank() == 0 {
+			data = []int64{} // empty but non-nil on root
+		}
+		c.Bcast(0, data)
+		c.Bcast(1, nil) // nil payload from root too
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if m := w.RankKindMeter(r, KindBcast); m.Msgs != 0 || m.Words != 0 {
+			t.Errorf("rank %d: empty Bcast metered %+v", r, m)
+		}
+	}
+}
+
+// TestBcastRootNoCopy: root's return value is its own send buffer, not a
+// copy (documented root fast path).
+func TestBcastRootNoCopy(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		var data []int64
+		if c.Rank() == 0 {
+			data = []int64{7, 8, 9}
+		}
+		out := c.Bcast(0, data)
+		if c.Rank() == 0 && &out[0] != &data[0] {
+			return fmt.Errorf("root Bcast copied its own payload")
+		}
+		if len(out) != 3 || out[0] != 7 || out[2] != 9 {
+			return fmt.Errorf("rank %d: got %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,9 +29,17 @@
 //   - Gatherv/Scatterv: root counts p-1 messages and the full volume moved;
 //     leaves count 1 message and their own contribution.
 //   - Bcast/Allreduce (binomial tree): ceil(log2 p) messages and one payload
-//     copy per tree level.
+//     copy per tree level; a zero-length Bcast meters nothing.
 //   - RMA Get/Put/FetchAndOp: 1 message per call plus the words moved;
 //     operations on the caller's own window are local and cost nothing.
+//
+// Each copying collective has a buffer-lending variant for hot paths
+// (AllgathervInto, AlltoallvInto, AlltoallvFlat): the caller lends a
+// destination buffer (typically from an rt arena), received payloads are
+// appended into it, and nothing in the result aliases any rank's send
+// buffer — so both the lent buffer and the send parts can be recycled the
+// moment the call returns. The metering of each variant is identical to its
+// copying counterpart; the copying API remains the reference for tests.
 package mpi
 
 import (

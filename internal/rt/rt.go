@@ -1,0 +1,372 @@
+// Package rt provides the per-rank runtime context: the reusable state one
+// simulated MPI rank carries through a distributed matching computation.
+// Every MS-BFS level used to re-allocate its world — the SpMV expand
+// payload, the dense scratch-and-present pair, the fold part buffers, the
+// INVERT record buffers — thousands of short-lived slices per rank per
+// level. A Ctx owns that state instead:
+//
+//   - a size-classed buffer arena (GetInts/PutInts, GetVerts/PutVerts,
+//     GetBools/PutBools, GetParts/PutParts) with strict borrow/return
+//     discipline: a lent buffer never outlives the primitive call that
+//     borrowed it, so pooled storage can never alias live algorithm state;
+//   - epoch-stamped dense scratch (Scratch) that replaces the per-call
+//     "allocate scratch + present" pattern: instead of re-zeroing, each
+//     borrow bumps an epoch and stale entries are simply not Has();
+//   - the per-op wall-clock / communication-meter ledger (Track), folded in
+//     from the solver so metering hangs off the rank's context rather than
+//     off the communicator alone.
+//
+// A Ctx belongs to exactly one rank goroutine at a time and is not
+// internally synchronized. It may be rebound (Bind) to a fresh communicator
+// and reused across solves — the session layer does this so repeated
+// matchings on one DistributedGraph run allocation-quiet — but never shared
+// between concurrently running ranks.
+//
+// A nil or disabled Ctx is always safe: every Get falls back to a plain
+// allocation and every Put is a no-op, which is also the "pooling off"
+// arm of the equivalence tests.
+package rt
+
+import (
+	"sort"
+	"time"
+
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/semiring"
+)
+
+const (
+	// minClassCap is the smallest pooled capacity; smaller requests round up.
+	minClassCap = 64
+	// numClasses spans capacities 64 << 0 .. 64 << 25 (~2 G elements).
+	numClasses = 26
+	// maxPerClass bounds how many free buffers one class retains, so the
+	// arena's footprint stays proportional to the algorithm's live set.
+	maxPerClass = 4
+)
+
+// Ctx is one rank's runtime context. The zero value is not usable; construct
+// with New or NewDisabled.
+type Ctx struct {
+	comm    *mpi.Comm
+	enabled bool
+
+	ints  [numClasses][][]int64
+	verts [numClasses][][]semiring.Vertex
+	bools [numClasses][][]bool
+	parts [][][]int64 // free personalized-collective send-buffer sets
+
+	scratch map[string]*Scratch
+
+	ops map[string]OpCost
+}
+
+// New returns an enabled context bound to comm.
+func New(comm *mpi.Comm) *Ctx {
+	return &Ctx{comm: comm, enabled: true, scratch: make(map[string]*Scratch)}
+}
+
+// NewDisabled returns a context whose arena is pass-through: every Get
+// allocates fresh storage and every Put discards. Used by the pooling
+// on/off equivalence tests and by Config.DisableReuse.
+func NewDisabled(comm *mpi.Comm) *Ctx {
+	return &Ctx{comm: comm, enabled: false}
+}
+
+// Bind re-attaches the context to a new communicator. Buffer and scratch
+// contents survive, which is the point: a session reuses one context per
+// rank across solves, each solve running on a fresh simulated world.
+func (c *Ctx) Bind(comm *mpi.Comm) {
+	if c != nil {
+		c.comm = comm
+	}
+}
+
+// Comm returns the bound communicator (nil on a nil context).
+func (c *Ctx) Comm() *mpi.Comm {
+	if c == nil {
+		return nil
+	}
+	return c.comm
+}
+
+// Enabled reports whether the arena actually pools (false for nil or
+// disabled contexts).
+func (c *Ctx) Enabled() bool { return c != nil && c.enabled }
+
+// classFor returns the size class whose capacity (minClassCap << class)
+// holds n elements.
+func classFor(n int) int {
+	cls, cap := 0, minClassCap
+	for cap < n && cls < numClasses-1 {
+		cap <<= 1
+		cls++
+	}
+	return cls
+}
+
+// putClass returns the largest class whose capacity the buffer satisfies,
+// or ok=false when the buffer is too small to pool. Storing under that
+// class keeps the Get invariant: every pooled buffer of class c has
+// capacity >= minClassCap << c.
+func putClass(bufCap int) (cls int, ok bool) {
+	if bufCap < minClassCap {
+		return 0, false
+	}
+	cls = classFor(bufCap)
+	if minClassCap<<cls > bufCap {
+		cls--
+	}
+	return cls, true
+}
+
+// GetInts borrows an int64 buffer with length 0 and capacity >= n. Append
+// into it; return it with PutInts before the borrowing call returns.
+func (c *Ctx) GetInts(n int) []int64 {
+	if !c.Enabled() {
+		return make([]int64, 0, n)
+	}
+	cls := classFor(n)
+	if l := len(c.ints[cls]); l > 0 {
+		b := c.ints[cls][l-1]
+		c.ints[cls] = c.ints[cls][:l-1]
+		return b[:0]
+	}
+	return make([]int64, 0, minClassCap<<cls)
+}
+
+// PutInts returns a buffer obtained from GetInts (possibly grown by appends
+// or by a buffer-lending collective) to the arena.
+func (c *Ctx) PutInts(b []int64) {
+	cls, ok := putClass(cap(b))
+	if !c.Enabled() || !ok {
+		return
+	}
+	if len(c.ints[cls]) < maxPerClass {
+		c.ints[cls] = append(c.ints[cls], b[:0])
+	}
+}
+
+// GetVerts borrows a semiring.Vertex buffer with length 0, capacity >= n.
+func (c *Ctx) GetVerts(n int) []semiring.Vertex {
+	if !c.Enabled() {
+		return make([]semiring.Vertex, 0, n)
+	}
+	cls := classFor(n)
+	if l := len(c.verts[cls]); l > 0 {
+		b := c.verts[cls][l-1]
+		c.verts[cls] = c.verts[cls][:l-1]
+		return b[:0]
+	}
+	return make([]semiring.Vertex, 0, minClassCap<<cls)
+}
+
+// PutVerts returns a GetVerts buffer to the arena.
+func (c *Ctx) PutVerts(b []semiring.Vertex) {
+	cls, ok := putClass(cap(b))
+	if !c.Enabled() || !ok {
+		return
+	}
+	if len(c.verts[cls]) < maxPerClass {
+		c.verts[cls] = append(c.verts[cls], b[:0])
+	}
+}
+
+// GetBools borrows a bool buffer of length n with UNDEFINED contents — the
+// caller must overwrite every element it reads. For full-overwrite scans
+// (e.g. the unmatched-column mask) this trades the zeroing of make for
+// nothing at all.
+func (c *Ctx) GetBools(n int) []bool {
+	if !c.Enabled() {
+		return make([]bool, n)
+	}
+	cls := classFor(n)
+	if l := len(c.bools[cls]); l > 0 {
+		b := c.bools[cls][l-1]
+		c.bools[cls] = c.bools[cls][:l-1]
+		return b[:n]
+	}
+	return make([]bool, n, minClassCap<<cls)
+}
+
+// PutBools returns a GetBools buffer to the arena.
+func (c *Ctx) PutBools(b []bool) {
+	cls, ok := putClass(cap(b))
+	if !c.Enabled() || !ok {
+		return
+	}
+	if len(c.bools[cls]) < maxPerClass {
+		c.bools[cls] = append(c.bools[cls], b[:0])
+	}
+}
+
+// GetParts borrows a set of p per-destination send buffers for a
+// personalized collective, each reset to length 0 but keeping its grown
+// backing array across borrows. Return the set with PutParts after the
+// collective; the buffer-lending collectives copy out of it, so nothing
+// received aliases the parts.
+func (c *Ctx) GetParts(p int) [][]int64 {
+	if !c.Enabled() {
+		return make([][]int64, p)
+	}
+	var full [][]int64
+	if l := len(c.parts); l > 0 {
+		full = c.parts[l-1]
+		c.parts = c.parts[:l-1]
+	}
+	if cap(full) < p {
+		grown := make([][]int64, p)
+		copy(grown, full[:cap(full)])
+		full = grown
+	}
+	ps := full[:cap(full)][:p]
+	for i := range ps {
+		ps[i] = ps[i][:0]
+	}
+	return ps
+}
+
+// PutParts returns a GetParts set (with whatever the caller appended; the
+// backings are kept for the next borrow).
+func (c *Ctx) PutParts(ps [][]int64) {
+	if !c.Enabled() || cap(ps) == 0 {
+		return
+	}
+	if len(c.parts) < maxPerClass {
+		c.parts = append(c.parts, ps[:cap(ps)])
+	}
+}
+
+// Scratch is a dense (value, present) workspace over a fixed index range,
+// epoch-stamped so that re-borrowing it costs an epoch increment instead of
+// a re-zeroing pass. Has(i) is true only for indices Set since the last
+// borrow.
+type Scratch struct {
+	Val   []semiring.Vertex
+	stamp []uint32
+	epoch uint32
+}
+
+// Scratch borrows the dense workspace registered under tag, sized to at
+// least n entries, with all entries absent. Distinct concurrent uses must
+// use distinct tags: re-borrowing a tag invalidates the previous borrow's
+// entries (that is the reuse mechanism).
+func (c *Ctx) Scratch(tag string, n int) *Scratch {
+	if !c.Enabled() {
+		return &Scratch{Val: make([]semiring.Vertex, n), stamp: make([]uint32, n), epoch: 1}
+	}
+	s := c.scratch[tag]
+	if s == nil {
+		s = &Scratch{}
+		c.scratch[tag] = s
+	}
+	if len(s.Val) < n {
+		s.Val = make([]semiring.Vertex, n)
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stamps from 2^32 borrows ago could collide
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
+}
+
+// Has reports whether index i was Set since this borrow.
+func (s *Scratch) Has(i int) bool { return s.stamp[i] == s.epoch }
+
+// Set stores v at index i and marks it present.
+func (s *Scratch) Set(i int, v semiring.Vertex) {
+	s.stamp[i] = s.epoch
+	s.Val[i] = v
+}
+
+// Mark marks index i present without storing a value (bitmap-style use).
+func (s *Scratch) Mark(i int) { s.stamp[i] = s.epoch }
+
+// Len returns the number of entries the borrow spans.
+func (s *Scratch) Len() int { return len(s.stamp) }
+
+// OpCost is one operation category's accumulated wall time and
+// communication meter.
+type OpCost struct {
+	Wall  time.Duration
+	Meter mpi.Meter
+}
+
+// Track runs fn, attributes its wall time and communication-meter delta to
+// op in the context's ledger, and returns both. The ledger accumulates
+// across solves when the context is reused, giving per-rank telemetry that
+// no longer hangs off a single communicator's lifetime.
+func (c *Ctx) Track(op string, fn func()) (time.Duration, mpi.Meter) {
+	if c == nil || c.comm == nil {
+		start := time.Now()
+		fn()
+		return time.Since(start), mpi.Meter{}
+	}
+	before := c.comm.MeterSnapshot()
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	delta := c.comm.MeterSnapshot().Sub(before)
+	if c.ops == nil {
+		c.ops = make(map[string]OpCost)
+	}
+	oc := c.ops[op]
+	oc.Wall += wall
+	oc.Meter = oc.Meter.Add(delta)
+	c.ops[op] = oc
+	return wall, delta
+}
+
+// OpCosts returns a copy of the per-op ledger.
+func (c *Ctx) OpCosts() map[string]OpCost {
+	out := make(map[string]OpCost, len(c.ops))
+	for k, v := range c.ops {
+		out[k] = v
+	}
+	return out
+}
+
+// MeterSnapshot returns the bound communicator's cumulative meter (zero on
+// a nil or unbound context).
+func (c *Ctx) MeterSnapshot() mpi.Meter {
+	if c == nil || c.comm == nil {
+		return mpi.Meter{}
+	}
+	return c.comm.MeterSnapshot()
+}
+
+// recordSorter sorts a flat record buffer of fixed-stride int64 records by
+// first field, ties by second. Sorting records in place avoids materializing
+// a []struct copy of every INVERT / fold exchange.
+type recordSorter struct {
+	buf    []int64
+	stride int
+}
+
+func (r recordSorter) Len() int { return len(r.buf) / r.stride }
+func (r recordSorter) Less(i, j int) bool {
+	a, b := r.buf[i*r.stride:], r.buf[j*r.stride:]
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return r.stride > 1 && a[1] < b[1]
+}
+func (r recordSorter) Swap(i, j int) {
+	a, b := r.buf[i*r.stride:(i+1)*r.stride], r.buf[j*r.stride:(j+1)*r.stride]
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// SortRecords sorts buf, viewed as consecutive stride-length records, by
+// record key (first element, ties by second). len(buf) must be a multiple
+// of stride.
+func SortRecords(buf []int64, stride int) {
+	if stride <= 0 || len(buf)%stride != 0 {
+		panic("rt: SortRecords buffer not a whole number of records")
+	}
+	sort.Sort(recordSorter{buf: buf, stride: stride})
+}

@@ -33,6 +33,19 @@ func SplitRange(n, parts int) []Block {
 	return out
 }
 
+// BlockAt returns block k of SplitRange(n, parts) in closed form, without
+// materializing the partition. O(1) and allocation-free — this sits on the
+// per-element path of vector Appends and owner lookups.
+func BlockAt(n, parts, k int) Block {
+	base, rem := n/parts, n%parts
+	if k < rem {
+		lo := k * (base + 1)
+		return Block{Lo: lo, Hi: lo + base + 1}
+	}
+	lo := rem*(base+1) + (k-rem)*base
+	return Block{Lo: lo, Hi: lo + base}
+}
+
 // OwnerOf returns the index of the block containing global index g, for
 // blocks produced by SplitRange(n, parts). O(1).
 func OwnerOf(n, parts, g int) int {

@@ -48,63 +48,61 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 		panic("spmv: rowAdj does not match the local block")
 	}
 
+	ctx := g.RT
+
 	// Expand the frontier along my grid column (same as the push direction)
-	// into a dense lookup over my column slab.
-	payload := make([]int64, 0, 3*len(x.Idx))
+	// into a dense lookup over my column slab. The lookup lives in the
+	// rank's persistent scratch: epoch stamps stand in for the per-call
+	// inFrontier bitmap.
+	payload := ctx.GetInts(3 * len(x.Idx))
 	for k, gi := range x.Idx {
 		payload = append(payload, int64(gi), x.Val[k].Parent, x.Val[k].Root)
 	}
-	slabParts := g.Col.Allgatherv(payload)
-	width := a.Cols.Len()
-	inFrontier := make([]bool, width)
-	frontierVal := make([]semiring.Vertex, width)
-	for _, part := range slabParts {
-		for off := 0; off < len(part); off += 3 {
-			lcol := int(part[off]) - a.Cols.Lo
-			inFrontier[lcol] = true
-			frontierVal[lcol] = semiring.Vertex{Parent: part[off+1], Root: part[off+2]}
-		}
+	slab := g.Col.AllgathervInto(payload, ctx.GetInts(3*len(x.Idx)*g.PR))
+	ctx.PutInts(payload)
+	frontier := ctx.Scratch("pull.cols", a.Cols.Len())
+	for off := 0; off < len(slab); off += 3 {
+		lcol := int(slab[off]) - a.Cols.Lo
+		frontier.Set(lcol, semiring.Vertex{Parent: slab[off+1], Root: slab[off+2]})
 	}
+	ctx.PutInts(slab)
 
 	// Replicate the visited-row set across my grid row: each rank
 	// contributes the visited rows of its own piece of the row slab.
 	lo := visited.L.MyRange().Lo
-	var mine []int64
+	mine := ctx.GetInts(0)
 	for i, v := range visited.Local {
 		if v != semiring.None {
 			mine = append(mine, int64(lo+i))
 		}
 	}
-	visParts := g.Row.Allgatherv(mine)
-	skip := make([]bool, a.Rows.Len())
-	nvis := 0
-	for _, part := range visParts {
-		nvis += len(part)
-		for _, gr := range part {
-			skip[int(gr)-a.Rows.Lo] = true
-		}
+	vis := g.Row.AllgathervInto(mine, ctx.GetInts(len(mine)*g.PC))
+	ctx.PutInts(mine)
+	skip := ctx.Scratch("pull.rows", a.Rows.Len())
+	for _, gr := range vis {
+		skip.Mark(int(gr) - a.Rows.Lo)
 	}
+	nvis := len(vis)
+	ctx.PutInts(vis)
 	// The dense visited/frontier bitmaps are scanned with packed bitwise
 	// operations in real bottom-up implementations: 64 entries per word.
-	g.World.AddWork(len(visited.Local)/64 + len(skip)/64 + nvis + 1)
+	g.World.AddWork(len(visited.Local)/64 + skip.Len()/64 + nvis + 1)
 
 	// Pull: every unvisited local row scans its adjacency and stops at the
-	// first frontier neighbor.
-	type hit struct {
-		row  int
-		cand semiring.Vertex
-	}
-	var hits []hit
-	work := len(skip) / 64 // packed scan over the skip bitmap
+	// first frontier neighbor. Hits are staged as (row, parent, root)
+	// triples in a flat arena buffer.
+	hits := ctx.GetInts(0)
+	work := skip.Len() / 64 // packed scan over the skip bitmap
 	for r := 0; r < rowAdj.NCols; r++ {
-		if skip[r] {
+		if skip.Has(r) {
 			continue
 		}
 		for _, lc := range rowAdj.Col(r) {
 			work++
-			if inFrontier[lc] {
+			if frontier.Has(lc) {
 				gcol := int64(a.Cols.Lo + lc)
-				hits = append(hits, hit{row: r, cand: semiring.Multiply(gcol, frontierVal[lc])})
+				cand := semiring.Multiply(gcol, frontier.Val[lc])
+				hits = append(hits, int64(a.Rows.Lo+r), cand.Parent, cand.Root)
 				break // direction optimization: first hit suffices
 			}
 		}
@@ -112,17 +110,21 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 	g.World.AddWork(work)
 
 	// Fold: identical to the push direction.
-	parts := make([][]int64, g.PC)
-	for _, h := range hits {
-		grow := a.Rows.Lo + h.row
+	parts := ctx.GetParts(g.PC)
+	for off := 0; off < len(hits); off += 3 {
+		grow := int(hits[off])
 		_, j := outL.OwnerCoords(grow)
-		parts[j] = append(parts[j], int64(grow), h.cand.Parent, h.cand.Root)
+		parts[j] = append(parts[j], hits[off], hits[off+1], hits[off+2])
 	}
-	got := g.Row.Alltoallv(parts)
+	nhits := len(hits) / 3
+	ctx.PutInts(hits)
+	got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
+	ctx.PutParts(parts)
 
 	out := mergeSortedTriples(got, op, outL)
 	g.World.AddWork(out.LocalNnz())
-	return out, PullStats{Scanned: work, Hits: len(hits)}
+	ctx.PutInts(fold)
+	return out, PullStats{Scanned: work, Hits: nhits}
 }
 
 // PullStats reports one rank's local bottom-up scan productivity.

@@ -39,57 +39,60 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 			a.Rows, a.Cols, outL.N, x.L.N))
 	}
 
-	// Expand: allgather the frontier pieces along my grid column. The union
-	// of the pieces is exactly my column slab, i.e. the frontier entries my
-	// local block can act on.
-	payload := make([]int64, 0, 3*len(x.Idx))
+	ctx := g.RT
+
+	// Expand: allgather the frontier pieces along my grid column into one
+	// flat arena buffer. The union of the pieces is exactly my column slab,
+	// i.e. the frontier entries my local block can act on.
+	payload := ctx.GetInts(3 * len(x.Idx))
 	for k, gi := range x.Idx {
 		payload = append(payload, int64(gi), x.Val[k].Parent, x.Val[k].Root)
 	}
-	slabParts := g.Col.Allgatherv(payload)
+	slab := g.Col.AllgathervInto(payload, ctx.GetInts(3*len(x.Idx)*g.PR))
+	ctx.PutInts(payload)
 
-	// Local multiply into a dense scratch over my row block.
-	scratch := make([]semiring.Vertex, a.Rows.Len())
-	present := make([]bool, a.Rows.Len())
+	// Local multiply into the rank's persistent dense scratch; the epoch
+	// stamp replaces the per-call present bitmap.
+	sc := ctx.Scratch("spmv.rows", a.Rows.Len())
 	work := 0
-	for _, part := range slabParts {
-		for off := 0; off < len(part); off += 3 {
-			gcol := int(part[off])
-			v := semiring.Vertex{Parent: part[off+1], Root: part[off+2]}
-			lcol := gcol - a.Cols.Lo
-			if lcol < 0 || lcol >= a.Cols.Len() {
-				panic(fmt.Sprintf("spmv: expanded column %d outside block %v", gcol, a.Cols))
-			}
-			rows := a.M.FindCol(lcol)
-			work += len(rows) + 1
-			cand := semiring.Multiply(int64(gcol), v)
-			for _, r := range rows {
-				if !present[r] {
-					present[r] = true
-					scratch[r] = cand
-				} else {
-					scratch[r] = op.Combine(scratch[r], cand)
-				}
+	for off := 0; off < len(slab); off += 3 {
+		gcol := int(slab[off])
+		v := semiring.Vertex{Parent: slab[off+1], Root: slab[off+2]}
+		lcol := gcol - a.Cols.Lo
+		if lcol < 0 || lcol >= a.Cols.Len() {
+			panic(fmt.Sprintf("spmv: expanded column %d outside block %v", gcol, a.Cols))
+		}
+		rows := a.M.FindCol(lcol)
+		work += len(rows) + 1
+		cand := semiring.Multiply(int64(gcol), v)
+		for _, r := range rows {
+			if !sc.Has(r) {
+				sc.Set(r, cand)
+			} else {
+				sc.Val[r] = op.Combine(sc.Val[r], cand)
 			}
 		}
 	}
 	g.World.AddWork(work)
+	ctx.PutInts(slab)
 
 	// Fold: route each discovered row to its owner within my grid row and
 	// merge with the semiring addition.
-	parts := make([][]int64, g.PC)
-	for r := 0; r < len(scratch); r++ {
-		if !present[r] {
+	parts := ctx.GetParts(g.PC)
+	for r := 0; r < a.Rows.Len(); r++ {
+		if !sc.Has(r) {
 			continue
 		}
 		grow := a.Rows.Lo + r
 		_, j := outL.OwnerCoords(grow)
-		parts[j] = append(parts[j], int64(grow), scratch[r].Parent, scratch[r].Root)
+		parts[j] = append(parts[j], int64(grow), sc.Val[r].Parent, sc.Val[r].Root)
 	}
-	got := g.Row.Alltoallv(parts)
+	got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
+	ctx.PutParts(parts)
 
 	out := mergeSortedTriples(got, op, outL)
 	g.World.AddWork(out.LocalNnz())
+	ctx.PutInts(fold)
 	return out
 }
 

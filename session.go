@@ -8,6 +8,7 @@ import (
 	"mcmdist/internal/grid"
 	"mcmdist/internal/matching"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/rt"
 	"mcmdist/internal/spmat"
 )
 
@@ -17,12 +18,19 @@ import (
 // computations — the usage pattern of a sparse solver that factorizes many
 // matrices with one nonzero pattern, and the "already distributed" premise
 // of the paper's Section VI-E.
+//
+// Each rank's runtime context (buffer arena, dense scratch, per-op ledger)
+// is also cached here and rebound to every solve's fresh simulated world,
+// so repeated solves run allocation-quiet: the buffers grown by the first
+// solve serve all later ones. Like the rest of the struct this is safe for
+// sequential reuse, not for concurrent solves on one DistributedGraph.
 type DistributedGraph struct {
 	g       *Graph
 	procs   int
 	side    int
 	blocks  [][]*spmat.LocalMatrix
 	blocksT [][]*spmat.LocalMatrix
+	ctxs    []*rt.Ctx // per-rank runtime contexts, reused across solves
 }
 
 // Distribute blocks the graph onto procs simulated ranks (a perfect
@@ -36,12 +44,17 @@ func Distribute(g *Graph, procs int) (*DistributedGraph, error) {
 	if side*side != procs {
 		return nil, fmt.Errorf("mcmdist: Procs = %d is not a perfect square", procs)
 	}
+	ctxs := make([]*rt.Ctx, procs)
+	for r := range ctxs {
+		ctxs[r] = rt.New(nil) // bound to each solve's communicator at run time
+	}
 	return &DistributedGraph{
 		g:       g,
 		procs:   procs,
 		side:    side,
 		blocks:  spmat.Distribute2D(g.a, side, side),
 		blocksT: spmat.Distribute2D(g.a.Transpose(), side, side),
+		ctxs:    ctxs,
 	}, nil
 }
 
@@ -61,8 +74,8 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (*Matching, *Stats, er
 	perRankStats := make([]*core.Stats, dg.procs)
 	perRankMeter := make([]mpi.Meter, dg.procs)
 	var mateR, mateC []int64
-	err := core.RunDistributed(dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
-		cfg, func(s *core.Solver) error {
+	err := core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
+		cfg, dg.ctxs, func(s *core.Solver) error {
 			mater, matec := s.MaximalInit()
 			if cfg.TreeGrafting {
 				s.MCMGraft(mater, matec)
@@ -104,8 +117,8 @@ func (dg *DistributedGraph) MaximalMatchingDistributed(init Initializer, threads
 	perRankStats := make([]*core.Stats, dg.procs)
 	perRankMeter := make([]mpi.Meter, dg.procs)
 	var mateR, mateC []int64
-	err := core.RunDistributed(dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
-		cfg, func(s *core.Solver) error {
+	err := core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
+		cfg, dg.ctxs, func(s *core.Solver) error {
 			mater, matec := s.MaximalInit()
 			fullR := mater.Gather()
 			fullC := matec.Gather()
