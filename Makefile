@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,9 @@ race:
 # the Table I primitive chain, and an end-to-end solve.
 bench:
 	$(GO) test -bench Allocs -benchmem -run '^$$' ./internal/spmv/ ./internal/dvec/ .
+
+# One-iteration pass over the Table I benchmarks (the primitive chain and
+# the end-to-end solve at t=1 vs t=4) — the CI smoke that keeps the
+# threaded hot path compiling and running without paying full bench time.
+bench-smoke:
+	$(GO) test -bench TableI -benchtime=1x -run '^$$' .

@@ -144,6 +144,35 @@ func BenchmarkMCMDistByProcs(b *testing.B) {
 	}
 }
 
+// BenchmarkTableIChain drives the full Table I primitive chain (SpMV,
+// SELECT, INVERT, SET, PRUNE per BFS iteration) through end-to-end MCM-DIST
+// solves on the RMAT scale-16 workload, flat (t=1) against hybrid (t=4).
+// The worker pools are real, so on a host with >= 4 cores the hybrid run
+// shows measured wall-time speedup; on smaller hosts the sub-benchmarks
+// still verify the threaded path end to end. The matchings are bit-identical
+// across thread counts (asserted by TestHybridMeasuredSpeedup and the core
+// oracle sweep).
+func BenchmarkTableIChain(b *testing.B) {
+	g, err := RMAT(G500, 16, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dg.Close()
+	for _, threads := range []int{1, 4} {
+		b.Run("t="+itoa(threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dg.MaximumMatching(Options{Init: DynamicMindegreeInit, Threads: threads}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -4,17 +4,29 @@
 //
 // Usage:
 //
-//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|all [-scale N] [-procs P]
+//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|all
+//	      [-scale N] [-procs P] [-threads T]
+//	      [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Scaling figures report times from the alpha-beta cost model (see
-// internal/costmodel); EXPERIMENTS.md compares their shapes against the
+// internal/costmodel) next to measured host wall clock where the figure
+// calls for it (fig7); EXPERIMENTS.md compares their shapes against the
 // paper's. Larger -scale values sharpen the shapes but take longer.
+//
+// -json writes a machine-readable envelope: every experiment's row structs
+// keyed by name, plus a measured solve profile (per-op wall seconds, exact
+// communication meters, worker-pool utilization, heap traffic) at the
+// requested scale/procs/threads. -cpuprofile and -memprofile write pprof
+// profiles covering the experiment runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mcmdist/internal/experiments"
 )
@@ -23,61 +35,135 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, all")
 	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
 	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
+	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
+	jsonPath := flag.String("json", "", "write machine-readable results (experiment rows + measured solve profile) to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the experiment runs to this path")
 	flag.Parse()
 
+	if *threads > 0 {
+		experiments.DefaultThreads = *threads
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	w := os.Stdout
+	results := make(map[string]any)
 	runOne := func(name string) bool {
+		var rows any
 		switch name {
 		case "table2":
-			experiments.Table2(w, *scale)
+			rows = experiments.Table2(w, *scale)
 		case "fig3":
-			experiments.Fig3(w, min(*scale, 9), *procs)
+			rows = experiments.Fig3(w, min(*scale, 9), *procs)
 		case "fig4":
-			experiments.Fig4(w, *scale, nil, nil)
+			rows = experiments.Fig4(w, *scale, nil, nil)
 		case "fig5":
-			experiments.Fig5(w, *scale, nil)
+			rows = experiments.Fig5(w, *scale, nil)
 		case "fig6":
-			experiments.Fig6(w, []int{*scale - 2, *scale}, nil)
+			rows = experiments.Fig6(w, []int{*scale - 2, *scale}, nil)
 		case "fig7":
-			experiments.Fig7(w, *scale, nil)
+			rows = experiments.Fig7(w, *scale, nil)
 		case "fig8":
-			experiments.Fig8(w, min(*scale, 9), *procs, nil)
+			rows = experiments.Fig8(w, min(*scale, 9), *procs, nil)
 		case "fig9":
-			experiments.Fig9(w, nil, 2048, 8)
+			rows = experiments.Fig9(w, nil, 2048, 8)
 		case "augment":
-			experiments.AugmentCrossover(w, 4, 16, nil)
+			rows = experiments.AugmentCrossover(w, 4, 16, nil)
 		case "direction":
-			experiments.DirectionAblation(w, *scale, *procs, nil)
+			rows = experiments.DirectionAblation(w, *scale, *procs, nil)
 		case "gridshape":
-			experiments.GridShapeAblation(w, *scale, *procs)
+			rows = experiments.GridShapeAblation(w, *scale, *procs)
 		case "graft":
-			experiments.GraftAblation(w, *scale, *procs, nil)
+			rows = experiments.GraftAblation(w, *scale, *procs, nil)
 		case "quality":
-			experiments.InitQuality(w, *scale, nil)
+			rows = experiments.InitQuality(w, *scale, nil)
 		case "balance":
-			experiments.BalanceAblation(w, *scale, *procs, nil)
+			rows = experiments.BalanceAblation(w, *scale, *procs, nil)
 		case "ssms":
-			experiments.SingleVsMultiSource(w, min(*scale, 10), *procs, nil)
+			rows = experiments.SingleVsMultiSource(w, min(*scale, 10), *procs, nil)
 		case "treebalance":
-			experiments.TreeBalance(w, *scale, *procs, nil)
+			rows = experiments.TreeBalance(w, *scale, *procs, nil)
 		case "dynamics":
 			experiments.FrontierDynamics(w, "road_usa", *scale, *procs)
 		default:
 			return false
 		}
+		if rows != nil {
+			results[name] = rows
+		}
 		fmt.Fprintln(w)
 		return true
 	}
 
+	ok := true
 	if *exp == "all" {
 		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "augment", "direction", "gridshape", "graft", "quality", "balance", "ssms", "treebalance"} {
 			fmt.Fprintf(w, "=== %s ===\n", name)
 			runOne(name)
 		}
-		return
-	}
-	if !runOne(*exp) {
+	} else if !runOne(*exp) {
 		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *exp)
+		ok = false
+	}
+
+	if ok && *jsonPath != "" {
+		t := experiments.DefaultThreads
+		envelope := struct {
+			Exp      string                   `json:"exp"`
+			Scale    int                      `json:"scale"`
+			Procs    int                      `json:"procs"`
+			Threads  int                      `json:"threads"`
+			HostCPUs int                      `json:"host_cpus"`
+			Results  map[string]any           `json:"results"`
+			Profile  experiments.SolveProfile `json:"profile"`
+		}{
+			Exp:      *exp,
+			Scale:    *scale,
+			Procs:    *procs,
+			Threads:  t,
+			HostCPUs: runtime.NumCPU(),
+			Results:  results,
+			Profile:  experiments.Profile("road_usa", *scale, *procs, t),
+		}
+		buf, err := json.MarshalIndent(envelope, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if !ok {
 		os.Exit(2)
 	}
 }

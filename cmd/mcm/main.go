@@ -35,7 +35,7 @@ func main() {
 	scale := flag.Int("scale", 12, "scale of generated matrices (2^scale vertices per side)")
 	seed := flag.Int64("seed", 1, "generator / permutation seed")
 	procs := flag.Int("procs", 4, "simulated ranks (perfect square)")
-	threads := flag.Int("threads", 12, "modeled threads per rank")
+	threads := flag.Int("threads", 12, "worker threads per rank (also divides the modeled work term)")
 	initAlg := flag.String("init", "mindegree", "initializer: none, greedy, karpsipser, mindegree")
 	semiringFlag := flag.String("semiring", "minparent", "SpMV semiring: minparent, randroot, randparent")
 	augment := flag.String("augment", "auto", "augmentation: auto, level, path")

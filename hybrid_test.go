@@ -1,0 +1,73 @@
+package mcmdist
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestHybridMeasuredSpeedup is the measured counterpart of Fig. 7: on the
+// RMAT scale-16 workload, the hybrid configuration (4 threads per rank)
+// must beat flat (1 thread per rank) by at least 1.5x on the host wall
+// clock, with a bit-identical matching. The speedup can only materialize
+// when the machine has cores for the worker pools, so the timing assertion
+// is gated on runtime.NumCPU(); the bit-identity assertion runs regardless.
+func TestHybridMeasuredSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-16 workload skipped in -short mode")
+	}
+	g, err := RMAT(G500, 16, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+
+	solve := func(threads int) (*Matching, time.Duration) {
+		t.Helper()
+		best := time.Duration(0)
+		var m *Matching
+		// Warm-up plus best-of-2 to keep the assertion off scheduler noise.
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			got, _, err := dg.MaximumMatching(Options{Init: DynamicMindegreeInit, Threads: threads})
+			d := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m = got
+			if i > 0 && (best == 0 || d < best) {
+				best = d
+			}
+		}
+		return m, best
+	}
+
+	flatM, flatT := solve(1)
+	hybM, hybT := solve(4)
+
+	if len(flatM.MateR) != len(hybM.MateR) || len(flatM.MateC) != len(hybM.MateC) {
+		t.Fatalf("matching sizes differ across thread counts")
+	}
+	for i := range flatM.MateR {
+		if flatM.MateR[i] != hybM.MateR[i] {
+			t.Fatalf("MateR[%d] differs: t=1 %d, t=4 %d", i, flatM.MateR[i], hybM.MateR[i])
+		}
+	}
+	for j := range flatM.MateC {
+		if flatM.MateC[j] != hybM.MateC[j] {
+			t.Fatalf("MateC[%d] differs: t=1 %d, t=4 %d", j, flatM.MateC[j], hybM.MateC[j])
+		}
+	}
+
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d CPUs; measured 1.5x speedup needs >= 4 (flat %v, hybrid %v)",
+			runtime.NumCPU(), flatT, hybT)
+	}
+	if speedup := flatT.Seconds() / hybT.Seconds(); speedup < 1.5 {
+		t.Fatalf("hybrid speedup %.2fx < 1.5x (flat %v, hybrid %v)", speedup, flatT, hybT)
+	}
+}

@@ -151,4 +151,5 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 		})
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
+	s.captureThreadStats()
 }

@@ -28,6 +28,7 @@ func (s *Solver) MaximalInit() (mater, matec *dvec.Dense) {
 		}
 	})
 	s.Stats.InitCardinality = s.N2 - s.countUnmatched(matec)
+	s.captureThreadStats()
 	return mater, matec
 }
 
@@ -67,22 +68,35 @@ func (s *Solver) greedyInit(mater, matec *dvec.Dense) {
 func (s *Solver) residualColDegrees(mater *dvec.Dense) *dvec.SparseInt {
 	urows := dvec.NewSparseInt(s.RowL)
 	lo := s.RowL.MyRange().Lo
-	for i, v := range mater.Local {
-		if v == semiring.None {
-			urows.Append(lo+i, 1)
-		}
-	}
+	fillFiltered(s.G.RT.Pool(), len(mater.Local),
+		func(i int) bool { return mater.Local[i] == semiring.None },
+		func(total int) {
+			urows.Idx = make([]int, total)
+			urows.Val = make([]int64, total)
+		},
+		func(o, i int) {
+			urows.Idx[o] = lo + i
+			urows.Val[o] = 1
+		})
 	s.G.World.AddWork(len(mater.Local))
 	deg := s.countMul(urows.Redistribute(s.RowTL))
 	return deg.Redistribute(s.ColL)
 }
 
-// frontierFromCols builds a frontier with Self(j) at each index of cols.
+// frontierFromCols builds a frontier with Self(j) at each index of cols,
+// filled in parallel (every entry is kept, so the output slot is the input
+// slot and no compaction pass is needed).
 func (s *Solver) frontierFromCols(cols *dvec.SparseInt) *dvec.SparseV {
 	f := dvec.NewSparseV(s.ColL)
-	for _, g := range cols.Idx {
-		f.Append(g, semiring.Self(int64(g)))
-	}
+	f.Idx = make([]int, len(cols.Idx))
+	f.Val = make([]semiring.Vertex, len(cols.Idx))
+	s.G.RT.Pool().For(len(cols.Idx), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			g := cols.Idx[k]
+			f.Idx[k] = g
+			f.Val[k] = semiring.Self(int64(g))
+		}
+	})
 	s.G.World.AddWork(len(cols.Idx))
 	return f
 }
@@ -126,11 +140,17 @@ func (s *Solver) dynMinDegreeInit(mater, matec *dvec.Dense) {
 			return
 		}
 		fc := dvec.NewSparseV(s.ColL)
-		for k, g := range degU.Idx {
-			// Root encodes (degree, column) lexicographically.
-			key := degU.Val[k]*int64(s.N2) + int64(g)
-			fc.Append(g, semiring.Vertex{Parent: int64(g), Root: key})
-		}
+		fc.Idx = make([]int, len(degU.Idx))
+		fc.Val = make([]semiring.Vertex, len(degU.Idx))
+		s.G.RT.Pool().For(len(degU.Idx), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				g := degU.Idx[k]
+				// Root encodes (degree, column) lexicographically.
+				key := degU.Val[k]*int64(s.N2) + int64(g)
+				fc.Idx[k] = g
+				fc.Val[k] = semiring.Vertex{Parent: int64(g), Root: key}
+			}
+		})
 		s.G.World.AddWork(len(degU.Idx))
 		if s.greedyRound(mater, matec, fc, semiring.MinRoot) == 0 {
 			return

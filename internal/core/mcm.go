@@ -152,6 +152,7 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 		})
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
+	s.captureThreadStats()
 }
 
 // MCMSingleSource runs the single-source (SS-BFS) variant the paper's
@@ -241,4 +242,5 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 		})
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
+	s.captureThreadStats()
 }

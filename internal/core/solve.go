@@ -55,7 +55,9 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 	var mateR, mateC []int64
 
 	_, err = mpi.Run(cfg.Procs, func(c *mpi.Comm) error {
-		g, err := grid.NewWithRT(c, pr, pc, newRankCtx(c, cfg, nil, 0))
+		ctx := newRankCtx(c, cfg, nil, 0)
+		defer ctx.Close() // fresh context: release the worker pool with the rank
+		g, err := grid.NewWithRT(c, pr, pc, ctx)
 		if err != nil {
 			return err
 		}
@@ -157,7 +159,14 @@ func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatr
 func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, ctxs []*rt.Ctx, fn func(*Solver) error) error {
 	_, err := mpi.Run(pr*pc, func(c *mpi.Comm) error {
-		g, err := grid.NewWithRT(c, pr, pc, newRankCtx(c, cfg, ctxs, c.Rank()))
+		ctx := newRankCtx(c, cfg, ctxs, c.Rank())
+		if ctxs == nil {
+			// Fresh context: its worker pool dies with the rank. A caller-
+			// supplied context keeps its pool warm across solves; the caller
+			// releases it (e.g. DistributedGraph.Close).
+			defer ctx.Close()
+		}
+		g, err := grid.NewWithRT(c, pr, pc, ctx)
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/parallel"
 	"mcmdist/internal/rt"
 )
 
@@ -43,6 +44,12 @@ type Stats struct {
 	GraftResets       int
 	GraftReleasedRows int
 
+	// Threading is this rank's worker-pool telemetry for the solve: team
+	// size, parallel regions fanned out vs. run inline, busy time, and
+	// (via Utilization) how much of the team's capacity was used. After
+	// MergeMax it holds the per-field maximum across ranks.
+	Threading parallel.Stats
+
 	// Wall is wall-clock time per category for this rank (in-process
 	// simulation time, useful for relative breakdown).
 	Wall map[Op]time.Duration
@@ -78,6 +85,7 @@ func (s *Stats) TotalMeter() mpi.Meter {
 // wall time and meters (critical-path approximation) and verifying the
 // SPMD-replicated counters agree.
 func (s *Stats) MergeMax(o *Stats) {
+	s.Threading = s.Threading.Max(o.Threading)
 	for op, d := range o.Wall {
 		if d > s.Wall[op] {
 			s.Wall[op] = d

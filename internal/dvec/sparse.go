@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mcmdist/internal/mpi"
-	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 )
 
@@ -249,7 +248,7 @@ func (s *SparseInt) Invert(outL Layout) *SparseInt {
 	}
 	flat := invertExchange(s.L, outL, records, 2)
 	ctx.PutInts(records)
-	rt.SortRecords(flat, 2)
+	ctx.SortRecords(flat, 2)
 	out := NewSparseInt(outL)
 	for off := 0; off < len(flat); off += 2 {
 		if off > 0 && flat[off-2] == flat[off] {
@@ -296,7 +295,7 @@ func (s *SparseV) InvertRoots(outL Layout) *SparseV {
 func invertVertex(l Layout, outL Layout, records []int64) *SparseV {
 	flat := invertExchange(l, outL, records, 3)
 	ctx := l.G.RT
-	rt.SortRecords(flat, 3)
+	ctx.SortRecords(flat, 3)
 	out := NewSparseV(outL)
 	for off := 0; off < len(flat); off += 3 {
 		if off > 0 && flat[off-3] == flat[off] {
@@ -321,7 +320,7 @@ func (s *SparseV) PruneRoots(localRoots []int64) *SparseV {
 	banned := c.AllgathervInto(localRoots, ctx.GetInts(len(localRoots)*c.Size()))
 	// Sorted + deduped flat set instead of a per-call hash map: lookups are
 	// binary searches and the buffer goes back to the arena afterwards.
-	rt.SortRecords(banned, 1)
+	ctx.SortRecords(banned, 1)
 	uniq := 0
 	for i := range banned {
 		if i == 0 || banned[i] != banned[uniq-1] {
@@ -447,7 +446,7 @@ func (s *SparseInt) Redistribute(outL Layout) *SparseInt {
 	}
 	flat := c.AlltoallvFlat(parts, ctx.GetInts(2*len(s.Idx)))
 	ctx.PutParts(parts)
-	rt.SortRecords(flat, 2)
+	ctx.SortRecords(flat, 2)
 	out := NewSparseInt(outL)
 	n := len(flat) / 2
 	if n > 0 {

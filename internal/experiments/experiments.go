@@ -24,7 +24,9 @@ import (
 var Model = costmodel.EdisonMini
 
 // DefaultThreads mirrors the paper's 12 OpenMP threads per MPI process.
-const DefaultThreads = 12
+// It is a variable so cmd/bench -threads can resize every experiment's
+// hybrid configuration at once.
+var DefaultThreads = 12
 
 // Run solves the matrix on p ranks with the given options and returns the
 // result; it panics on configuration errors (experiment code paths use

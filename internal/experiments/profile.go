@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"mcmdist/internal/core"
+)
+
+// CommProfile is one op category's exact communication counters: message
+// count, words moved, and local work performed.
+type CommProfile struct {
+	Msgs  int64 `json:"msgs"`
+	Words int64 `json:"words"`
+	Work  int64 `json:"work"`
+}
+
+// SolveProfile is the machine-readable summary of one measured solve — the
+// payload behind cmd/bench -json. Wall clocks are host seconds (the
+// simulation really runs); communication counters are exact; modeled
+// seconds come from the same alpha-beta model as the figures.
+type SolveProfile struct {
+	Matrix          string                 `json:"matrix"`
+	Scale           int                    `json:"scale"`
+	Procs           int                    `json:"procs"`
+	Threads         int                    `json:"threads"`
+	Cardinality     int                    `json:"cardinality"`
+	InitCardinality int                    `json:"init_cardinality"`
+	Phases          int                    `json:"phases"`
+	Iterations      int                    `json:"iterations"`
+	WallSeconds     float64                `json:"wall_seconds"`
+	ModeledSeconds  float64                `json:"modeled_seconds"`
+	OpWallSeconds   map[string]float64     `json:"op_wall_seconds"`
+	OpComm          map[string]CommProfile `json:"op_comm"`
+	PerRank         []CommProfile          `json:"per_rank"`
+	PoolUtilization float64                `json:"pool_utilization"`
+	PoolRegions     int64                  `json:"pool_regions"`
+	PoolInline      int64                  `json:"pool_inline"`
+	AllocBytes      uint64                 `json:"alloc_bytes"`
+	Mallocs         uint64                 `json:"mallocs"`
+	HostCPUs        int                    `json:"host_cpus"`
+}
+
+// Profile runs one solve of the named suite matrix and reports everything a
+// tooling consumer wants from it: measured host wall clock overall and per
+// op category, exact communication meters, worker-pool utilization, and the
+// heap traffic of the solve (allocation bytes and mallocs across all ranks,
+// including matrix generation-free solve work only).
+func Profile(name string, scale, procs, threads int) SolveProfile {
+	a := suiteMatrix(name, scale)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := run(a, core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9})
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	p := SolveProfile{
+		Matrix:          name,
+		Scale:           scale,
+		Procs:           res.Procs,
+		Threads:         res.Threads,
+		Cardinality:     res.Stats.Cardinality,
+		InitCardinality: res.Stats.InitCardinality,
+		Phases:          res.Stats.Phases,
+		Iterations:      res.Stats.Iterations,
+		WallSeconds:     wall,
+		ModeledSeconds:  modeledTime(res, threads),
+		OpWallSeconds:   make(map[string]float64, len(res.Stats.Wall)),
+		OpComm:          make(map[string]CommProfile, len(res.Stats.Meter)),
+		PoolUtilization: res.Stats.Threading.Utilization(),
+		PoolRegions:     res.Stats.Threading.Regions,
+		PoolInline:      res.Stats.Threading.Inline,
+		AllocBytes:      after.TotalAlloc - before.TotalAlloc,
+		Mallocs:         after.Mallocs - before.Mallocs,
+		HostCPUs:        runtime.NumCPU(),
+	}
+	for op, d := range res.Stats.Wall {
+		p.OpWallSeconds[string(op)] = d.Seconds()
+	}
+	for op, m := range res.Stats.Meter {
+		p.OpComm[string(op)] = CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
+	}
+	for _, m := range res.PerRank {
+		p.PerRank = append(p.PerRank, CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
+	}
+	return p
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/parallel"
 	"mcmdist/internal/semiring"
 )
 
@@ -57,6 +58,9 @@ type Ctx struct {
 	parts [][][]int64 // free personalized-collective send-buffer sets
 
 	scratch map[string]*Scratch
+	shards  map[string][]*Scratch
+
+	pool *parallel.Pool
 
 	ops map[string]OpCost
 }
@@ -93,6 +97,57 @@ func (c *Ctx) Comm() *mpi.Comm {
 // Enabled reports whether the arena actually pools (false for nil or
 // disabled contexts).
 func (c *Ctx) Enabled() bool { return c != nil && c.enabled }
+
+// EnsureThreads sizes the context's persistent worker pool — the rank's
+// intra-node thread team, the analogue of the paper's OpenMP threads — to t.
+// Idempotent when the size already matches; resizing closes the old team and
+// parks a new one. t <= 1 (and a disabled-arena context alike) keeps the
+// inline nil pool. Safe on a nil context.
+func (c *Ctx) EnsureThreads(t int) {
+	if c == nil {
+		return
+	}
+	if t < 1 {
+		t = 1
+	}
+	if c.pool.Threads() == t {
+		return
+	}
+	c.pool.Close()
+	c.pool = parallel.NewPool(t)
+}
+
+// Pool returns the context's worker pool. A nil return (nil context, or
+// EnsureThreads never called / called with t <= 1) is itself a valid pool
+// that runs every region inline.
+func (c *Ctx) Pool() *parallel.Pool {
+	if c == nil {
+		return nil
+	}
+	return c.pool
+}
+
+// Threads returns the worker-pool team size (1 when there is no pool).
+func (c *Ctx) Threads() int { return c.Pool().Threads() }
+
+// ThreadStats returns the pool's cumulative telemetry (zero-valued with
+// Threads=1 when there is no pool).
+func (c *Ctx) ThreadStats() parallel.Stats { return c.Pool().Stats() }
+
+// Close releases the context's resources with OS-visible lifetime: the
+// parked worker goroutines. Buffers and scratch are plain garbage-collected
+// memory and need no release, but parked goroutines are GC roots — a context
+// that had EnsureThreads called must be Closed when its rank is done (the
+// solver does this for contexts it creates; sessions close their cached
+// contexts via DistributedGraph.Close). Safe on a nil context, idempotent,
+// and the context remains usable afterwards with an inline pool.
+func (c *Ctx) Close() {
+	if c == nil {
+		return
+	}
+	c.pool.Close()
+	c.pool = nil
+}
 
 // classFor returns the size class whose capacity (minClassCap << class)
 // holds n elements.
@@ -273,6 +328,45 @@ func (c *Ctx) Scratch(tag string, n int) *Scratch {
 	return s
 }
 
+// ScratchShards borrows k dense workspaces registered under tag, each sized
+// to at least n entries with all entries absent: one private shard per worker
+// of a parallel combine (the SpMV local multiply writes shard w from worker w
+// with no synchronization, then the shards are merged under the semiring op).
+// Shards persist and grow under their tag exactly like Scratch; re-borrowing
+// a tag invalidates all previous borrows of that tag, and asking for fewer
+// shards than last time leaves the extras parked.
+func (c *Ctx) ScratchShards(tag string, k, n int) []*Scratch {
+	if !c.Enabled() {
+		out := make([]*Scratch, k)
+		for i := range out {
+			out[i] = &Scratch{Val: make([]semiring.Vertex, n), stamp: make([]uint32, n), epoch: 1}
+		}
+		return out
+	}
+	if c.shards == nil {
+		c.shards = make(map[string][]*Scratch)
+	}
+	ss := c.shards[tag]
+	for len(ss) < k {
+		ss = append(ss, &Scratch{})
+	}
+	c.shards[tag] = ss
+	out := ss[:k]
+	for _, s := range out {
+		if len(s.Val) < n {
+			s.Val = make([]semiring.Vertex, n)
+			s.stamp = make([]uint32, n)
+			s.epoch = 0
+		}
+		s.epoch++
+		if s.epoch == 0 {
+			clear(s.stamp)
+			s.epoch = 1
+		}
+	}
+	return out
+}
+
 // Has reports whether index i was Set since this borrow.
 func (s *Scratch) Has(i int) bool { return s.stamp[i] == s.epoch }
 
@@ -369,4 +463,81 @@ func SortRecords(buf []int64, stride int) {
 		panic("rt: SortRecords buffer not a whole number of records")
 	}
 	sort.Sort(recordSorter{buf: buf, stride: stride})
+}
+
+// sortGrain is the minimum records per chunk of the parallel record sort;
+// below roughly two chunks of this the serial sort wins outright.
+const sortGrain = 4096
+
+// SortRecords sorts buf like the package-level SortRecords, but uses the
+// context's worker pool when the buffer is large enough to amortize the
+// fan-out: each worker sorts a contiguous run of records, then pairwise
+// merge rounds (also fanned across the team, with a temp buffer borrowed
+// from the arena) combine the runs. The merge compares (first, second) and
+// takes the left run on ties, so for the key spaces the solver sorts —
+// where (first, second) pairs are unique — the output is bit-identical to
+// the serial sort.
+func (c *Ctx) SortRecords(buf []int64, stride int) {
+	if stride <= 0 || len(buf)%stride != 0 {
+		panic("rt: SortRecords buffer not a whole number of records")
+	}
+	p := c.Pool()
+	nrec := len(buf) / stride
+	bounds := p.Chunks(nrec, sortGrain)
+	if len(bounds) <= 2 {
+		sort.Sort(recordSorter{buf: buf, stride: stride})
+		return
+	}
+	p.ForChunked(nrec, sortGrain, func(_, lo, hi int) {
+		sort.Sort(recordSorter{buf: buf[lo*stride : hi*stride], stride: stride})
+	})
+	tmp := c.GetInts(len(buf))
+	tmp = tmp[:len(buf)]
+	src, dst := buf, tmp
+	for len(bounds) > 2 {
+		next := append(make([]int, 0, len(bounds)/2+2), bounds[0])
+		fns := make([]func(), 0, len(bounds)/2+1)
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i]*stride, bounds[i+1]*stride, bounds[i+2]*stride
+			s, d := src, dst
+			fns = append(fns, func() {
+				mergeRecords(d[lo:hi], s[lo:mid], s[mid:hi], stride)
+			})
+			next = append(next, bounds[i+2])
+		}
+		if i+1 < len(bounds) { // odd run left over: carry it through
+			lo, hi := bounds[i]*stride, bounds[i+1]*stride
+			s, d := src, dst
+			fns = append(fns, func() { copy(d[lo:hi], s[lo:hi]) })
+			next = append(next, bounds[i+1])
+		}
+		p.Run(fns...)
+		src, dst = dst, src
+		bounds = next
+	}
+	if &src[0] != &buf[0] {
+		copy(buf, src)
+	}
+	c.PutInts(tmp)
+}
+
+// mergeRecords merges the sorted record runs a and b into dst
+// (len(dst) = len(a)+len(b)), taking from a on equal keys.
+func mergeRecords(dst, a, b []int64, stride int) {
+	var o int
+	for len(a) > 0 && len(b) > 0 {
+		bf, af := b[:stride], a[:stride]
+		less := bf[0] < af[0] || (bf[0] == af[0] && stride > 1 && bf[1] < af[1])
+		if less {
+			copy(dst[o:], bf)
+			b = b[stride:]
+		} else {
+			copy(dst[o:], af)
+			a = a[stride:]
+		}
+		o += stride
+	}
+	copy(dst[o:], a)
+	copy(dst[o+len(a):], b)
 }

@@ -408,3 +408,108 @@ func TestBindAcrossWorlds(t *testing.T) {
 		_ = got
 	}
 }
+
+func TestScratchShardsInvalidateOnReborrow(t *testing.T) {
+	c := New(nil)
+	ss := c.ScratchShards("shard.test", 3, 100)
+	if len(ss) != 3 {
+		t.Fatalf("got %d shards", len(ss))
+	}
+	for w, s := range ss {
+		if s.Len() < 100 {
+			t.Fatalf("shard %d len %d", w, s.Len())
+		}
+		if s.Has(w) {
+			t.Fatalf("shard %d has entry %d before Set", w, w)
+		}
+		s.Set(w, semiring.Vertex{Parent: int64(w)})
+	}
+	// Distinct shards must not alias.
+	for w, s := range ss {
+		for i := 0; i < 3; i++ {
+			if s.Has(i) != (i == w) {
+				t.Fatalf("shard %d aliasing at %d", w, i)
+			}
+		}
+	}
+	// Re-borrow invalidates all entries and may grow the set.
+	ss2 := c.ScratchShards("shard.test", 4, 100)
+	for w, s := range ss2 {
+		if s.Has(w % 3) {
+			t.Fatalf("shard %d kept stale entry after re-borrow", w)
+		}
+	}
+	if ss2[0] != ss[0] {
+		t.Fatal("re-borrow did not reuse shard storage")
+	}
+}
+
+func TestScratchShardsDisabledCtx(t *testing.T) {
+	c := NewDisabled(nil)
+	ss := c.ScratchShards("x", 2, 50)
+	if len(ss) != 2 || ss[0] == ss[1] {
+		t.Fatal("disabled ctx must hand out distinct fresh shards")
+	}
+	ss[0].Set(7, semiring.Vertex{})
+	if !ss[0].Has(7) || ss[1].Has(7) {
+		t.Fatal("disabled shards broken")
+	}
+}
+
+func TestCtxSortRecordsMatchesSerial(t *testing.T) {
+	c := New(nil)
+	c.EnsureThreads(4)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(42))
+	for _, stride := range []int{1, 2, 3} {
+		for _, nrec := range []int{0, 1, 100, sortGrain - 1, sortGrain * 2, sortGrain*4 + 17} {
+			buf := make([]int64, nrec*stride)
+			for i := 0; i < nrec; i++ {
+				buf[i*stride] = int64(rng.Intn(nrec/4 + 1)) // plenty of key ties
+				for f := 1; f < stride; f++ {
+					buf[i*stride+f] = int64(i) // unique second field, like source indices
+				}
+			}
+			want := append([]int64(nil), buf...)
+			SortRecords(want, stride)
+			c.SortRecords(buf, stride)
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("stride=%d nrec=%d: parallel sort diverges at %d: %d vs %d",
+						stride, nrec, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEnsureThreadsLifecycle(t *testing.T) {
+	c := New(nil)
+	if c.Threads() != 1 || c.Pool() != nil {
+		t.Fatal("fresh ctx must have inline pool")
+	}
+	c.EnsureThreads(4)
+	p := c.Pool()
+	if p.Threads() != 4 {
+		t.Fatalf("threads %d", p.Threads())
+	}
+	c.EnsureThreads(4)
+	if c.Pool() != p {
+		t.Fatal("same-size EnsureThreads must keep the pool")
+	}
+	c.EnsureThreads(2)
+	if c.Pool() == p || c.Threads() != 2 {
+		t.Fatal("resize must replace the pool")
+	}
+	c.Close()
+	if c.Pool() != nil || c.Threads() != 1 {
+		t.Fatal("Close must drop to the inline pool")
+	}
+	c.Close() // idempotent
+	var nilCtx *Ctx
+	nilCtx.EnsureThreads(8)
+	nilCtx.Close()
+	if nilCtx.Threads() != 1 {
+		t.Fatal("nil ctx must report 1 thread")
+	}
+}

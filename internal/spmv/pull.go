@@ -90,38 +90,59 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 
 	// Pull: every unvisited local row scans its adjacency and stops at the
 	// first frontier neighbor. Hits are staged as (row, parent, root)
-	// triples in a flat arena buffer.
-	hits := ctx.GetInts(0)
-	work := skip.Len() / 64 // packed scan over the skip bitmap
-	for r := 0; r < rowAdj.NCols; r++ {
-		if skip.Has(r) {
-			continue
-		}
-		for _, lc := range rowAdj.Col(r) {
-			work++
-			if frontier.Has(lc) {
-				gcol := int64(a.Cols.Lo + lc)
-				cand := semiring.Multiply(gcol, frontier.Val[lc])
-				hits = append(hits, int64(a.Rows.Lo+r), cand.Parent, cand.Root)
-				break // direction optimization: first hit suffices
+	// triples in per-worker arena buffers — the row range is cut into
+	// contiguous chunks, so concatenating the buffers in worker order keeps
+	// the hits sorted by row, exactly as the serial scan emits them. The
+	// frontier and skip scratches are read-only during the scan.
+	pool := ctx.Pool()
+	width := pool.Width(rowAdj.NCols, pullGrain)
+	hitsW := make([][]int64, width)
+	for w := range hitsW {
+		hitsW[w] = ctx.GetInts(0)
+	}
+	workW := make([]int64, width)
+	pool.ForChunked(rowAdj.NCols, pullGrain, func(w, lo, hi int) {
+		buf := hitsW[w]
+		var wk int64
+		for r := lo; r < hi; r++ {
+			if skip.Has(r) {
+				continue
+			}
+			for _, lc := range rowAdj.Col(r) {
+				wk++
+				if frontier.Has(lc) {
+					gcol := int64(a.Cols.Lo + lc)
+					cand := semiring.Multiply(gcol, frontier.Val[lc])
+					buf = append(buf, int64(a.Rows.Lo+r), cand.Parent, cand.Root)
+					break // direction optimization: first hit suffices
+				}
 			}
 		}
+		hitsW[w] = buf
+		workW[w] = wk
+	})
+	work := skip.Len() / 64 // packed scan over the skip bitmap
+	for _, wk := range workW {
+		work += int(wk)
 	}
 	g.World.AddWork(work)
 
 	// Fold: identical to the push direction.
 	parts := ctx.GetParts(g.PC)
-	for off := 0; off < len(hits); off += 3 {
-		grow := int(hits[off])
-		_, j := outL.OwnerCoords(grow)
-		parts[j] = append(parts[j], hits[off], hits[off+1], hits[off+2])
+	nhits := 0
+	for _, hits := range hitsW {
+		nhits += len(hits) / 3
+		for off := 0; off < len(hits); off += 3 {
+			grow := int(hits[off])
+			_, j := outL.OwnerCoords(grow)
+			parts[j] = append(parts[j], hits[off], hits[off+1], hits[off+2])
+		}
+		ctx.PutInts(hits)
 	}
-	nhits := len(hits) / 3
-	ctx.PutInts(hits)
 	got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
 	ctx.PutParts(parts)
 
-	out := mergeSortedTriples(got, op, outL)
+	out := mergeSortedTriples(ctx, got, op, outL)
 	g.World.AddWork(out.LocalNnz())
 	ctx.PutInts(fold)
 	return out, PullStats{Scanned: work, Hits: nhits}

@@ -9,10 +9,21 @@ package spmv
 
 import (
 	"fmt"
+	"sort"
 
 	"mcmdist/internal/dvec"
+	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmat"
+)
+
+// Grain sizes for the intra-rank parallel regions: below these per-chunk
+// element counts the pool runs the loop inline, because dispatch overhead
+// would dominate the work.
+const (
+	multGrain  = 256  // expanded frontier entries per local-multiply chunk
+	mergeGrain = 2048 // fold triples per k-way-merge segment
+	pullGrain  = 256  // local rows per bottom-up scan chunk
 )
 
 // Mul computes y = A·x over the (select2nd, op) semiring. A is the calling
@@ -52,10 +63,74 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 	ctx.PutInts(payload)
 
 	// Local multiply into the rank's persistent dense scratch; the epoch
-	// stamp replaces the per-call present bitmap.
-	sc := ctx.Scratch("spmv.rows", a.Rows.Len())
+	// stamp replaces the per-call present bitmap. With a worker pool, each
+	// worker combines its contiguous run of slab entries into a private
+	// shard, and the shards are then merged into shard 0 by row band. The
+	// combine sequence per row is exactly the serial slab order regrouped by
+	// contiguous chunks, so associativity of op.Combine makes the result
+	// bit-identical to the single-thread multiply.
+	pool := ctx.Pool()
+	nent := len(slab) / 3
+	width := pool.Width(nent, multGrain)
+	shards := ctx.ScratchShards("spmv.rows", width, a.Rows.Len())
+	sc := shards[0]
+	if width <= 1 {
+		g.World.AddWork(multiplyRange(a, slab, 0, nent, sc, op))
+	} else {
+		works := make([]int64, width)
+		pool.ForChunked(nent, multGrain, func(w, lo, hi int) {
+			works[w] = int64(multiplyRange(a, slab, lo, hi, shards[w], op))
+		})
+		var work int64
+		for _, wk := range works {
+			work += wk
+		}
+		g.World.AddWork(int(work))
+		pool.For(a.Rows.Len(), func(lo, hi int) {
+			for s := 1; s < width; s++ {
+				sh := shards[s]
+				for r := lo; r < hi; r++ {
+					if !sh.Has(r) {
+						continue
+					}
+					if !sc.Has(r) {
+						sc.Set(r, sh.Val[r])
+					} else {
+						sc.Val[r] = op.Combine(sc.Val[r], sh.Val[r])
+					}
+				}
+			}
+		})
+	}
+	ctx.PutInts(slab)
+
+	// Fold: route each discovered row to its owner within my grid row and
+	// merge with the semiring addition.
+	parts := ctx.GetParts(g.PC)
+	for r := 0; r < a.Rows.Len(); r++ {
+		if !sc.Has(r) {
+			continue
+		}
+		grow := a.Rows.Lo + r
+		_, j := outL.OwnerCoords(grow)
+		parts[j] = append(parts[j], int64(grow), sc.Val[r].Parent, sc.Val[r].Root)
+	}
+	got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
+	ctx.PutParts(parts)
+
+	out := mergeSortedTriples(ctx, got, op, outL)
+	g.World.AddWork(out.LocalNnz())
+	ctx.PutInts(fold)
+	return out
+}
+
+// multiplyRange runs the work-efficient local multiply over slab entries
+// [lo, hi) (in triples), combining into sc under op, and returns the work
+// performed. Concurrent calls must target distinct scratch shards.
+func multiplyRange(a *spmat.LocalMatrix, slab []int64, lo, hi int, sc *rt.Scratch, op semiring.AddOp) int {
 	work := 0
-	for off := 0; off < len(slab); off += 3 {
+	for k := lo; k < hi; k++ {
+		off := 3 * k
 		gcol := int(slab[off])
 		v := semiring.Vertex{Parent: slab[off+1], Root: slab[off+2]}
 		lcol := gcol - a.Cols.Lo
@@ -73,27 +148,7 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 			}
 		}
 	}
-	g.World.AddWork(work)
-	ctx.PutInts(slab)
-
-	// Fold: route each discovered row to its owner within my grid row and
-	// merge with the semiring addition.
-	parts := ctx.GetParts(g.PC)
-	for r := 0; r < a.Rows.Len(); r++ {
-		if !sc.Has(r) {
-			continue
-		}
-		grow := a.Rows.Lo + r
-		_, j := outL.OwnerCoords(grow)
-		parts[j] = append(parts[j], int64(grow), sc.Val[r].Parent, sc.Val[r].Root)
-	}
-	got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
-	ctx.PutParts(parts)
-
-	out := mergeSortedTriples(got, op, outL)
-	g.World.AddWork(out.LocalNnz())
-	ctx.PutInts(fold)
-	return out
+	return work
 }
 
 // mergeSortedTriples k-way merges the per-sender triple streams — each
@@ -101,37 +156,134 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 // in increasing order — into one sparse vector, combining duplicates with
 // the semiring addition. Avoiding a hash map here matters: the fold runs
 // once per BFS iteration and its output feeds straight into ordered
-// Appends.
-func mergeSortedTriples(got [][]int64, op semiring.AddOp, outL dvec.Layout) *dvec.SparseV {
+// Appends. Stream heads sit in a binary min-heap, so each emitted element
+// costs O(log k) instead of a scan over all k senders. With a worker pool
+// the output row range is cut into bands (stream cut points found by
+// binary search), each band merged independently, and the bands
+// concatenated — band boundaries respect row order, so the result is
+// identical to the single-band merge.
+func mergeSortedTriples(ctx *rt.Ctx, got [][]int64, op semiring.AddOp, outL dvec.Layout) *dvec.SparseV {
+	total := 0
+	for _, s := range got {
+		total += len(s) / 3
+	}
+	pool := ctx.Pool()
+	width := pool.Width(total, mergeGrain)
+	if width <= 1 {
+		out := dvec.NewSparseV(outL)
+		mergeTriplesInto(out, got, op)
+		return out
+	}
+
+	// Cut every stream at the band-boundary rows. Bands split the local row
+	// range evenly; fold triples are usually spread across it.
+	r := outL.MyRange()
+	cuts := make([][]int, width+1) // cuts[b][s] = offset of band b's start in stream s
+	cuts[0] = make([]int, len(got))
+	for b := 1; b < width; b++ {
+		boundary := int64(r.Lo + b*r.Len()/width)
+		cut := make([]int, len(got))
+		for s, stream := range got {
+			n := len(stream) / 3
+			cut[s] = 3 * sort.Search(n, func(i int) bool { return stream[3*i] >= boundary })
+		}
+		cuts[b] = cut
+	}
+	last := make([]int, len(got))
+	for s := range got {
+		last[s] = len(got[s])
+	}
+	cuts[width] = last
+
+	outs := make([]*dvec.SparseV, width)
+	pool.ForChunked(width, 1, func(_, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			segs := make([][]int64, len(got))
+			for s := range got {
+				segs[s] = got[s][cuts[b][s]:cuts[b+1][s]]
+			}
+			outs[b] = dvec.NewSparseV(outL)
+			mergeTriplesInto(outs[b], segs, op)
+		}
+	})
+
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out.Idx = append(out.Idx, o.Idx...)
+		out.Val = append(out.Val, o.Val...)
+	}
+	return out
+}
+
+// mergeTriplesInto heap-merges the sorted triple streams into out,
+// combining duplicate indices with op. The heap orders by (row, stream), so
+// equal rows are absorbed in ascending stream order — and op.Combine is
+// commutative besides, so duplicate order cannot change the result.
+func mergeTriplesInto(out *dvec.SparseV, got [][]int64, op semiring.AddOp) {
 	heads := make([]int, len(got))
-	out := dvec.NewSparseV(outL)
-	for {
-		best := -1
-		bestIdx := 0
-		for s, h := range heads {
-			if h >= len(got[s]) {
-				continue
+	heap := make([]int, 0, len(got)) // stream ids, min-heap by head row
+	less := func(a, b int) bool {
+		ra, rb := got[a][heads[a]], got[b][heads[b]]
+		return ra < rb || (ra == rb && a < b)
+	}
+	push := func(s int) {
+		heap = append(heap, s)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
 			}
-			gi := int(got[s][h])
-			if best == -1 || gi < bestIdx {
-				best, bestIdx = s, gi
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		n := len(heap) - 1
+		heap[0] = heap[n]
+		heap = heap[:n]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < n && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < n && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	for s := range got {
+		if len(got[s]) > 0 {
+			push(s)
+		}
+	}
+	for len(heap) > 0 {
+		s := pop()
+		h := heads[s]
+		gi := got[s][h]
+		acc := semiring.Vertex{Parent: got[s][h+1], Root: got[s][h+2]}
+		heads[s] += 3
+		if heads[s] < len(got[s]) {
+			push(s)
+		}
+		// Absorb equal indices from the other streams (each sender emits an
+		// index at most once, so the winner itself cannot repeat it).
+		for len(heap) > 0 && got[heap[0]][heads[heap[0]]] == gi {
+			s2 := pop()
+			h2 := heads[s2]
+			acc = op.Combine(acc, semiring.Vertex{Parent: got[s2][h2+1], Root: got[s2][h2+2]})
+			heads[s2] += 3
+			if heads[s2] < len(got[s2]) {
+				push(s2)
 			}
 		}
-		if best == -1 {
-			return out
-		}
-		h := heads[best]
-		acc := semiring.Vertex{Parent: got[best][h+1], Root: got[best][h+2]}
-		heads[best] += 3
-		// Absorb equal indices from every stream (including more from the
-		// winner, though each sender emits an index at most once).
-		for s := range got {
-			for heads[s] < len(got[s]) && int(got[s][heads[s]]) == bestIdx {
-				cand := semiring.Vertex{Parent: got[s][heads[s]+1], Root: got[s][heads[s]+2]}
-				acc = op.Combine(acc, cand)
-				heads[s] += 3
-			}
-		}
-		out.Append(bestIdx, acc)
+		out.Append(int(gi), acc)
 	}
 }

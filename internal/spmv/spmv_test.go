@@ -278,7 +278,7 @@ func TestMergeSortedTriplesDuplicatesAcrossStreams(t *testing.T) {
 			{1, 3, 101, 7, 2, 700},
 			{4, 1, 401},
 		}
-		out := mergeSortedTriples(got, semiring.MinParent, outL)
+		out := mergeSortedTriples(nil, got, semiring.MinParent, outL)
 		want := map[int]semiring.Vertex{
 			1: {Parent: 3, Root: 101}, // min parent of (5,100) and (3,101)
 			4: {Parent: 1, Root: 401}, // min parent of (9,400) and (1,401)
@@ -302,7 +302,7 @@ func TestMergeSortedTriplesDuplicatesAcrossStreams(t *testing.T) {
 func TestMergeSortedTriplesEmpty(t *testing.T) {
 	_, err := mpi.Run(1, func(c *mpi.Comm) error {
 		g, _ := grid.New(c, 1, 1)
-		out := mergeSortedTriples([][]int64{nil, {}, nil}, semiring.MinParent,
+		out := mergeSortedTriples(nil, [][]int64{nil, {}, nil}, semiring.MinParent,
 			dvec.NewLayout(g, 5, dvec.RowAligned))
 		if out.LocalNnz() != 0 {
 			return fmt.Errorf("nonzero from empty streams")

@@ -1,0 +1,115 @@
+package spmv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/grid"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/rt"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// runMulThreads executes the distributed Mul with a worker pool of the given
+// size on every rank and returns the gathered result.
+func runMulThreads(t *testing.T, a *spmat.CSC, op semiring.AddOp, pr, pc, threads int) []semiring.Vertex {
+	t.Helper()
+	blocks := spmat.Distribute2D(a, pr, pc)
+	var result []semiring.Vertex
+	_, err := mpi.Run(pr*pc, func(c *mpi.Comm) error {
+		ctx := rt.New(c)
+		ctx.EnsureThreads(threads)
+		defer ctx.Close()
+		g, err := grid.NewWithRT(c, pr, pc, ctx)
+		if err != nil {
+			return err
+		}
+		xl := dvec.NewLayout(g, a.NCols, dvec.ColAligned)
+		yl := dvec.NewLayout(g, a.NRows, dvec.RowAligned)
+		fx := dvec.NewSparseV(xl)
+		r := xl.MyRange()
+		for gi := r.Lo; gi < r.Hi; gi++ {
+			fx.Append(gi, semiring.Self(int64(gi)))
+		}
+		y := Mul(blocks[g.MyRow][g.MyCol], fx, op, yl)
+		full := y.GatherVertices()
+		if c.Rank() == 0 {
+			result = full
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+// TestMulThreadedBitIdentical drives the sharded local multiply and the
+// banded fold merge with a full frontier (large enough to clear the multGrain
+// and mergeGrain clamps) and checks the result is bit-identical across pool
+// sizes. The semiring Combine is associative with deterministic tie-breaks,
+// so regrouping by chunks must not change a single bit.
+func TestMulThreadedBitIdentical(t *testing.T) {
+	a := rmat.MustGenerate(rmat.G500, 12, 16, 7)
+	for _, op := range []semiring.AddOp{semiring.MinParent, semiring.RandParent} {
+		for _, shape := range [][2]int{{1, 1}, {2, 2}} {
+			base := runMulThreads(t, a, op, shape[0], shape[1], 1)
+			for _, threads := range []int{2, 4, 8} {
+				got := runMulThreads(t, a, op, shape[0], shape[1], threads)
+				for i := range base {
+					if got[i] != base[i] {
+						t.Fatalf("op=%v grid=%v threads=%d: row %d = %v, want %v",
+							op, shape, threads, i, got[i], base[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSortedTriplesBandedMatchesSerial(t *testing.T) {
+	// Build sender streams big enough that a pooled ctx cuts them into
+	// bands, with duplicate rows across streams to exercise the combine.
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	streams := make([][]int64, 3)
+	for s := range streams {
+		row := int64(0)
+		for row < n {
+			row += int64(1 + rng.Intn(3))
+			if row >= n {
+				break
+			}
+			streams[s] = append(streams[s], row, int64(rng.Intn(100)), int64(rng.Intn(100)))
+		}
+	}
+	_, err := mpi.Run(1, func(c *mpi.Comm) error {
+		ctx := rt.New(c)
+		ctx.EnsureThreads(4)
+		defer ctx.Close()
+		g, err := grid.NewWithRT(c, 1, 1, ctx)
+		if err != nil {
+			return err
+		}
+		outL := dvec.NewLayout(g, n, dvec.RowAligned)
+		want := mergeSortedTriples(nil, streams, semiring.MinParent, outL)
+		got := mergeSortedTriples(ctx, streams, semiring.MinParent, outL)
+		if len(got.Idx) != len(want.Idx) {
+			return fmt.Errorf("nnz %d, want %d", len(got.Idx), len(want.Idx))
+		}
+		for k := range want.Idx {
+			if got.Idx[k] != want.Idx[k] || got.Val[k] != want.Val[k] {
+				return fmt.Errorf("entry %d: (%d,%v) want (%d,%v)",
+					k, got.Idx[k], got.Val[k], want.Idx[k], want.Val[k])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

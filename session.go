@@ -61,6 +61,18 @@ func Distribute(g *Graph, procs int) (*DistributedGraph, error) {
 // Procs returns the number of ranks the graph is distributed over.
 func (dg *DistributedGraph) Procs() int { return dg.procs }
 
+// Close releases the per-rank runtime contexts' worker pools. The pools'
+// goroutines park between solves (that is what makes repeated solves cheap)
+// but are never garbage collected, so a DistributedGraph that ran solves
+// with Threads > 1 should be Closed when no more solves are coming. Safe to
+// call more than once; the graph remains usable afterwards — the next solve
+// simply re-parks fresh workers.
+func (dg *DistributedGraph) Close() {
+	for _, ctx := range dg.ctxs {
+		ctx.Close()
+	}
+}
+
 // Graph returns the underlying graph.
 func (dg *DistributedGraph) Graph() *Graph { return dg.g }
 
