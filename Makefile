@@ -3,13 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke vet
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # The simulated MPI runtime is goroutine-per-rank; the race detector
 # exercises the rendezvous and the buffer-lending collectives directly.

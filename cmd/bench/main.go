@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|all
-//	      [-scale N] [-procs P] [-threads T]
+//	      [-scale N] [-procs P] [-threads T] [-no-overlap]
 //	      [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Scaling figures report times from the alpha-beta cost model (see
@@ -36,6 +36,8 @@ func main() {
 	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
 	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
 	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
+	noOverlap := flag.Bool("no-overlap", false, "disable the split-phase compute/communication overlap (results are bit-identical; wall clocks and the exposed-comm ledger change)")
+	matrix := flag.String("matrix", "road_usa", "matrix for the -json measured solve profile: a Table II stand-in name or g500/er/ssca (RMAT)")
 	jsonPath := flag.String("json", "", "write machine-readable results (experiment rows + measured solve profile) to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the experiment runs to this path")
@@ -44,6 +46,7 @@ func main() {
 	if *threads > 0 {
 		experiments.DefaultThreads = *threads
 	}
+	experiments.DisableOverlap = *noOverlap
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -135,7 +138,7 @@ func main() {
 			Threads:  t,
 			HostCPUs: runtime.NumCPU(),
 			Results:  results,
-			Profile:  experiments.Profile("road_usa", *scale, *procs, t),
+			Profile:  experiments.Profile(*matrix, *scale, *procs, t),
 		}
 		buf, err := json.MarshalIndent(envelope, "", "  ")
 		if err != nil {

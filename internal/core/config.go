@@ -123,6 +123,14 @@ type Config struct {
 	// The pooling on/off equivalence tests use this; production runs leave
 	// it false.
 	DisableReuse bool
+	// DisableOverlap turns off the split-phase compute/communication
+	// overlap: every collective runs in its blocking start-then-wait form
+	// and the solver's pipelined frontier count reverts to the loop-top
+	// allreduce. Results and communication meters are bit-identical either
+	// way (the overlap-equivalence tests assert this); the switch exists
+	// for those tests and for measuring how much latency the overlapped
+	// schedules hide. Production runs leave it false.
+	DisableOverlap bool
 	// Seed drives the permutation and any randomized initializer.
 	Seed int64
 	// OnIteration, when non-nil, is invoked by rank 0 after every

@@ -32,14 +32,19 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 	for {
 		pathc := dvec.NewDense(s.ColL, semiring.None)
 		var fc *dvec.SparseV
+		var fcCount *mpi.ValueRequest
 		s.tr.track(OpOther, func() {
 			fc = s.unmatchedColFrontier(matec)
+			fcCount = s.startFrontierCount(fc)
 		})
 		pathsFound := 0
 
 		for {
 			var frontierSize int
-			s.tr.track(OpOther, func() { frontierSize = fc.Nnz() })
+			s.tr.track(OpOther, func() {
+				frontierSize = s.waitFrontierCount(fcCount, fc)
+				fcCount = nil
+			})
 			if frontierSize == 0 {
 				break
 			}
@@ -90,6 +95,7 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 			})
 			s.tr.track(OpInvert, func() {
 				fc = fr.InvertParents(s.ColL)
+				fcCount = s.startFrontierCount(fc)
 			})
 		}
 

@@ -7,6 +7,31 @@ import (
 	"mcmdist/internal/spmv"
 )
 
+// startFrontierCount begins the split-phase allreduce that sizes the next
+// column frontier. The solver loops start it the moment a frontier is
+// produced and consume it at the top of the next iteration, so the
+// reduction's latency hides behind the bookkeeping in between (and, for the
+// phase-final frontier, behind nothing — the request is simply waited).
+// With overlap disabled it returns nil and the loop-top check falls back to
+// the blocking fc.Nnz(); the meters are identical either way because a
+// split-phase collective meters at completion, inside the same tracked
+// loop-top section where the blocking allreduce would run.
+func (s *Solver) startFrontierCount(fc *dvec.SparseV) *mpi.ValueRequest {
+	if !s.G.RT.Overlap() {
+		return nil
+	}
+	return s.G.World.IAllreduce(mpi.OpSum, int64(fc.LocalNnz()))
+}
+
+// waitFrontierCount resolves a loop-top frontier size: the pipelined
+// request when one is in flight, the blocking collective otherwise.
+func (s *Solver) waitFrontierCount(rq *mpi.ValueRequest, fc *dvec.SparseV) int {
+	if rq != nil {
+		return int(rq.Wait())
+	}
+	return fc.Nnz()
+}
+
 // MCM runs Algorithm 2 (MCM-DIST) on the given mate vectors, updating them
 // in place to a maximum cardinality matching. Collective: every rank of the
 // grid calls it together with its own mate vector pieces.
@@ -26,15 +51,20 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 		pathc := dvec.NewDense(s.ColL, semiring.None)
 
 		var fc *dvec.SparseV
+		var fcCount *mpi.ValueRequest
 		s.tr.track(OpOther, func() {
 			fc = s.unmatchedColFrontier(matec)
+			fcCount = s.startFrontierCount(fc)
 		})
 		pathsFound := 0
 		visitedRows := 0 // rows discovered so far in this phase
 
 		for {
 			var frontierSize int
-			s.tr.track(OpOther, func() { frontierSize = fc.Nnz() })
+			s.tr.track(OpOther, func() {
+				frontierSize = s.waitFrontierCount(fcCount, fc)
+				fcCount = nil
+			})
 			if frontierSize == 0 {
 				break
 			}
@@ -127,6 +157,7 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 			})
 			s.tr.track(OpInvert, func() {
 				fc = fr.InvertParents(s.ColL)
+				fcCount = s.startFrontierCount(fc)
 			})
 
 			if s.Cfg.OnIteration != nil && s.G.World.Rank() == 0 {

@@ -22,6 +22,11 @@ type Result struct {
 	Stats *Stats
 	// PerRank holds every rank's final cumulative communication meter.
 	PerRank []mpi.Meter
+	// PerRankComm holds every rank's split-phase communication-time ledger:
+	// total request-in-flight wall time vs the exposed part the rank
+	// actually spent blocked. The gap is the latency hidden behind local
+	// computation by the overlapped schedules.
+	PerRankComm []mpi.CommTimes
 	// Procs and Threads echo the effective configuration.
 	Procs, Threads int
 }
@@ -52,6 +57,7 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 
 	perRankStats := make([]*Stats, cfg.Procs)
 	perRankMeter := make([]mpi.Meter, cfg.Procs)
+	perRankComm := make([]mpi.CommTimes, cfg.Procs)
 	var mateR, mateC []int64
 
 	_, err = mpi.Run(cfg.Procs, func(c *mpi.Comm) error {
@@ -77,6 +83,7 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 		}
 		perRankStats[c.Rank()] = s.Stats
 		perRankMeter[c.Rank()] = s.gatherMeter()
+		perRankComm[c.Rank()] = c.CommTimes()
 		return nil
 	})
 	if err != nil {
@@ -93,11 +100,12 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 		merged.MergeMax(st)
 	}
 	return &Result{
-		Matching: m,
-		Stats:    merged,
-		PerRank:  perRankMeter,
-		Procs:    cfg.Procs,
-		Threads:  cfg.Threads,
+		Matching:    m,
+		Stats:       merged,
+		PerRank:     perRankMeter,
+		PerRankComm: perRankComm,
+		Procs:       cfg.Procs,
+		Threads:     cfg.Threads,
 	}, nil
 }
 
@@ -180,11 +188,15 @@ func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalM
 // one when present, otherwise a fresh context that is enabled or disabled
 // per cfg.DisableReuse.
 func newRankCtx(c *mpi.Comm, cfg Config, ctxs []*rt.Ctx, rank int) *rt.Ctx {
-	if ctxs != nil {
-		return ctxs[rank]
+	var ctx *rt.Ctx
+	switch {
+	case ctxs != nil:
+		ctx = ctxs[rank]
+	case cfg.DisableReuse:
+		ctx = rt.NewDisabled(c)
+	default:
+		ctx = rt.New(c)
 	}
-	if cfg.DisableReuse {
-		return rt.NewDisabled(c)
-	}
-	return rt.New(c)
+	ctx.SetOverlap(!cfg.DisableOverlap)
+	return ctx
 }

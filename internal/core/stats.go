@@ -56,11 +56,20 @@ type Stats struct {
 	// Meter is the communication/work meter delta per category for this
 	// rank, the input to the alpha-beta cost model.
 	Meter map[Op]mpi.Meter
+	// Comm is the split-phase communication-time ledger per category:
+	// total request-in-flight time vs the part this rank actually spent
+	// blocked (exposed). Total minus exposed is the latency hidden behind
+	// local computation by the overlapped schedules.
+	Comm map[Op]mpi.CommTimes
 }
 
 // newStats returns a zeroed Stats with allocated maps.
 func newStats() *Stats {
-	return &Stats{Wall: make(map[Op]time.Duration), Meter: make(map[Op]mpi.Meter)}
+	return &Stats{
+		Wall:  make(map[Op]time.Duration),
+		Meter: make(map[Op]mpi.Meter),
+		Comm:  make(map[Op]mpi.CommTimes),
+	}
 }
 
 // TotalWall sums wall time across categories.
@@ -94,6 +103,18 @@ func (s *Stats) MergeMax(o *Stats) {
 	for op, m := range o.Meter {
 		s.Meter[op] = s.Meter[op].Max(m)
 	}
+	for op, ct := range o.Comm {
+		s.Comm[op] = s.Comm[op].Max(ct)
+	}
+}
+
+// TotalComm sums the per-category communication-time ledgers.
+func (s *Stats) TotalComm() mpi.CommTimes {
+	var t mpi.CommTimes
+	for _, ct := range s.Comm {
+		t = t.Add(ct)
+	}
+	return t
 }
 
 // tracker measures one rank's per-category wall time and meter deltas. The
@@ -105,9 +126,11 @@ type tracker struct {
 	stats *Stats
 }
 
-// track runs fn, attributing its wall time and meter delta to op.
+// track runs fn, attributing its wall time, meter delta and comm-time
+// delta to op.
 func (t *tracker) track(op Op, fn func()) {
-	wall, delta := t.ctx.Track(string(op), fn)
-	t.stats.Wall[op] += wall
-	t.stats.Meter[op] = t.stats.Meter[op].Add(delta)
+	delta := t.ctx.Track(string(op), fn)
+	t.stats.Wall[op] += delta.Wall
+	t.stats.Meter[op] = t.stats.Meter[op].Add(delta.Meter)
+	t.stats.Comm[op] = t.stats.Comm[op].Add(delta.Comm)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/parallel"
 )
 
 // Dense is one rank's piece of a distributed dense vector of int64 (the
@@ -80,33 +81,75 @@ func (d *Dense) CountEq(v int64) int {
 
 // Gather reconstructs the full vector on every rank. Collective; intended
 // for verification, result extraction and small outputs, not inner loops.
+// The send payload is an rt arena buffer and each peer's block is placed
+// straight out of its send buffer as it arrives (progressive split-phase
+// allgather, zero staging copies); only the returned global slice is
+// allocated. Metering is identical to Allgatherv.
 func (d *Dense) Gather() []int64 {
 	c := d.L.G.World
+	ctx := d.L.G.RT
 	r := d.L.MyRange()
 	// Ship (offset, values...) so receivers can place blocks.
-	payload := make([]int64, 0, len(d.Local)+1)
+	payload := ctx.GetInts(len(d.Local) + 1)
 	payload = append(payload, int64(r.Lo))
 	payload = append(payload, d.Local...)
-	parts := c.Allgatherv(payload)
 	out := make([]int64, d.L.N)
-	for _, p := range parts {
+	rq := c.IAllgathervParts(payload)
+	for {
+		_, p, ok := rq.Next()
+		if !ok {
+			break
+		}
 		lo := int(p[0])
 		copy(out[lo:lo+len(p)-1], p[1:])
 	}
+	rq.Finish()
+	ctx.PutInts(payload)
 	return out
 }
 
 // SparseWhere builds a sparse vector from the dense entries satisfying
 // pred, keeping their values. Local (the paper's "sparse vector from path_c
-// by removing entries with -1").
+// by removing entries with -1"). The scan runs as the two-pass compaction
+// on the rank's worker pool, so both result slices are sized exactly; Val
+// is drawn from the rt arena, and hot-path callers may hand it back with
+// Ctx.PutInts once the vector is dead (callers that don't simply leave it
+// to the garbage collector).
 func (d *Dense) SparseWhere(pred func(int64) bool) *SparseInt {
 	lo := d.L.MyRange().Lo
-	out := &SparseInt{L: d.L}
-	for i, v := range d.Local {
-		if pred(v) {
-			out.Idx = append(out.Idx, lo+i)
-			out.Val = append(out.Val, v)
+	ctx := d.L.G.RT
+	pool := ctx.Pool()
+	n := len(d.Local)
+	bounds := pool.Chunks(n, parallel.DefaultMinChunk)
+	w := len(bounds) - 1
+	offsets := make([]int, w+1)
+	pool.ForChunked(n, parallel.DefaultMinChunk, func(wi, clo, chi int) {
+		cnt := 0
+		for i := clo; i < chi; i++ {
+			if pred(d.Local[i]) {
+				cnt++
+			}
 		}
+		offsets[wi+1] = cnt
+	})
+	for i := 1; i <= w; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	total := offsets[w]
+	out := &SparseInt{L: d.L}
+	if total > 0 {
+		out.Idx = make([]int, total)
+		out.Val = ctx.GetInts(total)[:total]
+		pool.ForChunked(n, parallel.DefaultMinChunk, func(wi, clo, chi int) {
+			o := offsets[wi]
+			for i := clo; i < chi; i++ {
+				if v := d.Local[i]; pred(v) {
+					out.Idx[o] = lo + i
+					out.Val[o] = v
+					o++
+				}
+			}
+		})
 	}
 	d.L.G.World.AddWork(len(d.Local))
 	return out

@@ -4,8 +4,35 @@ import (
 	"fmt"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 )
+
+// flatAlltoall routes parts through a personalized all-to-all into one flat
+// arena buffer. When the context overlaps communication it runs
+// split-phase: arrived payloads are copied out while stragglers are still
+// sending, hiding the copy-out behind the wait. Metering is identical
+// either way; consumers sort the union, so arrival order is harmless.
+func flatAlltoall(c *mpi.Comm, ctx *rt.Ctx, parts [][]int64, hint int) []int64 {
+	if ctx.Overlap() {
+		rq := c.IAlltoallvParts(parts)
+		flat := rq.Drain(ctx.GetInts(hint))
+		rq.Finish()
+		return flat
+	}
+	return c.AlltoallvFlat(parts, ctx.GetInts(hint))
+}
+
+// flatAllgather is flatAlltoall's allgather counterpart (PRUNE's pattern).
+func flatAllgather(c *mpi.Comm, ctx *rt.Ctx, data []int64, hint int) []int64 {
+	if ctx.Overlap() {
+		rq := c.IAllgathervParts(data)
+		flat := rq.Drain(ctx.GetInts(hint))
+		rq.Finish()
+		return flat
+	}
+	return c.AllgathervInto(data, ctx.GetInts(hint))
+}
 
 // SparseInt is one rank's piece of a distributed sparse vector with int64
 // values. Idx holds global indices in strictly increasing order, all within
@@ -231,7 +258,7 @@ func invertExchange(l Layout, outL Layout, records []int64, stride int) []int64 
 		parts[rank] = append(parts[rank], records[off:off+stride]...)
 	}
 	c.AddWork(len(records) / max(stride, 1))
-	flat := c.AlltoallvFlat(parts, ctx.GetInts(len(records)))
+	flat := flatAlltoall(c, ctx, parts, len(records))
 	ctx.PutParts(parts)
 	return flat
 }
@@ -317,7 +344,7 @@ func invertVertex(l Layout, outL Layout, records []int64) *SparseV {
 func (s *SparseV) PruneRoots(localRoots []int64) *SparseV {
 	c := s.L.G.World
 	ctx := s.L.G.RT
-	banned := c.AllgathervInto(localRoots, ctx.GetInts(len(localRoots)*c.Size()))
+	banned := flatAllgather(c, ctx, localRoots, len(localRoots)*c.Size())
 	// Sorted + deduped flat set instead of a per-call hash map: lookups are
 	// binary searches and the buffer goes back to the arena afterwards.
 	ctx.SortRecords(banned, 1)
@@ -444,7 +471,7 @@ func (s *SparseInt) Redistribute(outL Layout) *SparseInt {
 		rank, _ := outL.Owner(g)
 		parts[rank] = append(parts[rank], int64(g), s.Val[k])
 	}
-	flat := c.AlltoallvFlat(parts, ctx.GetInts(2*len(s.Idx)))
+	flat := flatAlltoall(c, ctx, parts, 2*len(s.Idx))
 	ctx.PutParts(parts)
 	ctx.SortRecords(flat, 2)
 	out := NewSparseInt(outL)

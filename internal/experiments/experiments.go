@@ -16,6 +16,7 @@ import (
 	"mcmdist/internal/gen"
 	"mcmdist/internal/matching"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/rmat"
 	"mcmdist/internal/spmat"
 )
 
@@ -28,10 +29,17 @@ var Model = costmodel.EdisonMini
 // hybrid configuration at once.
 var DefaultThreads = 12
 
+// DisableOverlap, when set (cmd/bench -no-overlap), runs every experiment
+// with the split-phase compute/communication overlap turned off. Results
+// and communication meters are bit-identical either way; only wall clocks
+// and the exposed-communication ledger change.
+var DisableOverlap = false
+
 // Run solves the matrix on p ranks with the given options and returns the
 // result; it panics on configuration errors (experiment code paths use
 // known-good configurations).
 func run(a *spmat.CSC, cfg core.Config) *core.Result {
+	cfg.DisableOverlap = DisableOverlap
 	res, err := core.Solve(a, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -50,8 +58,17 @@ func newTab(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 }
 
-// suiteMatrix generates one Table II stand-in at the given scale.
+// suiteMatrix generates one Table II stand-in at the given scale, or an
+// RMAT matrix for the synthetic class names "g500", "er" and "ssca".
 func suiteMatrix(name string, scale int) *spmat.CSC {
+	switch name {
+	case "g500":
+		return rmat.MustGenerate(rmat.G500, scale, 8, 17)
+	case "er":
+		return rmat.MustGenerate(rmat.ER, scale, 8, 17)
+	case "ssca":
+		return rmat.MustGenerate(rmat.SSCA, scale, 8, 17)
+	}
 	sp, err := gen.FindSpec(name)
 	if err != nil {
 		panic(err)

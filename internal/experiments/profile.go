@@ -20,25 +20,34 @@ type CommProfile struct {
 // simulation really runs); communication counters are exact; modeled
 // seconds come from the same alpha-beta model as the figures.
 type SolveProfile struct {
-	Matrix          string                 `json:"matrix"`
-	Scale           int                    `json:"scale"`
-	Procs           int                    `json:"procs"`
-	Threads         int                    `json:"threads"`
-	Cardinality     int                    `json:"cardinality"`
-	InitCardinality int                    `json:"init_cardinality"`
-	Phases          int                    `json:"phases"`
-	Iterations      int                    `json:"iterations"`
-	WallSeconds     float64                `json:"wall_seconds"`
-	ModeledSeconds  float64                `json:"modeled_seconds"`
-	OpWallSeconds   map[string]float64     `json:"op_wall_seconds"`
-	OpComm          map[string]CommProfile `json:"op_comm"`
-	PerRank         []CommProfile          `json:"per_rank"`
-	PoolUtilization float64                `json:"pool_utilization"`
-	PoolRegions     int64                  `json:"pool_regions"`
-	PoolInline      int64                  `json:"pool_inline"`
-	AllocBytes      uint64                 `json:"alloc_bytes"`
-	Mallocs         uint64                 `json:"mallocs"`
-	HostCPUs        int                    `json:"host_cpus"`
+	Matrix          string  `json:"matrix"`
+	Scale           int     `json:"scale"`
+	Procs           int     `json:"procs"`
+	Threads         int     `json:"threads"`
+	Cardinality     int     `json:"cardinality"`
+	InitCardinality int     `json:"init_cardinality"`
+	Phases          int     `json:"phases"`
+	Iterations      int     `json:"iterations"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	ModeledSeconds  float64 `json:"modeled_seconds"`
+	// CommWallSeconds is the total request-in-flight communication time
+	// summed over ranks; CommExposedSeconds is the part the ranks actually
+	// spent blocked in Wait. Their gap, expressed as CommHiddenFraction
+	// (1 - exposed/total), is the latency the split-phase schedules hide
+	// behind local computation. With -no-overlap the fraction is ~0.
+	CommWallSeconds    float64                `json:"comm_wall_seconds"`
+	CommExposedSeconds float64                `json:"comm_exposed_seconds"`
+	CommHiddenFraction float64                `json:"comm_hidden_fraction"`
+	OverlapDisabled    bool                   `json:"overlap_disabled"`
+	OpWallSeconds      map[string]float64     `json:"op_wall_seconds"`
+	OpComm             map[string]CommProfile `json:"op_comm"`
+	PerRank            []CommProfile          `json:"per_rank"`
+	PoolUtilization    float64                `json:"pool_utilization"`
+	PoolRegions        int64                  `json:"pool_regions"`
+	PoolInline         int64                  `json:"pool_inline"`
+	AllocBytes         uint64                 `json:"alloc_bytes"`
+	Mallocs            uint64                 `json:"mallocs"`
+	HostCPUs           int                    `json:"host_cpus"`
 }
 
 // Profile runs one solve of the named suite matrix and reports everything a
@@ -84,5 +93,16 @@ func Profile(name string, scale, procs, threads int) SolveProfile {
 	for _, m := range res.PerRank {
 		p.PerRank = append(p.PerRank, CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
 	}
+	var total, exposed time.Duration
+	for _, ct := range res.PerRankComm {
+		total += ct.Total
+		exposed += ct.Exposed
+	}
+	p.CommWallSeconds = total.Seconds()
+	p.CommExposedSeconds = exposed.Seconds()
+	if total > 0 {
+		p.CommHiddenFraction = 1 - exposed.Seconds()/total.Seconds()
+	}
+	p.OverlapDisabled = DisableOverlap
 	return p
 }

@@ -4,18 +4,7 @@ import "fmt"
 
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
-	parts := make([]any, c.Size())
-	c.exchange(parts)
-}
-
-// quiesce blocks until every rank has finished copying out of the previous
-// exchange. The copying collectives don't need it — their callers discard
-// send buffers — but the buffer-lending variants promise MPI's contract
-// that a send buffer may be reused the moment the call returns, and the
-// rt arena relies on that promise; without this rendezvous a recycled
-// buffer could be overwritten while a peer is still copying from it.
-func (c *Comm) quiesce() {
-	c.exchange(make([]any, c.Size()))
+	c.start(make([]any, c.Size()), false, nil).Wait()
 }
 
 // Bcast distributes root's data to every rank and returns it. Non-root
@@ -26,23 +15,7 @@ func (c *Comm) quiesce() {
 // meters nothing — ranks are not charged depth messages for a zero-length
 // payload.
 func (c *Comm) Bcast(root int, data []int64) []int64 {
-	size := c.Size()
-	parts := make([]any, size)
-	if c.member == root {
-		for d := 0; d < size; d++ {
-			parts[d] = data
-		}
-	}
-	got := c.exchange(parts)
-	payload := asInts(got[root])
-	if len(payload) > 0 {
-		depth := logTreeDepth(size)
-		c.addComm(KindBcast, depth, depth*int64(len(payload)))
-	}
-	if c.member == root {
-		return data
-	}
-	return append([]int64(nil), payload...)
+	return c.IBcast(root, data).Wait()
 }
 
 // Allgatherv gathers each rank's contribution on every rank. The result has
@@ -51,25 +24,7 @@ func (c *Comm) Bcast(root int, data []int64) []int64 {
 // communication step of PRUNE; the paper costs it with the ring algorithm:
 // p-1 messages and the received volume.
 func (c *Comm) Allgatherv(data []int64) [][]int64 {
-	size := c.Size()
-	parts := make([]any, size)
-	for d := 0; d < size; d++ {
-		parts[d] = data
-	}
-	got := c.exchange(parts)
-	out := make([][]int64, size)
-	var words int64
-	for s := 0; s < size; s++ {
-		in := asInts(got[s])
-		if s == c.member {
-			out[s] = data
-			continue
-		}
-		words += int64(len(in))
-		out[s] = append([]int64(nil), in...)
-	}
-	c.addComm(KindAllgather, int64(size-1), words)
-	return out
+	return c.IAllgatherv(data).Wait()
 }
 
 // Alltoallv sends parts[d] to rank d and returns the slices received, one
@@ -77,30 +32,7 @@ func (c *Comm) Allgatherv(data []int64) [][]int64 {
 // explicit copy. This is the personalized all-to-all used by the "fold"
 // phase of SpMV and by INVERT.
 func (c *Comm) Alltoallv(parts [][]int64) [][]int64 {
-	size := c.Size()
-	if len(parts) != size {
-		panic(fmt.Sprintf("mpi: Alltoallv with %d parts on %d ranks", len(parts), size))
-	}
-	anyParts := make([]any, size)
-	var words int64
-	for d := 0; d < size; d++ {
-		anyParts[d] = parts[d]
-		if d != c.member {
-			words += int64(len(parts[d]))
-		}
-	}
-	got := c.exchange(anyParts)
-	out := make([][]int64, size)
-	for s := 0; s < size; s++ {
-		in := asInts(got[s])
-		if s == c.member {
-			out[s] = in
-			continue
-		}
-		out[s] = append([]int64(nil), in...)
-	}
-	c.addComm(KindAlltoall, int64(size-1), words)
-	return out
+	return c.IAlltoallv(parts).Wait()
 }
 
 // AllgathervInto is the buffer-lending Allgatherv for hot paths: every
@@ -111,23 +43,7 @@ func (c *Comm) Alltoallv(parts [][]int64) [][]int64 {
 // to an arena once done. Metering is identical to Allgatherv: p-1 messages
 // and the words received from other ranks.
 func (c *Comm) AllgathervInto(data []int64, buf []int64) []int64 {
-	size := c.Size()
-	parts := make([]any, size)
-	for d := 0; d < size; d++ {
-		parts[d] = data
-	}
-	got := c.exchange(parts)
-	var words int64
-	for s := 0; s < size; s++ {
-		in := asInts(got[s])
-		if s != c.member {
-			words += int64(len(in))
-		}
-		buf = append(buf, in...)
-	}
-	c.addComm(KindAllgather, int64(size-1), words)
-	c.quiesce()
-	return buf
+	return c.IAllgathervInto(data, buf).Wait()
 }
 
 // AlltoallvInto is the buffer-lending Alltoallv: everything received is
@@ -139,37 +55,7 @@ func (c *Comm) AllgathervInto(data []int64, buf []int64) []int64 {
 // keeps every subslice valid. Metering is identical to Alltoallv: p-1
 // messages and the words sent to other ranks.
 func (c *Comm) AlltoallvInto(parts [][]int64, buf []int64) ([][]int64, []int64) {
-	size := c.Size()
-	if len(parts) != size {
-		panic(fmt.Sprintf("mpi: AlltoallvInto with %d parts on %d ranks", len(parts), size))
-	}
-	anyParts := make([]any, size)
-	var words int64
-	for d := 0; d < size; d++ {
-		anyParts[d] = parts[d]
-		if d != c.member {
-			words += int64(len(parts[d]))
-		}
-	}
-	got := c.exchange(anyParts)
-	total := 0
-	for s := 0; s < size; s++ {
-		total += len(asInts(got[s]))
-	}
-	if cap(buf)-len(buf) < total {
-		grown := make([]int64, len(buf), len(buf)+total)
-		copy(grown, buf)
-		buf = grown
-	}
-	out := make([][]int64, size)
-	for s := 0; s < size; s++ {
-		start := len(buf)
-		buf = append(buf, asInts(got[s])...)
-		out[s] = buf[start:len(buf):len(buf)]
-	}
-	c.addComm(KindAlltoall, int64(size-1), words)
-	c.quiesce()
-	return out, buf
+	return c.IAlltoallvInto(parts, buf).Wait()
 }
 
 // AlltoallvFlat is AlltoallvInto without the per-source boundaries: the
@@ -178,25 +64,7 @@ func (c *Comm) AlltoallvInto(parts [][]int64, buf []int64) ([][]int64, []int64) 
 // the union anyway and never look at who sent what. Metering is identical
 // to Alltoallv.
 func (c *Comm) AlltoallvFlat(parts [][]int64, buf []int64) []int64 {
-	size := c.Size()
-	if len(parts) != size {
-		panic(fmt.Sprintf("mpi: AlltoallvFlat with %d parts on %d ranks", len(parts), size))
-	}
-	anyParts := make([]any, size)
-	var words int64
-	for d := 0; d < size; d++ {
-		anyParts[d] = parts[d]
-		if d != c.member {
-			words += int64(len(parts[d]))
-		}
-	}
-	got := c.exchange(anyParts)
-	for s := 0; s < size; s++ {
-		buf = append(buf, asInts(got[s])...)
-	}
-	c.addComm(KindAlltoall, int64(size-1), words)
-	c.quiesce()
-	return buf
+	return c.IAlltoallvFlat(parts, buf).Wait()
 }
 
 // Gatherv collects every rank's contribution on root, in rank order. Non-root
@@ -205,23 +73,25 @@ func (c *Comm) Gatherv(root int, data []int64) [][]int64 {
 	size := c.Size()
 	parts := make([]any, size)
 	parts[root] = data
-	got := c.exchange(parts)
-	if c.member != root {
-		c.addComm(KindGather, 1, int64(len(data)))
-		return nil
-	}
-	out := make([][]int64, size)
-	var words int64
-	for s := 0; s < size; s++ {
-		in := asInts(got[s])
-		if s == root {
-			out[s] = data
-			continue
+	var out [][]int64
+	c.start(parts, true, func(got []any) {
+		if c.member != root {
+			c.addComm(KindGather, 1, int64(len(data)))
+			return
 		}
-		words += int64(len(in))
-		out[s] = append([]int64(nil), in...)
-	}
-	c.addComm(KindGather, int64(size-1), words)
+		out = make([][]int64, size)
+		var words int64
+		for s := 0; s < size; s++ {
+			in := asInts(got[s])
+			if s == root {
+				out[s] = data
+				continue
+			}
+			words += int64(len(in))
+			out[s] = append([]int64(nil), in...)
+		}
+		c.addComm(KindGather, int64(size-1), words)
+	}).Wait()
 	return out
 }
 
@@ -237,21 +107,25 @@ func (c *Comm) Scatterv(root int, parts [][]int64) []int64 {
 		for d := 0; d < size; d++ {
 			anyParts[d] = parts[d]
 		}
-		var words int64
-		for d := 0; d < size; d++ {
-			if d != root {
-				words += int64(len(parts[d]))
+	}
+	var out []int64
+	c.start(anyParts, true, func(got []any) {
+		in := asInts(got[root])
+		if c.member == root {
+			var words int64
+			for d := 0; d < size; d++ {
+				if d != root {
+					words += int64(len(parts[d]))
+				}
 			}
+			c.addComm(KindScatter, int64(size-1), words)
+			out = in
+			return
 		}
-		c.addComm(KindScatter, int64(size-1), words)
-	}
-	got := c.exchange(anyParts)
-	in := asInts(got[root])
-	if c.member == root {
-		return in
-	}
-	c.addComm(KindScatter, 1, int64(len(in)))
-	return append([]int64(nil), in...)
+		c.addComm(KindScatter, 1, int64(len(in)))
+		out = append([]int64(nil), in...)
+	}).Wait()
+	return out
 }
 
 // ReduceOp is an associative, commutative reduction operator.
@@ -283,19 +157,7 @@ var (
 // Allreduce reduces val across all ranks with op and returns the result on
 // every rank. Costed as a binomial reduce-broadcast tree.
 func (c *Comm) Allreduce(op ReduceOp, val int64) int64 {
-	size := c.Size()
-	parts := make([]any, size)
-	for d := 0; d < size; d++ {
-		parts[d] = []int64{val}
-	}
-	got := c.exchange(parts)
-	acc := asInts(got[0])[0]
-	for s := 1; s < size; s++ {
-		acc = op(acc, asInts(got[s])[0])
-	}
-	depth := logTreeDepth(size)
-	c.addComm(KindReduce, 2*depth, 2*depth)
-	return acc
+	return c.IAllreduce(op, val).Wait()
 }
 
 // Split partitions the communicator: ranks passing the same color form a new

@@ -11,11 +11,23 @@
 //     the 2D process grid's row and column communicators;
 //   - the bulk-synchronous collectives CombBLAS uses: Barrier, Bcast,
 //     Allgatherv, Alltoallv, Gatherv, Scatterv, Allreduce;
+//   - split-phase (nonblocking) collectives — IBcast, IAllgatherv,
+//     IAlltoallv, IAllreduce and the buffer-lending/progressive variants —
+//     returning Request handles with Wait/Test, so callers can overlap
+//     local computation with communication (MPI_Iallgatherv & co.);
 //   - one-sided RMA windows with Get, Put and FetchAndOp, matching the
 //     MPI_GET / MPI_PUT / MPI_FETCH_AND_OP calls of the paper's path-parallel
 //     augmentation (Algorithm 4);
 //   - per-rank communication meters (messages, words, local work) from which
-//     the α-β cost model of the paper's Section IV-B is evaluated.
+//     the α-β cost model of the paper's Section IV-B is evaluated, plus a
+//     communication-time ledger (CommTimes) splitting comm wall time into
+//     exposed and hidden parts.
+//
+// Collectives ride a non-rendezvous mailbox: posting a contribution never
+// blocks, so a rank can start a collective, keep computing, and only pay
+// the synchronization when it Waits. The blocking collectives are expressed
+// as start(); Wait() on the same engine and keep their exact historical
+// semantics and metering.
 //
 // Payloads are []int64 throughout: every object the matching algorithms
 // communicate (indices, mates, parents, roots) is an integer, and a flat
@@ -33,6 +45,10 @@
 //   - RMA Get/Put/FetchAndOp: 1 message per call plus the words moved;
 //     operations on the caller's own window are local and cost nothing.
 //
+// A split-phase collective meters exactly once, at completion (the first
+// Wait or successful Test), with the same counts as its blocking
+// counterpart — the request layer never double-counts.
+//
 // Each copying collective has a buffer-lending variant for hot paths
 // (AllgathervInto, AlltoallvInto, AlltoallvFlat): the caller lends a
 // destination buffer (typically from an rt arena), received payloads are
@@ -47,6 +63,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // CommKind labels the collective family a transfer belongs to, for the
@@ -120,6 +137,47 @@ func (m Meter) Max(o Meter) Meter {
 	return out
 }
 
+// CommTimes is the split-phase communication-time ledger of one rank.
+// Total is the wall time requests spent in flight (start to completion,
+// summed over requests; concurrent requests overlap-count by design) and
+// Exposed is the part of that the rank actually spent blocked inside
+// Wait/Test/Next/Finish. Total - Exposed is the latency hidden behind local
+// computation; for fully blocking collectives the two are nearly equal.
+type CommTimes struct {
+	Total   time.Duration
+	Exposed time.Duration
+}
+
+// Add returns the element-wise sum of two ledgers.
+func (t CommTimes) Add(o CommTimes) CommTimes {
+	return CommTimes{Total: t.Total + o.Total, Exposed: t.Exposed + o.Exposed}
+}
+
+// Sub returns the element-wise difference t - o.
+func (t CommTimes) Sub(o CommTimes) CommTimes {
+	return CommTimes{Total: t.Total - o.Total, Exposed: t.Exposed - o.Exposed}
+}
+
+// Max returns the element-wise maximum of two ledgers.
+func (t CommTimes) Max(o CommTimes) CommTimes {
+	out := t
+	if o.Total > out.Total {
+		out.Total = o.Total
+	}
+	if o.Exposed > out.Exposed {
+		out.Exposed = o.Exposed
+	}
+	return out
+}
+
+// Hidden returns the comm time overlapped with computation, never negative.
+func (t CommTimes) Hidden() time.Duration {
+	if t.Exposed >= t.Total {
+		return 0
+	}
+	return t.Total - t.Exposed
+}
+
 // World is one SPMD execution: a set of ranks and their shared runtime state.
 type World struct {
 	size   int
@@ -132,6 +190,7 @@ type World struct {
 
 type meterCell struct {
 	msgs, words, work atomic.Int64
+	commNs, exposedNs atomic.Int64 // split-phase time ledger (CommTimes)
 	kinds             [numKinds]kindCell
 }
 
@@ -139,20 +198,31 @@ type kindCell struct {
 	msgs, words atomic.Int64
 }
 
-// commState is the shared half of a communicator: the collective rendezvous
-// for one group of ranks. Each participating rank holds a *Comm handle that
-// pairs this state with its member index.
+// commState is the shared half of a communicator: a non-rendezvous mailbox
+// for one group of ranks. A member posts its contribution to collective
+// call number gen without blocking (post); readers pull contributions out
+// as they arrive (collect, nextArrived). A generation retires once every
+// member has declared it finished reading (finishRead); buffer-lending
+// collectives wait for retirement (waitConsumed) before letting callers
+// recycle their send buffers — the split-phase replacement for the old
+// whole-comm quiesce rendezvous. Each participating rank holds a *Comm
+// handle that pairs this state with its member index.
 type commState struct {
-	id      string
-	world   *World
-	ranks   []int // world ranks of the members, in member order
-	mu      sync.Mutex
-	cond    *sync.Cond
-	gen     int64 // generation currently collecting contributions
-	arrived int
-	inbox   [][]any           // inbox[src member][dst member]
-	results map[int64][][]any // completed gen -> outbox[dst member][src member]
-	taken   map[int64]int
+	id    string
+	world *World
+	ranks []int // world ranks of the members, in member order
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// posted[src][gen] is src's contribution to collective gen (one entry
+	// per destination member), held from post until the gen retires.
+	posted  []map[int64][]any
+	arrived map[int64]int // gen -> members posted so far
+	taken   map[int64]int // gen -> members done reading
+	// Retired generations are a watermark plus a sparse set, so the maps
+	// above stay bounded no matter how far ahead any rank runs.
+	doneLow int64          // every gen < doneLow has retired
+	doneSet map[int64]bool // retired gens >= doneLow
 }
 
 func newCommState(w *World, id string, ranks []int) *commState {
@@ -160,12 +230,125 @@ func newCommState(w *World, id string, ranks []int) *commState {
 		id:      id,
 		world:   w,
 		ranks:   ranks,
-		inbox:   make([][]any, len(ranks)),
-		results: make(map[int64][][]any),
+		posted:  make([]map[int64][]any, len(ranks)),
+		arrived: make(map[int64]int),
 		taken:   make(map[int64]int),
+		doneSet: make(map[int64]bool),
+	}
+	for s := range st.posted {
+		st.posted[s] = make(map[int64][]any)
 	}
 	st.cond = sync.NewCond(&st.mu)
 	return st
+}
+
+// post deposits member m's contribution to collective gen. It never blocks:
+// a rank may run arbitrarily far ahead of its peers.
+func (st *commState) post(m int, gen int64, parts []any) {
+	st.mu.Lock()
+	st.posted[m][gen] = parts
+	st.arrived[gen]++
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// allPosted reports whether every member has posted gen (the readiness
+// probe behind Request.Test).
+func (st *commState) allPosted(gen int64) bool {
+	st.mu.Lock()
+	ok := st.arrived[gen] == len(st.ranks)
+	st.mu.Unlock()
+	return ok
+}
+
+// collect blocks until every member has posted gen and returns the parts
+// addressed to member m, one per source member.
+func (st *commState) collect(m int, gen int64) []any {
+	size := len(st.ranks)
+	st.mu.Lock()
+	for st.arrived[gen] < size {
+		st.cond.Wait()
+	}
+	out := make([]any, size)
+	for s := 0; s < size; s++ {
+		out[s] = st.posted[s][gen][m]
+	}
+	st.mu.Unlock()
+	return out
+}
+
+// nextArrived blocks until some member whose delivered flag is unset has
+// posted gen, and returns that member and its part addressed to member m.
+// The caller marks delivered afterwards (under its own lock) and must not
+// ask for more sources than the communicator has.
+func (st *commState) nextArrived(m int, gen int64, delivered []bool) (int, any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		for s := range st.posted {
+			if delivered[s] {
+				continue
+			}
+			if parts, ok := st.posted[s][gen]; ok {
+				return s, parts[m]
+			}
+		}
+		st.cond.Wait()
+	}
+}
+
+// finishRead declares one member done reading gen. When the last member
+// finishes, the generation retires: its posted buffers are dropped and
+// waitConsumed waiters are released.
+func (st *commState) finishRead(gen int64) {
+	st.mu.Lock()
+	st.taken[gen]++
+	if st.taken[gen] == len(st.ranks) {
+		for s := range st.posted {
+			delete(st.posted[s], gen)
+		}
+		delete(st.arrived, gen)
+		delete(st.taken, gen)
+		if gen == st.doneLow {
+			st.doneLow++
+			for st.doneSet[st.doneLow] {
+				delete(st.doneSet, st.doneLow)
+				st.doneLow++
+			}
+		} else {
+			st.doneSet[gen] = true
+		}
+		st.cond.Broadcast()
+	}
+	st.mu.Unlock()
+}
+
+// retired reports whether gen has been read by every member. Caller holds
+// st.mu.
+func (st *commState) retired(gen int64) bool {
+	return gen < st.doneLow || st.doneSet[gen]
+}
+
+// isConsumed is retired with locking (the probe behind Request.Test for
+// lending requests).
+func (st *commState) isConsumed(gen int64) bool {
+	st.mu.Lock()
+	ok := st.retired(gen)
+	st.mu.Unlock()
+	return ok
+}
+
+// waitConsumed blocks until gen retires. Deadlock-free under the package's
+// SPMD discipline (all members call collectives on a communicator in the
+// same order): posting never blocks and reads of later generations never
+// wait on earlier ones, so every member eventually performs its own
+// finishRead of gen.
+func (st *commState) waitConsumed(gen int64) {
+	st.mu.Lock()
+	for !st.retired(gen) {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
 }
 
 // Comm is one rank's handle on a communicator.
@@ -240,10 +423,31 @@ func (c *Comm) addComm(kind CommKind, msgs, words int64) {
 	cell.kinds[kind].words.Add(words)
 }
 
+func (c *Comm) addCommTimes(total, exposed time.Duration) {
+	cell := &c.st.world.meters[c.worldRank]
+	cell.commNs.Add(int64(total))
+	cell.exposedNs.Add(int64(exposed))
+}
+
 // MeterSnapshot returns this rank's cumulative meter.
 func (c *Comm) MeterSnapshot() Meter {
 	cell := &c.st.world.meters[c.worldRank]
 	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(), Work: cell.work.Load()}
+}
+
+// CommTimes returns this rank's cumulative communication-time ledger.
+func (c *Comm) CommTimes() CommTimes {
+	return c.st.world.RankCommTimes(c.worldRank)
+}
+
+// RankCommTimes returns the cumulative communication-time ledger of the
+// given world rank.
+func (w *World) RankCommTimes(rank int) CommTimes {
+	cell := &w.meters[rank]
+	return CommTimes{
+		Total:   time.Duration(cell.commNs.Load()),
+		Exposed: time.Duration(cell.exposedNs.Load()),
+	}
 }
 
 // KindMeter returns this rank's cumulative meter for one collective family
@@ -285,53 +489,23 @@ func (w *World) TotalMeter() Meter {
 	return m
 }
 
-// exchange is the collective rendezvous underlying every collective: member
-// r contributes parts (one entry per destination member) and receives one
-// entry per source member. All members of the communicator must call
-// collectives in the same order (standard MPI semantics); the generation
-// counter enforces matching.
+// exchange is the blocking rendezvous retained for Split and WinCreate:
+// member r contributes parts (one entry per destination member) and
+// receives one entry per source member, returning only after every member
+// has posted. All members of a communicator must call collectives in the
+// same order (standard MPI semantics); the per-handle generation counter
+// does the matching.
 func (c *Comm) exchange(parts []any) []any {
 	st := c.st
-	size := len(st.ranks)
-	if len(parts) != size {
-		panic(fmt.Sprintf("mpi: exchange with %d parts on a %d-rank comm", len(parts), size))
+	if len(parts) != len(st.ranks) {
+		panic(fmt.Sprintf("mpi: exchange with %d parts on a %d-rank comm", len(parts), len(st.ranks)))
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	gen := c.nextGen
 	c.nextGen++
-	for st.gen != gen {
-		st.cond.Wait()
-	}
-	st.inbox[c.member] = parts
-	st.arrived++
-	if st.arrived == size {
-		out := make([][]any, size)
-		for d := 0; d < size; d++ {
-			out[d] = make([]any, size)
-			for s := 0; s < size; s++ {
-				out[d][s] = st.inbox[s][d]
-			}
-		}
-		for s := range st.inbox {
-			st.inbox[s] = nil
-		}
-		st.results[gen] = out
-		st.arrived = 0
-		st.gen++
-		st.cond.Broadcast()
-	} else {
-		for st.results[gen] == nil {
-			st.cond.Wait()
-		}
-	}
-	res := st.results[gen][c.member]
-	st.taken[gen]++
-	if st.taken[gen] == size {
-		delete(st.results, gen)
-		delete(st.taken, gen)
-	}
-	return res
+	st.post(c.member, gen, parts)
+	got := st.collect(c.member, gen)
+	st.finishRead(gen)
+	return got
 }
 
 func logTreeDepth(p int) int64 {

@@ -1,0 +1,522 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Request is one rank's handle on a split-phase collective. The call has
+// already been posted to the mailbox (starting never blocks); it completes
+// in Wait or in a successful Test. Completion assembles the result, meters
+// the transfer exactly once with the same counts as the blocking
+// counterpart, and — for collectives whose peers read this rank's send
+// buffer (all of them except Allreduce and Barrier) — waits until every
+// peer has finished reading, so the MPI contract "the send buffer may be
+// reused after completion" carries over to recycled arena buffers.
+//
+// A Request is safe for concurrent Wait/Test from multiple goroutines; the
+// result on the typed wrappers is valid once any of them observes
+// completion.
+type Request struct {
+	c   *Comm
+	gen int64
+
+	mu       sync.Mutex
+	started  time.Time
+	exposed  time.Duration
+	readDone bool // result assembled, finishRead declared
+	done     bool
+	lending  bool        // completion additionally waits for consumption
+	finish   func([]any) // assembles the result and meters; nil for Barrier
+}
+
+// start posts parts as this communicator's next collective and returns the
+// request handle. It never blocks.
+func (c *Comm) start(parts []any, lending bool, finish func([]any)) *Request {
+	gen := c.nextGen
+	c.nextGen++
+	r := &Request{c: c, gen: gen, started: time.Now(), lending: lending, finish: finish}
+	c.st.post(c.member, gen, parts)
+	return r
+}
+
+// Wait blocks until the collective completes. Idempotent.
+func (r *Request) Wait() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	begin := time.Now()
+	r.advance()
+	if r.lending {
+		r.c.st.waitConsumed(r.gen)
+	}
+	r.exposed += time.Since(begin)
+	r.complete()
+}
+
+// Test polls for completion without blocking. Once it returns true the
+// collective is complete and Wait returns immediately.
+func (r *Request) Test() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return true
+	}
+	begin := time.Now()
+	defer func() { r.exposed += time.Since(begin) }()
+	if !r.readDone {
+		if !r.c.st.allPosted(r.gen) {
+			return false
+		}
+		r.advance()
+	}
+	if r.lending && !r.c.st.isConsumed(r.gen) {
+		return false
+	}
+	r.complete()
+	return true
+}
+
+// advance assembles the result and retires this rank's read. Caller holds
+// r.mu; the collect inside only blocks when reached from Wait.
+func (r *Request) advance() {
+	if r.readDone {
+		return
+	}
+	got := r.c.st.collect(r.c.member, r.gen)
+	if r.finish != nil {
+		r.finish(got)
+	}
+	r.c.st.finishRead(r.gen)
+	r.readDone = true
+}
+
+// complete records the time ledger once. Caller holds r.mu.
+func (r *Request) complete() {
+	r.done = true
+	r.c.addCommTimes(time.Since(r.started), r.exposed)
+}
+
+// SlicesRequest is a split-phase collective resolving to one slice per
+// source rank (IAllgatherv, IAlltoallv).
+type SlicesRequest struct {
+	r   *Request
+	out [][]int64
+}
+
+// Wait blocks until the collective completes and returns the result.
+func (q *SlicesRequest) Wait() [][]int64 {
+	q.r.Wait()
+	return q.out
+}
+
+// Test polls for completion; once true, Wait returns without blocking.
+func (q *SlicesRequest) Test() bool { return q.r.Test() }
+
+// IntsRequest is a split-phase collective resolving to one flat []int64
+// (IBcast, IAllgathervInto, IAlltoallvFlat).
+type IntsRequest struct {
+	r   *Request
+	out []int64
+}
+
+// Wait blocks until the collective completes and returns the result.
+func (q *IntsRequest) Wait() []int64 {
+	q.r.Wait()
+	return q.out
+}
+
+// Test polls for completion; once true, Wait returns without blocking.
+func (q *IntsRequest) Test() bool { return q.r.Test() }
+
+// IntoRequest is a split-phase AlltoallvInto: per-source subslices plus the
+// grown backing buffer.
+type IntoRequest struct {
+	r   *Request
+	out [][]int64
+	buf []int64
+}
+
+// Wait blocks until the collective completes and returns the per-source
+// subslices and the grown buffer.
+func (q *IntoRequest) Wait() ([][]int64, []int64) {
+	q.r.Wait()
+	return q.out, q.buf
+}
+
+// Test polls for completion; once true, Wait returns without blocking.
+func (q *IntoRequest) Test() bool { return q.r.Test() }
+
+// ValueRequest is a split-phase collective resolving to a single value
+// (IAllreduce).
+type ValueRequest struct {
+	r   *Request
+	out int64
+}
+
+// Wait blocks until the collective completes and returns the result.
+func (q *ValueRequest) Wait() int64 {
+	q.r.Wait()
+	return q.out
+}
+
+// Test polls for completion; once true, Wait returns without blocking.
+func (q *ValueRequest) Test() bool { return q.r.Test() }
+
+// IBcast starts a split-phase broadcast of root's data; result and metering
+// as Bcast. The root must not mutate data before completion.
+func (c *Comm) IBcast(root int, data []int64) *IntsRequest {
+	size := c.Size()
+	parts := make([]any, size)
+	if c.member == root {
+		for d := 0; d < size; d++ {
+			parts[d] = data
+		}
+	}
+	q := &IntsRequest{}
+	q.r = c.start(parts, true, func(got []any) {
+		payload := asInts(got[root])
+		if len(payload) > 0 {
+			depth := logTreeDepth(size)
+			c.addComm(KindBcast, depth, depth*int64(len(payload)))
+		}
+		if c.member == root {
+			q.out = data
+		} else {
+			q.out = append([]int64(nil), payload...)
+		}
+	})
+	return q
+}
+
+// IAllgatherv starts a split-phase allgather of data; result and metering
+// as Allgatherv. The caller must not mutate data before completion.
+func (c *Comm) IAllgatherv(data []int64) *SlicesRequest {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = data
+	}
+	q := &SlicesRequest{}
+	q.r = c.start(parts, true, func(got []any) {
+		out := make([][]int64, size)
+		var words int64
+		for s := 0; s < size; s++ {
+			in := asInts(got[s])
+			if s == c.member {
+				out[s] = data
+				continue
+			}
+			words += int64(len(in))
+			out[s] = append([]int64(nil), in...)
+		}
+		c.addComm(KindAllgather, int64(size-1), words)
+		q.out = out
+	})
+	return q
+}
+
+// IAllgathervInto starts a split-phase buffer-lending allgather; result and
+// metering as AllgathervInto. On completion every peer has finished reading
+// data, so both data and the returned buffer may be recycled.
+func (c *Comm) IAllgathervInto(data []int64, buf []int64) *IntsRequest {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = data
+	}
+	q := &IntsRequest{}
+	q.r = c.start(parts, true, func(got []any) {
+		var words int64
+		for s := 0; s < size; s++ {
+			in := asInts(got[s])
+			if s != c.member {
+				words += int64(len(in))
+			}
+			buf = append(buf, in...)
+		}
+		c.addComm(KindAllgather, int64(size-1), words)
+		q.out = buf
+	})
+	return q
+}
+
+// IAlltoallv starts a split-phase personalized all-to-all; result and
+// metering as Alltoallv. The caller must not mutate parts before
+// completion.
+func (c *Comm) IAlltoallv(parts [][]int64) *SlicesRequest {
+	anyParts, words := c.checkParts("Alltoallv", parts)
+	size := c.Size()
+	q := &SlicesRequest{}
+	q.r = c.start(anyParts, true, func(got []any) {
+		out := make([][]int64, size)
+		for s := 0; s < size; s++ {
+			in := asInts(got[s])
+			if s == c.member {
+				out[s] = in
+				continue
+			}
+			out[s] = append([]int64(nil), in...)
+		}
+		c.addComm(KindAlltoall, int64(size-1), words)
+		q.out = out
+	})
+	return q
+}
+
+// IAlltoallvInto starts a split-phase buffer-lending personalized
+// all-to-all; result and metering as AlltoallvInto. On completion every
+// peer has finished reading parts, so parts and the buffer may be recycled.
+func (c *Comm) IAlltoallvInto(parts [][]int64, buf []int64) *IntoRequest {
+	anyParts, words := c.checkParts("AlltoallvInto", parts)
+	size := c.Size()
+	q := &IntoRequest{}
+	q.r = c.start(anyParts, true, func(got []any) {
+		total := 0
+		for s := 0; s < size; s++ {
+			total += len(asInts(got[s]))
+		}
+		if cap(buf)-len(buf) < total {
+			grown := make([]int64, len(buf), len(buf)+total)
+			copy(grown, buf)
+			buf = grown
+		}
+		out := make([][]int64, size)
+		for s := 0; s < size; s++ {
+			start := len(buf)
+			buf = append(buf, asInts(got[s])...)
+			out[s] = buf[start:len(buf):len(buf)]
+		}
+		c.addComm(KindAlltoall, int64(size-1), words)
+		q.out, q.buf = out, buf
+	})
+	return q
+}
+
+// IAlltoallvFlat starts a split-phase flat personalized all-to-all; result
+// and metering as AlltoallvFlat. On completion parts and the buffer may be
+// recycled.
+func (c *Comm) IAlltoallvFlat(parts [][]int64, buf []int64) *IntsRequest {
+	anyParts, words := c.checkParts("AlltoallvFlat", parts)
+	size := c.Size()
+	q := &IntsRequest{}
+	q.r = c.start(anyParts, true, func(got []any) {
+		for s := 0; s < size; s++ {
+			buf = append(buf, asInts(got[s])...)
+		}
+		c.addComm(KindAlltoall, int64(size-1), words)
+		q.out = buf
+	})
+	return q
+}
+
+// IAllreduce starts a split-phase allreduce of val; result and metering as
+// Allreduce. Nothing is lent (payloads are copied at start), so completion
+// does not wait for peers to read — the natural fit for pipelined scalar
+// reductions like the frontier count.
+func (c *Comm) IAllreduce(op ReduceOp, val int64) *ValueRequest {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = []int64{val}
+	}
+	q := &ValueRequest{}
+	q.r = c.start(parts, false, func(got []any) {
+		acc := asInts(got[0])[0]
+		for s := 1; s < size; s++ {
+			acc = op(acc, asInts(got[s])[0])
+		}
+		depth := logTreeDepth(size)
+		c.addComm(KindReduce, 2*depth, 2*depth)
+		q.out = acc
+	})
+	return q
+}
+
+// checkParts validates a personalized-all-to-all parts slice before
+// anything is posted (so a malformed call panics without corrupting the
+// collective stream) and returns the boxed parts plus the words sent to
+// other ranks.
+func (c *Comm) checkParts(name string, parts [][]int64) ([]any, int64) {
+	size := c.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("mpi: %s with %d parts on %d ranks", name, len(parts), size))
+	}
+	anyParts := make([]any, size)
+	var words int64
+	for d := 0; d < size; d++ {
+		anyParts[d] = parts[d]
+		if d != c.member {
+			words += int64(len(parts[d]))
+		}
+	}
+	return anyParts, words
+}
+
+// PartsRequest is a progressive split-phase collective: instead of waiting
+// for every peer, Next hands back each source's payload as it arrives, so
+// the caller can fold local work (multiply, merge, copy-out) into the wait
+// for stragglers. Payloads returned by Next alias the sender's buffer —
+// they are read-only and valid until Finish. Finish retires the exchange:
+// it meters once (identically to the blocking counterpart), declares this
+// rank done reading, and waits until all peers are too, after which the
+// caller may recycle its send parts.
+type PartsRequest struct {
+	c   *Comm
+	gen int64
+
+	mu        sync.Mutex
+	delivered []bool
+	ndeliv    int
+	kind      CommKind
+	msgs      int64
+	words     int64 // alltoall: fixed at start; allgather: grows per arrival
+	recvWords bool  // words counted from received payloads (allgather rule)
+	started   time.Time
+	exposed   time.Duration
+	finished  bool
+}
+
+// IAllgathervParts starts a progressive allgather of data: each peer's
+// contribution is surfaced by Next as it arrives. Metering (at Finish) is
+// identical to Allgatherv.
+func (c *Comm) IAllgathervParts(data []int64) *PartsRequest {
+	size := c.Size()
+	parts := make([]any, size)
+	for d := 0; d < size; d++ {
+		parts[d] = data
+	}
+	gen := c.nextGen
+	c.nextGen++
+	pr := &PartsRequest{
+		c: c, gen: gen,
+		delivered: make([]bool, size),
+		kind:      KindAllgather,
+		msgs:      int64(size - 1),
+		recvWords: true,
+		started:   time.Now(),
+	}
+	c.st.post(c.member, gen, parts)
+	return pr
+}
+
+// IAlltoallvParts starts a progressive personalized all-to-all: each
+// source's part is surfaced by Next as it arrives. Metering (at Finish) is
+// identical to Alltoallv.
+func (c *Comm) IAlltoallvParts(parts [][]int64) *PartsRequest {
+	anyParts, words := c.checkParts("AlltoallvParts", parts)
+	size := c.Size()
+	gen := c.nextGen
+	c.nextGen++
+	pr := &PartsRequest{
+		c: c, gen: gen,
+		delivered: make([]bool, size),
+		kind:      KindAlltoall,
+		msgs:      int64(size - 1),
+		words:     words,
+		started:   time.Now(),
+	}
+	c.st.post(c.member, gen, anyParts)
+	return pr
+}
+
+// Next blocks until an undelivered source's payload has arrived and returns
+// (src, payload, true); sources come back in arrival order, not rank order.
+// It returns ok=false once every source has been delivered. The payload
+// aliases the sender's buffer: treat it as read-only and do not retain it
+// past Finish.
+func (pr *PartsRequest) Next() (src int, payload []int64, ok bool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.next()
+}
+
+// next is Next with pr.mu held.
+func (pr *PartsRequest) next() (int, []int64, bool) {
+	if pr.ndeliv == len(pr.delivered) {
+		return -1, nil, false
+	}
+	begin := time.Now()
+	src, part := pr.c.st.nextArrived(pr.c.member, pr.gen, pr.delivered)
+	pr.exposed += time.Since(begin)
+	pr.delivered[src] = true
+	pr.ndeliv++
+	in := asInts(part)
+	if pr.recvWords && src != pr.c.member {
+		pr.words += int64(len(in))
+	}
+	return src, in, true
+}
+
+// Pending returns how many sources have not yet been delivered by Next.
+func (pr *PartsRequest) Pending() int {
+	pr.mu.Lock()
+	n := len(pr.delivered) - pr.ndeliv
+	pr.mu.Unlock()
+	return n
+}
+
+// Ready reports whether some undelivered source has already arrived, i.e.
+// whether Next would return without blocking. It returns false when all
+// sources have been delivered.
+func (pr *PartsRequest) Ready() bool {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.ndeliv == len(pr.delivered) {
+		return false
+	}
+	st := pr.c.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for s := range pr.delivered {
+		if pr.delivered[s] {
+			continue
+		}
+		if _, ok := st.posted[s][pr.gen]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain appends every remaining source's payload into buf in arrival order
+// and returns the grown buffer. The copy means buf stays valid after
+// Finish; arrival order is fine for consumers that sort the union anyway.
+func (pr *PartsRequest) Drain(buf []int64) []int64 {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	for {
+		_, part, ok := pr.next()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, part...)
+	}
+}
+
+// Finish completes the exchange: any undelivered sources are drained (their
+// payloads discarded, but still counted), the transfer is metered exactly
+// once, and the call blocks until every peer has finished reading this
+// rank's parts — after which the send buffers may be recycled. Idempotent.
+func (pr *PartsRequest) Finish() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.finished {
+		return
+	}
+	for {
+		if _, _, ok := pr.next(); !ok {
+			break
+		}
+	}
+	begin := time.Now()
+	pr.c.st.finishRead(pr.gen)
+	pr.c.st.waitConsumed(pr.gen)
+	pr.exposed += time.Since(begin)
+	pr.c.addComm(pr.kind, pr.msgs, pr.words)
+	pr.c.addCommTimes(time.Since(pr.started), pr.exposed)
+	pr.finished = true
+}

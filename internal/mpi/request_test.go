@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// driveCollectives issues one of every collective family. With split set it
+// routes everything expressible through the request layer (including the
+// progressive Parts variants); otherwise it uses the blocking forms with
+// the same payloads. The two schedules must leave identical meters.
+func driveCollectives(c *Comm, split bool) {
+	p := c.Size()
+	data := make([]int64, 8+c.Rank())
+	for i := range data {
+		data[i] = int64(c.Rank()*100 + i)
+	}
+	parts := make([][]int64, p)
+	for d := range parts {
+		parts[d] = []int64{int64(c.Rank()), int64(d), 7}
+	}
+	if split {
+		c.IAllgatherv(data).Wait()
+		c.IAlltoallv(parts).Wait()
+		c.IBcast(1, data).Wait()
+		c.IAllreduce(OpSum, int64(c.Rank())).Wait()
+		rq := c.IAllgathervParts(data)
+		for {
+			if _, _, ok := rq.Next(); !ok {
+				break
+			}
+		}
+		rq.Finish()
+		rq = c.IAlltoallvParts(parts)
+		rq.Drain(nil)
+		rq.Finish()
+	} else {
+		c.Allgatherv(data)
+		c.Alltoallv(parts)
+		c.Bcast(1, data)
+		c.Allreduce(OpSum, int64(c.Rank()))
+		c.Allgatherv(data) // blocking counterpart of the Parts allgather
+		c.Alltoallv(parts) // blocking counterpart of the Parts alltoall
+	}
+	c.Barrier()
+	c.Gatherv(0, data)
+	var sc [][]int64
+	if c.Rank() == 0 {
+		sc = make([][]int64, p)
+		for d := range sc {
+			sc[d] = []int64{int64(d), 11}
+		}
+	}
+	c.Scatterv(0, sc)
+	c.AddWork(10)
+}
+
+// TestRequestMeterConservation: the request layer counts every transfer
+// exactly once. Per rank the per-kind meters sum to the rank total, the
+// rank totals sum to TotalMeter, and a split-phase schedule's meters are
+// identical to the blocking schedule's, rank by rank and kind by kind.
+func TestRequestMeterConservation(t *testing.T) {
+	const p = 4
+	worlds := make(map[bool]*World)
+	for _, split := range []bool{false, true} {
+		w, err := Run(p, func(c *Comm) error {
+			driveCollectives(c, split)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[split] = w
+	}
+	for _, split := range []bool{false, true} {
+		w := worlds[split]
+		var sum Meter
+		for r := 0; r < p; r++ {
+			total := w.RankMeter(r)
+			sum = sum.Add(total)
+			var kMsgs, kWords int64
+			for k := CommKind(0); k < numKinds; k++ {
+				km := w.RankKindMeter(r, k)
+				kMsgs += km.Msgs
+				kWords += km.Words
+			}
+			if kMsgs != total.Msgs || kWords != total.Words {
+				t.Fatalf("split=%v rank %d: kinds sum (%d,%d) != rank total (%d,%d)",
+					split, r, kMsgs, kWords, total.Msgs, total.Words)
+			}
+		}
+		if got := w.TotalMeter(); got != sum {
+			t.Fatalf("split=%v: rank sum %+v != TotalMeter %+v", split, sum, got)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if b, s := worlds[false].RankMeter(r), worlds[true].RankMeter(r); b != s {
+			t.Fatalf("rank %d: blocking meter %+v != split-phase meter %+v", r, b, s)
+		}
+		for k := CommKind(0); k < numKinds; k++ {
+			b := worlds[false].RankKindMeter(r, k)
+			s := worlds[true].RankKindMeter(r, k)
+			if b != s {
+				t.Fatalf("rank %d kind %v: blocking %+v != split-phase %+v", r, k, b, s)
+			}
+		}
+	}
+}
+
+// TestRequestWaitTestConcurrent hammers shared requests from multiple
+// goroutines per rank — one Test-spinning, one calling Wait, plus the rank
+// goroutine's own Wait — across many rounds. Run under -race this is the
+// thread-safety stress for the split-phase request state machine.
+func TestRequestWaitTestConcurrent(t *testing.T) {
+	const p = 4
+	const rounds = 25
+	_, err := Run(p, func(c *Comm) error {
+		payload := []int64{int64(c.Rank()), int64(c.Rank() * 3)}
+		for i := 0; i < rounds; i++ {
+			vr := c.IAllreduce(OpSum, int64(c.Rank()+i))
+			gr := c.IAllgatherv(payload)
+			want := int64(p*(p-1)/2 + p*i)
+			errs := make(chan error, 2)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for !vr.Test() {
+					runtime.Gosched()
+				}
+				if got := vr.Wait(); got != want {
+					errs <- fmt.Errorf("allreduce got %d want %d", got, want)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				gr.Test() // probe once, then block
+				out := gr.Wait()
+				if len(out) != p || out[c.Rank()][1] != payload[1] {
+					errs <- fmt.Errorf("allgather round %d: bad result %v", i, out)
+				}
+			}()
+			if got := vr.Wait(); got != want {
+				return fmt.Errorf("main allreduce got %d want %d", got, want)
+			}
+			out := gr.Wait()
+			if len(out) != p {
+				return fmt.Errorf("main allgather got %d parts", len(out))
+			}
+			wg.Wait()
+			select {
+			case e := <-errs:
+				return e
+			default:
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

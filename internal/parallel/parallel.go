@@ -422,8 +422,8 @@ func MapReduce(n, threads int, fn func(lo, hi int) int64, combine func(a, b int6
 	partials[0].v.Store(fn(bounds[0], bounds[1]))
 	wg.Wait()
 	acc := partials[0].v.Load()
-	for _, p := range partials[1:] {
-		acc = combine(acc, p.v.Load())
+	for w := 1; w < threads; w++ {
+		acc = combine(acc, partials[w].v.Load())
 	}
 	return acc
 }

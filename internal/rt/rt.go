@@ -51,6 +51,10 @@ const (
 type Ctx struct {
 	comm    *mpi.Comm
 	enabled bool
+	// noOverlap selects the fully blocking collective paths in the layers
+	// above (spmv, dvec, core). Zero value = overlap on, so contexts reused
+	// from before the split-phase engine pick up overlap automatically.
+	noOverlap bool
 
 	ints  [numClasses][][]int64
 	verts [numClasses][][]semiring.Vertex
@@ -97,6 +101,19 @@ func (c *Ctx) Comm() *mpi.Comm {
 // Enabled reports whether the arena actually pools (false for nil or
 // disabled contexts).
 func (c *Ctx) Enabled() bool { return c != nil && c.enabled }
+
+// SetOverlap selects between the split-phase overlapped communication
+// schedules (true, the default) and the fully blocking reference paths
+// (false; Config.DisableOverlap). Safe on a nil context (no-op).
+func (c *Ctx) SetOverlap(on bool) {
+	if c != nil {
+		c.noOverlap = !on
+	}
+}
+
+// Overlap reports whether the compute/communication-overlap schedules are
+// active. A nil context runs the blocking reference paths.
+func (c *Ctx) Overlap() bool { return c != nil && !c.noOverlap }
 
 // EnsureThreads sizes the context's persistent worker pool — the rank's
 // intra-node thread team, the analogue of the paper's OpenMP threads — to t.
@@ -382,36 +399,46 @@ func (s *Scratch) Mark(i int) { s.stamp[i] = s.epoch }
 // Len returns the number of entries the borrow spans.
 func (s *Scratch) Len() int { return len(s.stamp) }
 
-// OpCost is one operation category's accumulated wall time and
-// communication meter.
+// OpCost is one operation category's accumulated wall time, communication
+// meter, and communication-time ledger (total vs exposed; their difference
+// is the latency the split-phase schedules hid behind local work).
 type OpCost struct {
 	Wall  time.Duration
 	Meter mpi.Meter
+	Comm  mpi.CommTimes
 }
 
-// Track runs fn, attributes its wall time and communication-meter delta to
-// op in the context's ledger, and returns both. The ledger accumulates
-// across solves when the context is reused, giving per-rank telemetry that
-// no longer hangs off a single communicator's lifetime.
-func (c *Ctx) Track(op string, fn func()) (time.Duration, mpi.Meter) {
+// Track runs fn, attributes its wall time plus the communication-meter and
+// communication-time deltas to op in the context's ledger, and returns the
+// delta. The ledger accumulates across solves when the context is reused,
+// giving per-rank telemetry that no longer hangs off a single
+// communicator's lifetime. A split-phase request started inside one tracked
+// op and completed inside another attributes its meter and times to the op
+// that completed it.
+func (c *Ctx) Track(op string, fn func()) OpCost {
 	if c == nil || c.comm == nil {
 		start := time.Now()
 		fn()
-		return time.Since(start), mpi.Meter{}
+		return OpCost{Wall: time.Since(start)}
 	}
 	before := c.comm.MeterSnapshot()
+	beforeCT := c.comm.CommTimes()
 	start := time.Now()
 	fn()
-	wall := time.Since(start)
-	delta := c.comm.MeterSnapshot().Sub(before)
+	delta := OpCost{
+		Wall:  time.Since(start),
+		Meter: c.comm.MeterSnapshot().Sub(before),
+		Comm:  c.comm.CommTimes().Sub(beforeCT),
+	}
 	if c.ops == nil {
 		c.ops = make(map[string]OpCost)
 	}
 	oc := c.ops[op]
-	oc.Wall += wall
-	oc.Meter = oc.Meter.Add(delta)
+	oc.Wall += delta.Wall
+	oc.Meter = oc.Meter.Add(delta.Meter)
+	oc.Comm = oc.Comm.Add(delta.Comm)
 	c.ops[op] = oc
-	return wall, delta
+	return delta
 }
 
 // OpCosts returns a copy of the per-op ledger.

@@ -255,10 +255,9 @@ func TestDisabledAndNilArePassThrough(t *testing.T) {
 			t.Fatalf("disabled GetParts len %d", len(ps))
 		}
 		c.PutParts(ps)
-		wall, m := c.Track("op", func() {})
-		_ = wall
-		if m != (mpi.Meter{}) {
-			t.Fatalf("nil-comm Track metered %+v", m)
+		cost := c.Track("op", func() {})
+		if cost.Meter != (mpi.Meter{}) {
+			t.Fatalf("nil-comm Track metered %+v", cost.Meter)
 		}
 	}
 	// Disabled scratch is fresh each borrow.
@@ -356,9 +355,9 @@ func TestCrossRankNoAliasing(t *testing.T) {
 func TestTrackAccumulatesMeterDelta(t *testing.T) {
 	_, err := mpi.Run(2, func(c *mpi.Comm) error {
 		ctx := New(c)
-		_, m1 := ctx.Track("gather", func() {
+		m1 := ctx.Track("gather", func() {
 			c.Allgatherv([]int64{1, 2, 3})
-		})
+		}).Meter
 		if m1.Msgs != 1 {
 			t.Errorf("rank %d: tracked msgs %d, want 1", c.Rank(), m1.Msgs)
 		}

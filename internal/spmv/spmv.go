@@ -12,6 +12,8 @@ import (
 	"sort"
 
 	"mcmdist/internal/dvec"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/parallel"
 	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmat"
@@ -52,57 +54,84 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 
 	ctx := g.RT
 
-	// Expand: allgather the frontier pieces along my grid column into one
-	// flat arena buffer. The union of the pieces is exactly my column slab,
-	// i.e. the frontier entries my local block can act on.
+	// Expand: allgather the frontier pieces along my grid column. The union
+	// of the pieces is exactly my column slab, i.e. the frontier entries my
+	// local block can act on.
 	payload := ctx.GetInts(3 * len(x.Idx))
 	for k, gi := range x.Idx {
 		payload = append(payload, int64(gi), x.Val[k].Parent, x.Val[k].Root)
 	}
-	slab := g.Col.AllgathervInto(payload, ctx.GetInts(3*len(x.Idx)*g.PR))
-	ctx.PutInts(payload)
 
 	// Local multiply into the rank's persistent dense scratch; the epoch
 	// stamp replaces the per-call present bitmap. With a worker pool, each
 	// worker combines its contiguous run of slab entries into a private
-	// shard, and the shards are then merged into shard 0 by row band. The
-	// combine sequence per row is exactly the serial slab order regrouped by
-	// contiguous chunks, so associativity of op.Combine makes the result
-	// bit-identical to the single-thread multiply.
+	// shard, and the shards are then merged into shard 0 by row band. Any
+	// regrouping of the per-row combine sequence is bit-identical because
+	// op.Combine is associative and commutative for every BFS semiring.
 	pool := ctx.Pool()
-	nent := len(slab) / 3
-	width := pool.Width(nent, multGrain)
-	shards := ctx.ScratchShards("spmv.rows", width, a.Rows.Len())
-	sc := shards[0]
-	if width <= 1 {
-		g.World.AddWork(multiplyRange(a, slab, 0, nent, sc, op))
-	} else {
-		works := make([]int64, width)
-		pool.ForChunked(nent, multGrain, func(w, lo, hi int) {
-			works[w] = int64(multiplyRange(a, slab, lo, hi, shards[w], op))
-		})
-		var work int64
-		for _, wk := range works {
-			work += wk
+	var sc *rt.Scratch
+	if ctx.Overlap() {
+		// Split-phase expand: multiply each frontier piece as it arrives,
+		// hiding stragglers' latency behind the multiply of pieces already
+		// here. Shards are borrowed once at the pool's full width; each
+		// piece is chunked independently.
+		rq := g.Col.IAllgathervParts(payload)
+		width := 1
+		if pool != nil {
+			width = pool.Threads()
 		}
-		g.World.AddWork(int(work))
-		pool.For(a.Rows.Len(), func(lo, hi int) {
-			for s := 1; s < width; s++ {
-				sh := shards[s]
-				for r := lo; r < hi; r++ {
-					if !sh.Has(r) {
-						continue
-					}
-					if !sc.Has(r) {
-						sc.Set(r, sh.Val[r])
-					} else {
-						sc.Val[r] = op.Combine(sc.Val[r], sh.Val[r])
-					}
-				}
+		shards := ctx.ScratchShards("spmv.rows", width, a.Rows.Len())
+		sc = shards[0]
+		used := 1
+		var work int64
+		for {
+			_, piece, ok := rq.Next()
+			if !ok {
+				break
 			}
-		})
+			n := len(piece) / 3
+			if w := pool.Width(n, multGrain); w > 1 {
+				if w > used {
+					used = w
+				}
+				works := make([]int64, w)
+				pool.ForChunked(n, multGrain, func(wi, lo, hi int) {
+					works[wi] = int64(multiplyRange(a, piece, lo, hi, shards[wi], op))
+				})
+				for _, wk := range works {
+					work += wk
+				}
+			} else {
+				work += int64(multiplyRange(a, piece, 0, n, sc, op))
+			}
+		}
+		rq.Finish()
+		ctx.PutInts(payload)
+		g.World.AddWork(int(work))
+		mergeShards(pool, shards[:used], op, a.Rows.Len())
+	} else {
+		slab := g.Col.AllgathervInto(payload, ctx.GetInts(3*len(x.Idx)*g.PR))
+		ctx.PutInts(payload)
+		nent := len(slab) / 3
+		width := pool.Width(nent, multGrain)
+		shards := ctx.ScratchShards("spmv.rows", width, a.Rows.Len())
+		sc = shards[0]
+		if width <= 1 {
+			g.World.AddWork(multiplyRange(a, slab, 0, nent, sc, op))
+		} else {
+			works := make([]int64, width)
+			pool.ForChunked(nent, multGrain, func(w, lo, hi int) {
+				works[w] = int64(multiplyRange(a, slab, lo, hi, shards[w], op))
+			})
+			var work int64
+			for _, wk := range works {
+				work += wk
+			}
+			g.World.AddWork(int(work))
+			mergeShards(pool, shards, op, a.Rows.Len())
+		}
+		ctx.PutInts(slab)
 	}
-	ctx.PutInts(slab)
 
 	// Fold: route each discovered row to its owner within my grid row and
 	// merge with the semiring addition.
@@ -115,13 +144,115 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 		_, j := outL.OwnerCoords(grow)
 		parts[j] = append(parts[j], int64(grow), sc.Val[r].Parent, sc.Val[r].Root)
 	}
-	got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
-	ctx.PutParts(parts)
-
-	out := mergeSortedTriples(ctx, got, op, outL)
+	var out *dvec.SparseV
+	if ctx.Overlap() {
+		out = foldOverlap(ctx, g.Row, parts, op, outL)
+	} else {
+		got, fold := g.Row.AlltoallvInto(parts, ctx.GetInts(0))
+		ctx.PutParts(parts)
+		out = mergeSortedTriples(ctx, got, op, outL)
+		ctx.PutInts(fold)
+	}
 	g.World.AddWork(out.LocalNnz())
-	ctx.PutInts(fold)
 	return out
+}
+
+// mergeShards folds shards[1:] into shards[0] by row band. Used by both the
+// blocking and the split-phase multiply.
+func mergeShards(pool *parallel.Pool, shards []*rt.Scratch, op semiring.AddOp, rows int) {
+	if len(shards) <= 1 {
+		return
+	}
+	sc := shards[0]
+	pool.For(rows, func(lo, hi int) {
+		for s := 1; s < len(shards); s++ {
+			sh := shards[s]
+			for r := lo; r < hi; r++ {
+				if !sh.Has(r) {
+					continue
+				}
+				if !sc.Has(r) {
+					sc.Set(r, sh.Val[r])
+				} else {
+					sc.Val[r] = op.Combine(sc.Val[r], sh.Val[r])
+				}
+			}
+		}
+	})
+}
+
+// foldOverlap is the split-phase fold: the personalized all-to-all is
+// drained progressively and streams already here are pairwise-merged while
+// stragglers are still sending — mergesort-style run collapsing keeps the
+// early-merge work O(n log k). Whatever runs remain when the last stream
+// lands go through the usual banded k-way merge. Zero-copy streams from the
+// request are only read before Finish, after which the send parts are
+// recycled.
+func foldOverlap(ctx *rt.Ctx, row *mpi.Comm, parts [][]int64, op semiring.AddOp, outL dvec.Layout) *dvec.SparseV {
+	rq := row.IAlltoallvParts(parts)
+	var runs [][]int64
+	var owned []bool // runs[i] is an arena buffer (vs a zero-copy stream)
+	for {
+		_, stream, ok := rq.Next()
+		if !ok {
+			break
+		}
+		if len(stream) == 0 {
+			continue
+		}
+		runs, owned = append(runs, stream), append(owned, false)
+		// Collapse similar-sized neighbouring runs while a straggler is
+		// still outstanding to hide the merge behind.
+		for len(runs) >= 2 && rq.Pending() > 0 {
+			a, b := runs[len(runs)-2], runs[len(runs)-1]
+			if len(a) > 2*len(b) {
+				break
+			}
+			merged := merge2Triples(ctx.GetInts(len(a)+len(b)), a, b, op)
+			if owned[len(owned)-2] {
+				ctx.PutInts(a)
+			}
+			if owned[len(owned)-1] {
+				ctx.PutInts(b)
+			}
+			runs = append(runs[:len(runs)-2], merged)
+			owned = append(owned[:len(owned)-2], true)
+		}
+	}
+	out := mergeSortedTriples(ctx, runs, op, outL)
+	rq.Finish()
+	for i, r := range runs {
+		if owned[i] {
+			ctx.PutInts(r)
+		}
+	}
+	ctx.PutParts(parts)
+	return out
+}
+
+// merge2Triples merges two row-sorted triple runs into dst, combining
+// duplicate rows with op, and returns the grown dst. Each input holds a row
+// at most once, so the output does too.
+func merge2Triples(dst, a, b []int64, op semiring.AddOp) []int64 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i], a[i+1], a[i+2])
+			i += 3
+		case b[j] < a[i]:
+			dst = append(dst, b[j], b[j+1], b[j+2])
+			j += 3
+		default:
+			v := op.Combine(semiring.Vertex{Parent: a[i+1], Root: a[i+2]},
+				semiring.Vertex{Parent: b[j+1], Root: b[j+2]})
+			dst = append(dst, a[i], v.Parent, v.Root)
+			i, j = i+3, j+3
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // multiplyRange runs the work-efficient local multiply over slab entries

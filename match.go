@@ -124,6 +124,12 @@ type Options struct {
 	// across phases and only augmented trees release their vertices,
 	// eliminating redundant edge re-traversals.
 	TreeGrafting bool
+	// DisableOverlap turns off the split-phase compute/communication
+	// overlap: every collective runs in blocking form and the solver's
+	// pipelined frontier count reverts to a loop-top allreduce. Results
+	// and communication meters are bit-identical either way; only wall
+	// clocks and the Stats.CommTimeByOp exposed times change.
+	DisableOverlap bool
 	// Permute randomly permutes rows and columns before distribution for
 	// load balance (Section IV-A).
 	Permute bool
@@ -144,6 +150,7 @@ func (o Options) toConfig() core.Config {
 		DisablePrune:       o.DisablePrune,
 		DirectionOptimized: o.DirectionOptimized,
 		TreeGrafting:       o.TreeGrafting,
+		DisableOverlap:     o.DisableOverlap,
 		Permute:            o.Permute,
 		Seed:               o.Seed,
 	}
@@ -195,6 +202,19 @@ type CommStats struct {
 	Msgs, Words, Work int64
 }
 
+// CommTime splits one category's communication wall time in two: Total is
+// the time its collectives' requests were in flight, Exposed the part the
+// rank actually spent blocked waiting on them. The difference is latency the
+// split-phase schedules hid behind local computation.
+type CommTime struct {
+	// Total is the request-in-flight wall time; Exposed the blocked part.
+	Total, Exposed time.Duration
+}
+
+// Hidden returns the communication latency overlapped with computation,
+// Total minus Exposed.
+func (ct CommTime) Hidden() time.Duration { return ct.Total - ct.Exposed }
+
 // Stats reports a distributed run.
 type Stats struct {
 	// Cardinality is |M| of the returned matching; InitCardinality is the
@@ -217,6 +237,10 @@ type Stats struct {
 	WallByOp map[string]time.Duration
 	// CommByOp is the per-primitive communication breakdown (rank maximum).
 	CommByOp map[string]CommStats
+	// CommTimeByOp is the per-primitive communication-time ledger (rank
+	// maximum): total request-in-flight time vs the exposed part spent
+	// blocked. See CommTime.
+	CommTimeByOp map[string]CommTime
 	// PerRank holds every rank's cumulative totals.
 	PerRank []CommStats
 }

@@ -174,12 +174,16 @@ func statsFromCore(cs *core.Stats, perRank []mpi.Meter, procs, threads int) *Sta
 		Threads:               threads,
 		WallByOp:              make(map[string]time.Duration),
 		CommByOp:              make(map[string]CommStats),
+		CommTimeByOp:          make(map[string]CommTime),
 	}
 	for op, d := range cs.Wall {
 		st.WallByOp[string(op)] = d
 	}
 	for op, m := range cs.Meter {
 		st.CommByOp[string(op)] = CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
+	}
+	for op, ct := range cs.Comm {
+		st.CommTimeByOp[string(op)] = CommTime{Total: ct.Total, Exposed: ct.Exposed}
 	}
 	for _, m := range perRank {
 		st.PerRank = append(st.PerRank, CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
