@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet
+.PHONY: build test race bench bench-smoke vet test-faults soak
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ vet:
 # exercises the rendezvous and the buffer-lending collectives directly.
 race:
 	$(GO) test -race ./...
+
+# Fault plane, watchdog, and checkpoint/restart tests under the race
+# detector: injected crashes/stragglers/RMA failures, deadlock detection,
+# goroutine-leak regressions, and the recovery fault matrix.
+test-faults:
+	$(GO) test -race -count=1 -run 'Fault|Watchdog|Crash|Straggler|RMA|Panic|Leak|RunCtx|Checkpoint|Resume|Recoverable|Guard|Boundary' ./internal/mpi/ ./internal/core/ .
+
+# Nightly-style chaos soak: hundreds of worlds cycling injected faults,
+# watchdog aborts, and genuine wedges, with a goroutine-leak check at the
+# end. Behind the faultsoak build tag so regular test runs stay fast.
+soak:
+	$(GO) test -race -tags faultsoak -count=1 -run Soak -timeout 20m ./internal/mpi/
 
 # Allocation benchmarks for the runtime-context arena: SpMV push/pull,
 # the Table I primitive chain, and an end-to-end solve.

@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|all
+//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|recovery|all
 //	      [-scale N] [-procs P] [-threads T] [-no-overlap]
+//	      [-checkpoint-every K] [-fault none|crash|straggler|rma]
+//	      [-fault-rank R] [-fault-at N] [-fault-delay D] [-watchdog D]
 //	      [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Scaling figures report times from the alpha-beta cost model (see
@@ -16,29 +18,40 @@
 // -json writes a machine-readable envelope: every experiment's row structs
 // keyed by name, plus a measured solve profile (per-op wall seconds, exact
 // communication meters, worker-pool utilization, heap traffic) at the
-// requested scale/procs/threads. -cpuprofile and -memprofile write pprof
-// profiles covering the experiment runs.
+// requested scale/procs/threads. When checkpointing or fault injection is
+// requested (-checkpoint-every, -fault, or -exp recovery) the envelope also
+// carries a recovery section: checkpoint wall time, bytes serialized, and
+// retry count next to the clean solve's wall clock. -cpuprofile and
+// -memprofile write pprof profiles covering the experiment runs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"mcmdist/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, recovery, all")
 	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
 	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
 	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
 	noOverlap := flag.Bool("no-overlap", false, "disable the split-phase compute/communication overlap (results are bit-identical; wall clocks and the exposed-comm ledger change)")
 	matrix := flag.String("matrix", "road_usa", "matrix for the -json measured solve profile: a Table II stand-in name or g500/er/ssca (RMAT)")
 	jsonPath := flag.String("json", "", "write machine-readable results (experiment rows + measured solve profile) to this path")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint stride (phases) for the recovery benchmark; 0 means every phase")
+	fault := flag.String("fault", "none", "fault injected into the recovery benchmark: none, crash, straggler, rma")
+	faultRank := flag.Int("fault-rank", 1, "rank the fault is injected on")
+	faultAt := flag.Int("fault-at", 8, "1-based collective (crash) or RMA op (rma) index that triggers the fault")
+	faultDelay := flag.Duration("fault-delay", 100*time.Microsecond, "straggler sleep per triggering collective")
+	watchdog := flag.Duration("watchdog", 0, "progress-watchdog timeout for the recovery benchmark; 0 leaves it off")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the experiment runs to this path")
 	flag.Parse()
@@ -63,6 +76,15 @@ func main() {
 
 	w := os.Stdout
 	results := make(map[string]any)
+	recOpts := experiments.RecoveryOptions{
+		FaultKind:       *fault,
+		FaultRank:       *faultRank,
+		FaultAt:         *faultAt,
+		FaultDelay:      *faultDelay,
+		CheckpointEvery: *checkpointEvery,
+		Watchdog:        *watchdog,
+	}
+	var recProfile *experiments.RecoveryProfile
 	runOne := func(name string) bool {
 		var rows any
 		switch name {
@@ -100,6 +122,10 @@ func main() {
 			rows = experiments.TreeBalance(w, *scale, *procs, nil)
 		case "dynamics":
 			experiments.FrontierDynamics(w, "road_usa", *scale, *procs)
+		case "recovery":
+			p := experiments.RecoveryBench(w, *matrix, *scale, *procs, recOpts)
+			recProfile = &p
+			rows = p
 		default:
 			return false
 		}
@@ -123,14 +149,21 @@ func main() {
 
 	if ok && *jsonPath != "" {
 		t := experiments.DefaultThreads
+		if recProfile == nil && (*fault != "none" || *checkpointEvery > 0) {
+			// Recovery instrumentation was requested but no recovery
+			// experiment ran: measure it now (quietly) for the envelope.
+			p := experiments.RecoveryBench(io.Discard, *matrix, *scale, *procs, recOpts)
+			recProfile = &p
+		}
 		envelope := struct {
-			Exp      string                   `json:"exp"`
-			Scale    int                      `json:"scale"`
-			Procs    int                      `json:"procs"`
-			Threads  int                      `json:"threads"`
-			HostCPUs int                      `json:"host_cpus"`
-			Results  map[string]any           `json:"results"`
-			Profile  experiments.SolveProfile `json:"profile"`
+			Exp      string                       `json:"exp"`
+			Scale    int                          `json:"scale"`
+			Procs    int                          `json:"procs"`
+			Threads  int                          `json:"threads"`
+			HostCPUs int                          `json:"host_cpus"`
+			Results  map[string]any               `json:"results"`
+			Profile  experiments.SolveProfile     `json:"profile"`
+			Recovery *experiments.RecoveryProfile `json:"recovery,omitempty"`
 		}{
 			Exp:      *exp,
 			Scale:    *scale,
@@ -139,6 +172,7 @@ func main() {
 			HostCPUs: runtime.NumCPU(),
 			Results:  results,
 			Profile:  experiments.Profile(*matrix, *scale, *procs, t),
+			Recovery: recProfile,
 		}
 		buf, err := json.MarshalIndent(envelope, "", "  ")
 		if err != nil {

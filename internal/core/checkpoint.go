@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"mcmdist/internal/dvec"
+	"mcmdist/internal/semiring"
+)
+
+// checkpointMagic opens every encoded checkpoint (format version 1).
+const checkpointMagic = "MCMCKPT1"
+
+// Checkpoint is a phase-boundary snapshot of a distributed matching run.
+// MCM-DIST's invariant (the observation this subsystem exploits) is that
+// between augmentation phases the mate vectors always encode a valid
+// matching — the same property that lets the paper seed MCM from any
+// maximal matching — so a solve killed mid-phase can restart from the last
+// snapshot and lose at most one phase of work. The vectors are stored in
+// the solver's (possibly permuted) global index space.
+type Checkpoint struct {
+	Phase       int    // augmentation phases completed when taken (0 = just initialized)
+	Cardinality int    // matching cardinality at the snapshot
+	ConfigHash  uint64 // hash binding the snapshot to its Config and problem shape
+	N1, N2      int    // global rows and columns
+	MateR       []int64
+	MateC       []int64
+}
+
+// EncodedSize returns the byte length Encode will produce for an n1 x n2
+// problem: magic, five uint64 header words, then the two mate vectors.
+func EncodedSize(n1, n2 int) int {
+	return len(checkpointMagic) + 5*8 + 8*(n1+n2)
+}
+
+// Encode serializes the checkpoint into the fixed little-endian format
+// (magic, header, MateR, MateC) — suitable for a file or an object store.
+func (ck *Checkpoint) Encode() []byte {
+	buf := make([]byte, 0, EncodedSize(ck.N1, ck.N2))
+	buf = append(buf, checkpointMagic...)
+	for _, v := range []uint64{ck.ConfigHash, uint64(ck.Phase), uint64(ck.Cardinality), uint64(ck.N1), uint64(ck.N2)} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	for _, v := range ck.MateR {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	for _, v := range ck.MateC {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeCheckpoint parses an Encode result, validating magic and length.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagic)+5*8 {
+		return nil, fmt.Errorf("core: checkpoint too short (%d bytes)", len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %q", data[:len(checkpointMagic)])
+	}
+	off := len(checkpointMagic)
+	word := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	ck := &Checkpoint{}
+	ck.ConfigHash = word()
+	ck.Phase = int(word())
+	ck.Cardinality = int(word())
+	ck.N1 = int(word())
+	ck.N2 = int(word())
+	if want := EncodedSize(ck.N1, ck.N2); len(data) != want {
+		return nil, fmt.Errorf("core: checkpoint length %d, want %d for %dx%d", len(data), want, ck.N1, ck.N2)
+	}
+	ck.MateR = make([]int64, ck.N1)
+	for i := range ck.MateR {
+		ck.MateR[i] = int64(word())
+	}
+	ck.MateC = make([]int64, ck.N2)
+	for i := range ck.MateC {
+		ck.MateC[i] = int64(word())
+	}
+	return ck, nil
+}
+
+// CheckpointHash fingerprints the parts of the configuration that determine
+// the solve trajectory for an n1 x n2 problem, so a restore onto a changed
+// configuration is rejected instead of silently diverging. AddOp is a
+// function value and deliberately excluded; callers that vary the semiring
+// across restarts must carry that discipline themselves.
+func (c Config) CheckpointHash(n1, n2 int) uint64 {
+	c = c.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1|%d|%d|%d|%d|%d|%v|%v|%v|%g|%v|%d|%d",
+		n1, n2, c.Procs, int(c.Init), int(c.Augment),
+		c.DisablePrune, c.TreeGrafting, c.DirectionOptimized,
+		c.PullThreshold, c.Permute, c.Seed, c.GridRows*1000+c.GridCols)
+	return h.Sum64()
+}
+
+// maybeCheckpoint takes a phase-boundary checkpoint when the configuration
+// asks for one: after the initializer (phase 0) and after every
+// CheckpointEvery-th augmentation phase. Collective — the gate is
+// SPMD-replicated, every rank joins the gathers, and rank 0 packages the
+// snapshot and delivers it to OnCheckpoint. All ranks account the overhead
+// in Stats (Checkpoints, CheckpointBytes, CheckpointWall).
+func (s *Solver) maybeCheckpoint(phase int, mater, matec *dvec.Dense) {
+	if s.Cfg.CheckpointEvery <= 0 || s.Cfg.OnCheckpoint == nil {
+		return
+	}
+	if phase != 0 && phase%s.Cfg.CheckpointEvery != 0 {
+		return
+	}
+	begin := time.Now()
+	s.tr.track(OpOther, func() {
+		card := s.N2 - s.countUnmatched(matec)
+		fullR := mater.Gather()
+		fullC := matec.Gather()
+		if s.G.World.Rank() == 0 {
+			s.Cfg.OnCheckpoint(&Checkpoint{
+				Phase:       phase,
+				Cardinality: card,
+				ConfigHash:  s.Cfg.CheckpointHash(s.N1, s.N2),
+				N1:          s.N1,
+				N2:          s.N2,
+				MateR:       fullR,
+				MateC:       fullC,
+			})
+		}
+	})
+	s.Stats.Checkpoints++
+	s.Stats.CheckpointBytes += int64(EncodedSize(s.N1, s.N2))
+	s.Stats.CheckpointWall += time.Since(begin)
+}
+
+// RestoreMates rebuilds this rank's mate-vector pieces from a checkpoint,
+// the restart half of the phase-boundary protocol. The snapshot's shape and
+// config hash must match; the restored cardinality becomes this attempt's
+// InitCardinality (the checkpoint plays the role of the initializer).
+func (s *Solver) RestoreMates(ck *Checkpoint) (mater, matec *dvec.Dense, err error) {
+	if ck.N1 != s.N1 || ck.N2 != s.N2 {
+		return nil, nil, fmt.Errorf("core: checkpoint is %dx%d, solver is %dx%d", ck.N1, ck.N2, s.N1, s.N2)
+	}
+	if len(ck.MateR) != ck.N1 || len(ck.MateC) != ck.N2 {
+		return nil, nil, fmt.Errorf("core: checkpoint mate vectors are %dx%d, header says %dx%d",
+			len(ck.MateR), len(ck.MateC), ck.N1, ck.N2)
+	}
+	if want := s.Cfg.CheckpointHash(s.N1, s.N2); ck.ConfigHash != want {
+		return nil, nil, fmt.Errorf("core: checkpoint config hash %#x does not match current config %#x", ck.ConfigHash, want)
+	}
+	s.tr.track(OpInit, func() {
+		mater = dvec.NewDenseFrom(s.RowL, ck.MateR)
+		matec = dvec.NewDenseFrom(s.ColL, ck.MateC)
+	})
+	s.Stats.InitCardinality = ck.Cardinality
+	return mater, matec, nil
+}
+
+// InitOrRestore is the attempt entry point of a recoverable solve: restore
+// from Config.Resume when one is set, otherwise run the configured maximal
+// initializer and take the phase-0 checkpoint. Collective.
+func (s *Solver) InitOrRestore() (mater, matec *dvec.Dense, err error) {
+	if s.Cfg.Resume != nil {
+		return s.RestoreMates(s.Cfg.Resume)
+	}
+	mater, matec = s.MaximalInit()
+	s.maybeCheckpoint(0, mater, matec)
+	return mater, matec, nil
+}
+
+// countMatched returns how many entries of a full mate vector are matched
+// (used to cross-check a checkpoint's recorded cardinality).
+func countMatched(mate []int64) int {
+	n := 0
+	for _, v := range mate {
+		if v != semiring.None {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmdist/internal/matching"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/verify"
+)
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	ck := &Checkpoint{
+		Phase:       3,
+		Cardinality: 2,
+		ConfigHash:  0xdeadbeefcafef00d,
+		N1:          4,
+		N2:          3,
+		MateR:       []int64{1, semiring.None, 0, 2},
+		MateC:       []int64{2, 0, 3},
+	}
+	data := ck.Encode()
+	if len(data) != EncodedSize(ck.N1, ck.N2) {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), EncodedSize(ck.N1, ck.N2))
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != ck.Phase || got.Cardinality != ck.Cardinality ||
+		got.ConfigHash != ck.ConfigHash || got.N1 != ck.N1 || got.N2 != ck.N2 {
+		t.Fatalf("header mismatch: %+v vs %+v", got, ck)
+	}
+	for i := range ck.MateR {
+		if got.MateR[i] != ck.MateR[i] {
+			t.Fatalf("MateR[%d] = %d, want %d", i, got.MateR[i], ck.MateR[i])
+		}
+	}
+	for j := range ck.MateC {
+		if got.MateC[j] != ck.MateC[j] {
+			t.Fatalf("MateC[%d] = %d, want %d", j, got.MateC[j], ck.MateC[j])
+		}
+	}
+}
+
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	ck := &Checkpoint{N1: 2, N2: 2, MateR: []int64{0, 1}, MateC: []int64{0, 1}}
+	good := ck.Encode()
+
+	if _, err := DecodeCheckpoint(good[:10]); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeCheckpoint(good[:len(good)-8]); err == nil {
+		t.Fatal("short mate vectors accepted")
+	}
+}
+
+func TestCheckpointHashSensitivity(t *testing.T) {
+	base := Config{Procs: 4, Init: InitGreedy}
+	h := base.CheckpointHash(50, 50)
+	if h != base.CheckpointHash(50, 50) {
+		t.Fatal("hash not deterministic")
+	}
+	variants := []Config{
+		{Procs: 9, Init: InitGreedy},
+		{Procs: 4, Init: InitKarpSipser},
+		{Procs: 4, Init: InitGreedy, Augment: AugmentPathParallel},
+		{Procs: 4, Init: InitGreedy, DisablePrune: true},
+		{Procs: 4, Init: InitGreedy, TreeGrafting: true},
+		{Procs: 4, Init: InitGreedy, Permute: true},
+		{Procs: 4, Init: InitGreedy, Seed: 7},
+	}
+	for i, v := range variants {
+		if v.CheckpointHash(50, 50) == h {
+			t.Fatalf("variant %d hashes like the base config: %+v", i, v)
+		}
+	}
+	if base.CheckpointHash(51, 50) == h || base.CheckpointHash(50, 51) == h {
+		t.Fatal("hash insensitive to problem shape")
+	}
+	// Fields that do NOT change the solve trajectory must not change the
+	// hash, or a restart with different threading would be rejected.
+	same := Config{Procs: 4, Init: InitGreedy, Threads: 8, DisableOverlap: true}
+	if same.CheckpointHash(50, 50) != h {
+		t.Fatal("hash sensitive to execution-only knobs (Threads/DisableOverlap)")
+	}
+}
+
+func TestSolveEmitsValidCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomBipartite(rng, 50, 50, 120) // sparse: greedy leaves augmenting work
+	var cks []*Checkpoint
+	cfg := Config{
+		Procs:           4,
+		Init:            InitGreedy,
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(ck *Checkpoint) { cks = append(cks, ck) },
+	}
+	res := mustSolve(t, a, cfg)
+	if res.Stats.Phases == 0 {
+		t.Skip("no augmentation phases; checkpoint stream trivial")
+	}
+	if len(cks) != res.Stats.Phases+1 {
+		t.Fatalf("%d checkpoints for %d phases (want phases+1 incl. phase 0)", len(cks), res.Stats.Phases)
+	}
+	prev := -1
+	for _, ck := range cks {
+		if ck.Phase <= prev {
+			t.Fatalf("checkpoint phases not increasing: %d after %d", ck.Phase, prev)
+		}
+		prev = ck.Phase
+		if ck.N1 != 50 || ck.N2 != 50 {
+			t.Fatalf("checkpoint shape %dx%d", ck.N1, ck.N2)
+		}
+		if got := countMatched(ck.MateC); got != ck.Cardinality {
+			t.Fatalf("phase %d: recorded cardinality %d, mate vector holds %d", ck.Phase, ck.Cardinality, got)
+		}
+		// The tentpole invariant: every phase boundary is a valid matching.
+		m := &matching.Matching{MateR: ck.MateR, MateC: ck.MateC}
+		if err := verify.Valid(a, m); err != nil {
+			t.Fatalf("phase %d checkpoint is not a valid matching: %v", ck.Phase, err)
+		}
+	}
+	final := cks[len(cks)-1]
+	if final.Cardinality != res.Stats.Cardinality {
+		t.Fatalf("final checkpoint cardinality %d, solve reached %d", final.Cardinality, res.Stats.Cardinality)
+	}
+	if res.Stats.Checkpoints != len(cks) {
+		t.Fatalf("Stats.Checkpoints = %d, observed %d", res.Stats.Checkpoints, len(cks))
+	}
+	if res.Stats.CheckpointBytes != int64(len(cks)*EncodedSize(50, 50)) {
+		t.Fatalf("Stats.CheckpointBytes = %d", res.Stats.CheckpointBytes)
+	}
+}
+
+func TestResumeFromCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomBipartite(rng, 60, 60, 140)
+	var cks []*Checkpoint
+	cfg := Config{
+		Procs:           4,
+		Init:            InitGreedy,
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(ck *Checkpoint) { cks = append(cks, ck) },
+	}
+	clean := mustSolve(t, a, cfg)
+	if len(cks) < 2 {
+		t.Skip("not enough phases to test a mid-run resume")
+	}
+
+	// Resume from the first mid-run snapshot: the restarted solve must land
+	// on the exact same mate vectors as the uninterrupted one (MCM-DIST is
+	// deterministic, so the tail of the trajectory replays bit-for-bit).
+	resume := cfg
+	resume.OnCheckpoint = nil
+	resume.Resume = cks[1]
+	res, err := Solve(a, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InitCardinality != cks[1].Cardinality {
+		t.Fatalf("resumed InitCardinality %d, checkpoint had %d", res.Stats.InitCardinality, cks[1].Cardinality)
+	}
+	if res.Stats.Cardinality != clean.Stats.Cardinality {
+		t.Fatalf("resumed cardinality %d, clean %d", res.Stats.Cardinality, clean.Stats.Cardinality)
+	}
+	for i := range clean.Matching.MateR {
+		if res.Matching.MateR[i] != clean.Matching.MateR[i] {
+			t.Fatalf("MateR[%d] differs after resume: %d vs %d", i, res.Matching.MateR[i], clean.Matching.MateR[i])
+		}
+	}
+	for j := range clean.Matching.MateC {
+		if res.Matching.MateC[j] != clean.Matching.MateC[j] {
+			t.Fatalf("MateC[%d] differs after resume: %d vs %d", j, res.Matching.MateC[j], clean.Matching.MateC[j])
+		}
+	}
+}
+
+func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := randomBipartite(rng, 40, 40, 100)
+	var last *Checkpoint
+	cfg := Config{
+		Procs:           4,
+		Init:            InitGreedy,
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(ck *Checkpoint) { last = ck },
+	}
+	mustSolve(t, a, cfg)
+	if last == nil {
+		t.Fatal("no checkpoint produced")
+	}
+
+	// Same snapshot, different algorithm configuration: hash must not match.
+	bad := cfg
+	bad.OnCheckpoint = nil
+	bad.Init = InitKarpSipser
+	bad.Resume = last
+	if _, err := Solve(a, bad); err == nil {
+		t.Fatal("resume under a different config accepted")
+	}
+
+	// Corrupted hash must be rejected even under the original config.
+	forged := *last
+	forged.ConfigHash ^= 1
+	good := cfg
+	good.OnCheckpoint = nil
+	good.Resume = &forged
+	if _, err := Solve(a, good); err == nil {
+		t.Fatal("resume with forged config hash accepted")
+	}
+}

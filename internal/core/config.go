@@ -9,7 +9,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"mcmdist/internal/mpi"
 	"mcmdist/internal/semiring"
 )
 
@@ -137,6 +139,30 @@ type Config struct {
 	// level-synchronous iteration with SPMD-replicated counters — a
 	// lightweight trace for debugging and teaching.
 	OnIteration func(IterInfo)
+
+	// Fault attaches a deterministic fault injector to the run's simulated
+	// world (crash at the Nth collective, straggler latency, RMA failure);
+	// nil injects nothing. See mpi.FaultPlan.
+	Fault *mpi.FaultPlan
+	// WatchdogTimeout arms the runtime's progress watchdog: a run making no
+	// communication progress for this long is aborted with an
+	// mpi.DeadlockError naming the stuck collective and lagging ranks. It
+	// must comfortably exceed the longest communication-free compute stretch
+	// and any injected straggler delay. Zero disables the watchdog.
+	WatchdogTimeout time.Duration
+	// CheckpointEvery takes a phase-boundary checkpoint after every Nth
+	// augmentation phase (and after the initializer). Between phases the
+	// mate vectors always encode a valid matching, which is what makes the
+	// phase boundary a restart point. Zero disables checkpointing.
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint on rank 0. Required for
+	// CheckpointEvery to take effect; the recovery driver installs its own
+	// handler and chains to any caller-supplied one.
+	OnCheckpoint func(*Checkpoint)
+	// Resume restarts the solve from a prior checkpoint instead of running
+	// the maximal-matching initializer: the checkpointed mate vectors are
+	// scattered back over the grid and the MCM phases continue from there.
+	Resume *Checkpoint
 }
 
 // IterInfo is one iteration's trace record.

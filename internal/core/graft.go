@@ -121,6 +121,7 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 		s.tr.track(OpAugment, func() {
 			s.augment(pathc, pir, mater, matec, pathsFound)
 		})
+		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
 
 		// Release the augmented (dead) trees: their vertices become
 		// graftable. Dead roots are the pathc entries; every rank gathers

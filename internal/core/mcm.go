@@ -177,10 +177,13 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 		s.Stats.Phases++
 		s.Stats.AugmentedPaths += pathsFound
 
-		// Step 8: augment by all paths found in this phase.
+		// Step 8: augment by all paths found in this phase. The mate
+		// vectors re-enter the "valid matching" invariant here, making the
+		// phase boundary a restart point for checkpoint/restart.
 		s.tr.track(OpAugment, func() {
 			s.augment(pathc, pir, mater, matec, pathsFound)
 		})
+		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
 	s.captureThreadStats()
@@ -271,6 +274,7 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 		s.tr.track(OpAugment, func() {
 			s.augment(pathc, pir, mater, matec, pathsFound)
 		})
+		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
 	s.captureThreadStats()

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mcmdist/internal/matching"
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/rt"
+	"mcmdist/internal/spmat"
+	"mcmdist/internal/verify"
+)
+
+// RecoveryPolicy bounds the retry loop of a recoverable solve.
+type RecoveryPolicy struct {
+	// MaxRetries is how many times a faulted attempt is retried before the
+	// last error is surfaced. Zero means the default of 3.
+	MaxRetries int
+	// Backoff is the sleep before the first retry; each further retry
+	// doubles it up to MaxBackoff. Zero means 5ms (capped at 500ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// DisableVerify skips the validity check on restored checkpoints.
+	// Verification is the safety net that keeps a corrupted snapshot from
+	// silently poisoning the restarted solve; leave it on outside of tests.
+	DisableVerify bool
+}
+
+func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
+}
+
+// RecoveryStats reports what the retry engine did: attempts run, retries
+// (attempts minus one, unless the first try succeeded), checkpoints taken
+// across all attempts with their encoded volume, the wall time the
+// successful attempt spent checkpointing, and the phase the final attempt
+// resumed from (0 when it started fresh).
+type RecoveryStats struct {
+	Attempts        int
+	Retries         int
+	Checkpoints     int
+	CheckpointBytes int64
+	CheckpointWall  time.Duration
+	ResumedPhase    int
+	// Errors collects each failed attempt's error, in order.
+	Errors []error
+}
+
+// SolveRecoverable is Solve with checkpoint/restart: it runs the solve under
+// the configured fault plane and, when an attempt dies (injected fault,
+// genuine panic, watchdog abort), restarts it from the last phase-boundary
+// checkpoint with exponential backoff, up to pol.MaxRetries times. Restored
+// checkpoints are verified to encode a valid matching of a before resuming
+// (unless pol.DisableVerify). cfg.CheckpointEvery should be positive; with
+// checkpointing disabled the retry simply restarts from scratch.
+func SolveRecoverable(a *spmat.CSC, cfg Config, pol RecoveryPolicy) (*Result, *RecoveryStats, error) {
+	cfg = cfg.withDefaults()
+	pr, pc, err := cfg.gridShape()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Procs = pr * pc
+
+	// Permute once, outside the retry loop, so every attempt (and every
+	// checkpoint) lives in one consistent permuted index space.
+	work := a
+	var rowPerm, colPerm []int
+	if cfg.Permute {
+		rowPerm = rmat.RandomPermutation(a.NRows, cfg.Seed*2+1)
+		colPerm = rmat.RandomPermutation(a.NCols, cfg.Seed*2+2)
+		work = a.Permute(rowPerm, colPerm)
+	}
+	blocks := spmat.Distribute2D(work, pr, pc)
+	blocksT := spmat.Distribute2D(work.Transpose(), pr, pc)
+
+	res, rec, err := SolveRecoverableGrid(work, pr, pc, work.NRows, work.NCols, blocks, blocksT, cfg, nil, pol)
+	if err != nil {
+		return nil, rec, err
+	}
+	if cfg.Permute {
+		res.Matching = unpermute(res.Matching, rowPerm, colPerm)
+	}
+	return res, rec, nil
+}
+
+// SolveRecoverableGrid is the retry engine behind SolveRecoverable, for
+// callers whose matrix is already distributed (the session API). a is the
+// assembled matrix in the same index space as the blocks, used only to
+// verify restored checkpoints; nil skips that check. ctxs optionally reuses
+// per-rank runtime contexts across attempts and solves (worker pools hold
+// no communicator state, so a context that survived an aborted attempt is
+// safe to rebind); nil builds fresh contexts per attempt.
+func SolveRecoverableGrid(a *spmat.CSC, pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+	cfg Config, ctxs []*rt.Ctx, pol RecoveryPolicy) (*Result, *RecoveryStats, error) {
+	cfg = cfg.withDefaults()
+	cfg.Procs = pr * pc
+	pol = pol.withDefaults()
+	rec := &RecoveryStats{}
+
+	// Capture the freshest checkpoint as it is produced (rank 0 writes it
+	// inside the attempt; mpi.Run's completion orders that write before the
+	// driver's read), chaining to any caller-supplied handler.
+	var last *Checkpoint
+	if cfg.CheckpointEvery > 0 {
+		userCB := cfg.OnCheckpoint
+		if userCB == nil {
+			userCB = func(*Checkpoint) {}
+		}
+		cfg.OnCheckpoint = func(ck *Checkpoint) {
+			last = ck
+			rec.Checkpoints++
+			rec.CheckpointBytes += int64(EncodedSize(ck.N1, ck.N2))
+			userCB(ck)
+		}
+	}
+
+	backoff := pol.Backoff
+	for {
+		rec.Attempts++
+		res, err := runAttemptGrid(pr, pc, n1, n2, blocks, blocksT, cfg, ctxs)
+		if err == nil {
+			rec.CheckpointWall = res.Stats.CheckpointWall
+			return res, rec, nil
+		}
+		rec.Errors = append(rec.Errors, err)
+		if rec.Retries >= pol.MaxRetries {
+			return nil, rec, fmt.Errorf("core: solve failed after %d attempts: %w", rec.Attempts, err)
+		}
+		if last != nil {
+			if verr := validateCheckpoint(a, cfg, n1, n2, last, pol); verr != nil {
+				return nil, rec, fmt.Errorf("core: cannot restart, checkpoint rejected: %w (attempt failed with %v)", verr, err)
+			}
+			cfg.Resume = last
+			rec.ResumedPhase = last.Phase
+		}
+		rec.Retries++
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+}
+
+// validateCheckpoint is the pre-restart safety net: shape, config hash,
+// internally consistent cardinality, and (when the matrix is available and
+// verification is on) a full validity check that every matched pair is an
+// edge and the two mate vectors agree.
+func validateCheckpoint(a *spmat.CSC, cfg Config, n1, n2 int, ck *Checkpoint, pol RecoveryPolicy) error {
+	if ck.N1 != n1 || ck.N2 != n2 {
+		return fmt.Errorf("checkpoint is %dx%d, problem is %dx%d", ck.N1, ck.N2, n1, n2)
+	}
+	if len(ck.MateR) != n1 || len(ck.MateC) != n2 {
+		return fmt.Errorf("checkpoint mate vectors are %dx%d, want %dx%d", len(ck.MateR), len(ck.MateC), n1, n2)
+	}
+	if want := cfg.CheckpointHash(n1, n2); ck.ConfigHash != want {
+		return fmt.Errorf("checkpoint config hash %#x does not match current config %#x", ck.ConfigHash, want)
+	}
+	if got := countMatched(ck.MateC); got != ck.Cardinality {
+		return fmt.Errorf("checkpoint says cardinality %d but mate vector holds %d matches", ck.Cardinality, got)
+	}
+	if !pol.DisableVerify && a != nil {
+		if err := verify.Valid(a, &matching.Matching{MateR: ck.MateR, MateC: ck.MateC}); err != nil {
+			return fmt.Errorf("checkpoint is not a valid matching: %w", err)
+		}
+	}
+	return nil
+}

@@ -55,44 +55,61 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 	blocks := spmat.Distribute2D(work, pr, pc)
 	blocksT := spmat.Distribute2D(work.Transpose(), pr, pc)
 
+	res, err := runAttemptGrid(pr, pc, work.NRows, work.NCols, blocks, blocksT, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Permute {
+		res.Matching = unpermute(res.Matching, rowPerm, colPerm)
+	}
+	return res, nil
+}
+
+// runAttemptGrid runs one complete solve attempt on pre-distributed blocks:
+// launch the world (under the configured fault plane and watchdog), restore
+// or initialize the mate vectors, run the MCM phases, gather the result and
+// merge statistics. Solve calls it once; SolveRecoverableGrid calls it in a
+// retry loop, setting cfg.Resume between attempts.
+func runAttemptGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+	cfg Config, ctxs []*rt.Ctx) (*Result, error) {
 	perRankStats := make([]*Stats, cfg.Procs)
 	perRankMeter := make([]mpi.Meter, cfg.Procs)
 	perRankComm := make([]mpi.CommTimes, cfg.Procs)
 	var mateR, mateC []int64
 
-	_, err = mpi.Run(cfg.Procs, func(c *mpi.Comm) error {
-		ctx := newRankCtx(c, cfg, nil, 0)
-		defer ctx.Close() // fresh context: release the worker pool with the rank
-		g, err := grid.NewWithRT(c, pr, pc, ctx)
-		if err != nil {
-			return err
-		}
-		s := NewSolver(g, cfg, work.NRows, work.NCols,
-			blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
-		mater, matec := s.MaximalInit()
-		if cfg.TreeGrafting {
-			s.MCMGraft(mater, matec)
-		} else {
-			s.MCM(mater, matec)
-		}
+	_, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+		cfg.Procs, func(c *mpi.Comm) error {
+			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
+			if ctxs == nil {
+				defer ctx.Close() // fresh context: release the worker pool with the rank
+			}
+			g, err := grid.NewWithRT(c, pr, pc, ctx)
+			if err != nil {
+				return err
+			}
+			s := NewSolver(g, cfg, n1, n2, blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
+			mater, matec, err := s.InitOrRestore()
+			if err != nil {
+				return err
+			}
+			if cfg.TreeGrafting {
+				s.MCMGraft(mater, matec)
+			} else {
+				s.MCM(mater, matec)
+			}
 
-		fullR := mater.Gather()
-		fullC := matec.Gather()
-		if c.Rank() == 0 {
-			mateR, mateC = fullR, fullC
-		}
-		perRankStats[c.Rank()] = s.Stats
-		perRankMeter[c.Rank()] = s.gatherMeter()
-		perRankComm[c.Rank()] = c.CommTimes()
-		return nil
-	})
+			fullR := mater.Gather()
+			fullC := matec.Gather()
+			if c.Rank() == 0 {
+				mateR, mateC = fullR, fullC
+			}
+			perRankStats[c.Rank()] = s.Stats
+			perRankMeter[c.Rank()] = s.gatherMeter()
+			perRankComm[c.Rank()] = c.CommTimes()
+			return nil
+		})
 	if err != nil {
 		return nil, err
-	}
-
-	m := &matching.Matching{MateR: mateR, MateC: mateC}
-	if cfg.Permute {
-		m = unpermute(m, rowPerm, colPerm)
 	}
 
 	merged := perRankStats[0]
@@ -100,7 +117,7 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 		merged.MergeMax(st)
 	}
 	return &Result{
-		Matching:    m,
+		Matching:    &matching.Matching{MateR: mateR, MateC: mateC},
 		Stats:       merged,
 		PerRank:     perRankMeter,
 		PerRankComm: perRankComm,
@@ -166,21 +183,22 @@ func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatr
 // nil ctxs builds fresh contexts, honoring cfg.DisableReuse.
 func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, ctxs []*rt.Ctx, fn func(*Solver) error) error {
-	_, err := mpi.Run(pr*pc, func(c *mpi.Comm) error {
-		ctx := newRankCtx(c, cfg, ctxs, c.Rank())
-		if ctxs == nil {
-			// Fresh context: its worker pool dies with the rank. A caller-
-			// supplied context keeps its pool warm across solves; the caller
-			// releases it (e.g. DistributedGraph.Close).
-			defer ctx.Close()
-		}
-		g, err := grid.NewWithRT(c, pr, pc, ctx)
-		if err != nil {
-			return err
-		}
-		s := NewSolver(g, cfg, n1, n2, blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
-		return fn(s)
-	})
+	_, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+		pr*pc, func(c *mpi.Comm) error {
+			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
+			if ctxs == nil {
+				// Fresh context: its worker pool dies with the rank. A caller-
+				// supplied context keeps its pool warm across solves; the caller
+				// releases it (e.g. DistributedGraph.Close).
+				defer ctx.Close()
+			}
+			g, err := grid.NewWithRT(c, pr, pc, ctx)
+			if err != nil {
+				return err
+			}
+			s := NewSolver(g, cfg, n1, n2, blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
+			return fn(s)
+		})
 	return err
 }
 

@@ -43,6 +43,12 @@ type Stats struct {
 	// rows released from augmented trees.
 	GraftResets       int
 	GraftReleasedRows int
+	// Checkpoint counters (Config.CheckpointEvery): checkpoints taken,
+	// bytes their encodings total, and wall time spent gathering and
+	// packaging them — the recovery overhead a bench run reports.
+	Checkpoints     int
+	CheckpointBytes int64
+	CheckpointWall  time.Duration
 
 	// Threading is this rank's worker-pool telemetry for the solve: team
 	// size, parallel regions fanned out vs. run inline, busy time, and
@@ -95,6 +101,15 @@ func (s *Stats) TotalMeter() mpi.Meter {
 // SPMD-replicated counters agree.
 func (s *Stats) MergeMax(o *Stats) {
 	s.Threading = s.Threading.Max(o.Threading)
+	if o.Checkpoints > s.Checkpoints {
+		s.Checkpoints = o.Checkpoints
+	}
+	if o.CheckpointBytes > s.CheckpointBytes {
+		s.CheckpointBytes = o.CheckpointBytes
+	}
+	if o.CheckpointWall > s.CheckpointWall {
+		s.CheckpointWall = o.CheckpointWall
+	}
 	for op, d := range o.Wall {
 		if d > s.Wall[op] {
 			s.Wall[op] = d

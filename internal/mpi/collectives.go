@@ -4,7 +4,7 @@ import "fmt"
 
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
-	c.start(make([]any, c.Size()), false, nil).Wait()
+	c.start("barrier", make([]any, c.Size()), false, nil).Wait()
 }
 
 // Bcast distributes root's data to every rank and returns it. Non-root
@@ -74,7 +74,7 @@ func (c *Comm) Gatherv(root int, data []int64) [][]int64 {
 	parts := make([]any, size)
 	parts[root] = data
 	var out [][]int64
-	c.start(parts, true, func(got []any) {
+	c.start("gatherv", parts, true, func(got []any) {
 		if c.member != root {
 			c.addComm(KindGather, 1, int64(len(data)))
 			return
@@ -109,7 +109,7 @@ func (c *Comm) Scatterv(root int, parts [][]int64) []int64 {
 		}
 	}
 	var out []int64
-	c.start(anyParts, true, func(got []any) {
+	c.start("scatterv", anyParts, true, func(got []any) {
 		in := asInts(got[root])
 		if c.member == root {
 			var words int64
@@ -169,7 +169,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	for d := 0; d < size; d++ {
 		parts[d] = []int64{int64(color), int64(key)}
 	}
-	got := c.exchange(parts)
+	got := c.exchange(parts, "split")
 	if color < 0 {
 		return nil
 	}
@@ -207,6 +207,12 @@ func (c *Comm) Split(color, key int) *Comm {
 		w.splits[id] = st
 	}
 	w.mu.Unlock()
+	// Abort sets the world flag before snapshotting w.splits under w.mu, so
+	// either the snapshot saw our insert (Abort marks st) or this load sees
+	// the flag (we mark st) — a freshly split comm can never miss an abort.
+	if w.aborted.Load() {
+		st.markAborted(w.abortReason())
+	}
 	return &Comm{st: st, member: myIndex, worldRank: c.worldRank}
 }
 

@@ -183,9 +183,20 @@ type World struct {
 	size   int
 	meters []meterCell
 
-	mu     sync.Mutex
-	splits map[string]*commState
-	wins   map[string]*winState
+	mu         sync.Mutex
+	splits     map[string]*commState
+	wins       map[string]*winState
+	root       *commState // the world communicator's mailbox (under mu)
+	abortCause error      // first Abort cause (under mu)
+
+	aborted  atomic.Bool
+	progress atomic.Int64 // bumped on every post/retire/RMA; watchdog food
+
+	// Fault plane (see fault.go): the injector and per-rank operation
+	// counters it keys off.
+	faults    *FaultPlan
+	faultColl []atomic.Int64
+	faultRMA  []atomic.Int64
 }
 
 type meterCell struct {
@@ -223,6 +234,14 @@ type commState struct {
 	// above stay bounded no matter how far ahead any rank runs.
 	doneLow int64          // every gen < doneLow has retired
 	doneSet map[int64]bool // retired gens >= doneLow
+	// ops labels each in-flight generation with the collective that opened
+	// it (first poster wins), for watchdog diagnostics; entries retire with
+	// the generation.
+	ops map[int64]string
+	// aborted flags a dead world: blocked waiters unwind with abortSignal
+	// instead of waiting for posts that will never come.
+	aborted  bool
+	abortErr error
 }
 
 func newCommState(w *World, id string, ranks []int) *commState {
@@ -234,6 +253,7 @@ func newCommState(w *World, id string, ranks []int) *commState {
 		arrived: make(map[int64]int),
 		taken:   make(map[int64]int),
 		doneSet: make(map[int64]bool),
+		ops:     make(map[int64]string),
 	}
 	for s := range st.posted {
 		st.posted[s] = make(map[int64][]any)
@@ -243,13 +263,20 @@ func newCommState(w *World, id string, ranks []int) *commState {
 }
 
 // post deposits member m's contribution to collective gen. It never blocks:
-// a rank may run arbitrarily far ahead of its peers.
-func (st *commState) post(m int, gen int64, parts []any) {
+// a rank may run arbitrarily far ahead of its peers. op labels the
+// generation for watchdog diagnostics.
+func (st *commState) post(m int, gen int64, parts []any, op string) {
 	st.mu.Lock()
 	st.posted[m][gen] = parts
 	st.arrived[gen]++
+	if _, ok := st.ops[gen]; !ok {
+		st.ops[gen] = op
+	}
 	st.cond.Broadcast()
 	st.mu.Unlock()
+	if st.world != nil {
+		st.world.progress.Add(1)
+	}
 }
 
 // allPosted reports whether every member has posted gen (the readiness
@@ -262,18 +289,24 @@ func (st *commState) allPosted(gen int64) bool {
 }
 
 // collect blocks until every member has posted gen and returns the parts
-// addressed to member m, one per source member.
+// addressed to member m, one per source member. If the world aborts while
+// waiting, the rank unwinds with an abortSignal panic (contained by
+// RunWith); the deferred unlock keeps the mailbox usable for peers doing
+// the same.
 func (st *commState) collect(m int, gen int64) []any {
 	size := len(st.ranks)
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	for st.arrived[gen] < size {
+		if st.aborted {
+			panic(abortSignal{cause: st.abortErr})
+		}
 		st.cond.Wait()
 	}
 	out := make([]any, size)
 	for s := 0; s < size; s++ {
 		out[s] = st.posted[s][gen][m]
 	}
-	st.mu.Unlock()
 	return out
 }
 
@@ -293,6 +326,9 @@ func (st *commState) nextArrived(m int, gen int64, delivered []bool) (int, any) 
 				return s, parts[m]
 			}
 		}
+		if st.aborted {
+			panic(abortSignal{cause: st.abortErr})
+		}
 		st.cond.Wait()
 	}
 }
@@ -309,6 +345,7 @@ func (st *commState) finishRead(gen int64) {
 		}
 		delete(st.arrived, gen)
 		delete(st.taken, gen)
+		delete(st.ops, gen)
 		if gen == st.doneLow {
 			st.doneLow++
 			for st.doneSet[st.doneLow] {
@@ -321,6 +358,9 @@ func (st *commState) finishRead(gen int64) {
 		st.cond.Broadcast()
 	}
 	st.mu.Unlock()
+	if st.world != nil {
+		st.world.progress.Add(1)
+	}
 }
 
 // retired reports whether gen has been read by every member. Caller holds
@@ -345,10 +385,13 @@ func (st *commState) isConsumed(gen int64) bool {
 // finishRead of gen.
 func (st *commState) waitConsumed(gen int64) {
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	for !st.retired(gen) {
+		if st.aborted {
+			panic(abortSignal{cause: st.abortErr})
+		}
 		st.cond.Wait()
 	}
-	st.mu.Unlock()
 }
 
 // Comm is one rank's handle on a communicator.
@@ -357,42 +400,6 @@ type Comm struct {
 	member    int   // index within st.ranks
 	worldRank int   // rank in the world
 	nextGen   int64 // this rank's collective-call counter on this comm
-}
-
-// Run launches fn on size ranks and waits for all of them. It returns the
-// world (for meter inspection) and the first error any rank returned.
-func Run(size int, fn func(c *Comm) error) (*World, error) {
-	if size <= 0 {
-		return nil, fmt.Errorf("mpi: size %d must be positive", size)
-	}
-	w := &World{
-		size:   size,
-		meters: make([]meterCell, size),
-		splits: make(map[string]*commState),
-		wins:   make(map[string]*winState),
-	}
-	ranks := make([]int, size)
-	for i := range ranks {
-		ranks[i] = i
-	}
-	st := newCommState(w, "world", ranks)
-
-	errs := make([]error, size)
-	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			errs[r] = fn(&Comm{st: st, member: r, worldRank: r})
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return w, err
-		}
-	}
-	return w, nil
 }
 
 // Rank returns this rank's index within the communicator.
@@ -495,14 +502,15 @@ func (w *World) TotalMeter() Meter {
 // has posted. All members of a communicator must call collectives in the
 // same order (standard MPI semantics); the per-handle generation counter
 // does the matching.
-func (c *Comm) exchange(parts []any) []any {
+func (c *Comm) exchange(parts []any, op string) []any {
 	st := c.st
 	if len(parts) != len(st.ranks) {
 		panic(fmt.Sprintf("mpi: exchange with %d parts on a %d-rank comm", len(parts), len(st.ranks)))
 	}
+	c.enterCollective(op)
 	gen := c.nextGen
 	c.nextGen++
-	st.post(c.member, gen, parts)
+	st.post(c.member, gen, parts, op)
 	got := st.collect(c.member, gen)
 	st.finishRead(gen)
 	return got

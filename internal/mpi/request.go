@@ -32,12 +32,15 @@ type Request struct {
 }
 
 // start posts parts as this communicator's next collective and returns the
-// request handle. It never blocks.
-func (c *Comm) start(parts []any, lending bool, finish func([]any)) *Request {
+// request handle. It never blocks (beyond the fault plane's injected
+// straggler delay, when one is configured). op labels the collective for
+// watchdog diagnostics and fault injection.
+func (c *Comm) start(op string, parts []any, lending bool, finish func([]any)) *Request {
+	c.enterCollective(op)
 	gen := c.nextGen
 	c.nextGen++
 	r := &Request{c: c, gen: gen, started: time.Now(), lending: lending, finish: finish}
-	c.st.post(c.member, gen, parts)
+	c.st.post(c.member, gen, parts, op)
 	return r
 }
 
@@ -177,7 +180,7 @@ func (c *Comm) IBcast(root int, data []int64) *IntsRequest {
 		}
 	}
 	q := &IntsRequest{}
-	q.r = c.start(parts, true, func(got []any) {
+	q.r = c.start("bcast", parts, true, func(got []any) {
 		payload := asInts(got[root])
 		if len(payload) > 0 {
 			depth := logTreeDepth(size)
@@ -201,7 +204,7 @@ func (c *Comm) IAllgatherv(data []int64) *SlicesRequest {
 		parts[d] = data
 	}
 	q := &SlicesRequest{}
-	q.r = c.start(parts, true, func(got []any) {
+	q.r = c.start("allgatherv", parts, true, func(got []any) {
 		out := make([][]int64, size)
 		var words int64
 		for s := 0; s < size; s++ {
@@ -229,7 +232,7 @@ func (c *Comm) IAllgathervInto(data []int64, buf []int64) *IntsRequest {
 		parts[d] = data
 	}
 	q := &IntsRequest{}
-	q.r = c.start(parts, true, func(got []any) {
+	q.r = c.start("allgatherv", parts, true, func(got []any) {
 		var words int64
 		for s := 0; s < size; s++ {
 			in := asInts(got[s])
@@ -251,7 +254,7 @@ func (c *Comm) IAlltoallv(parts [][]int64) *SlicesRequest {
 	anyParts, words := c.checkParts("Alltoallv", parts)
 	size := c.Size()
 	q := &SlicesRequest{}
-	q.r = c.start(anyParts, true, func(got []any) {
+	q.r = c.start("alltoallv", anyParts, true, func(got []any) {
 		out := make([][]int64, size)
 		for s := 0; s < size; s++ {
 			in := asInts(got[s])
@@ -274,7 +277,7 @@ func (c *Comm) IAlltoallvInto(parts [][]int64, buf []int64) *IntoRequest {
 	anyParts, words := c.checkParts("AlltoallvInto", parts)
 	size := c.Size()
 	q := &IntoRequest{}
-	q.r = c.start(anyParts, true, func(got []any) {
+	q.r = c.start("alltoallv", anyParts, true, func(got []any) {
 		total := 0
 		for s := 0; s < size; s++ {
 			total += len(asInts(got[s]))
@@ -303,7 +306,7 @@ func (c *Comm) IAlltoallvFlat(parts [][]int64, buf []int64) *IntsRequest {
 	anyParts, words := c.checkParts("AlltoallvFlat", parts)
 	size := c.Size()
 	q := &IntsRequest{}
-	q.r = c.start(anyParts, true, func(got []any) {
+	q.r = c.start("alltoallv", anyParts, true, func(got []any) {
 		for s := 0; s < size; s++ {
 			buf = append(buf, asInts(got[s])...)
 		}
@@ -324,7 +327,7 @@ func (c *Comm) IAllreduce(op ReduceOp, val int64) *ValueRequest {
 		parts[d] = []int64{val}
 	}
 	q := &ValueRequest{}
-	q.r = c.start(parts, false, func(got []any) {
+	q.r = c.start("allreduce", parts, false, func(got []any) {
 		acc := asInts(got[0])[0]
 		for s := 1; s < size; s++ {
 			acc = op(acc, asInts(got[s])[0])
@@ -389,6 +392,7 @@ func (c *Comm) IAllgathervParts(data []int64) *PartsRequest {
 	for d := 0; d < size; d++ {
 		parts[d] = data
 	}
+	c.enterCollective("allgatherv")
 	gen := c.nextGen
 	c.nextGen++
 	pr := &PartsRequest{
@@ -399,7 +403,7 @@ func (c *Comm) IAllgathervParts(data []int64) *PartsRequest {
 		recvWords: true,
 		started:   time.Now(),
 	}
-	c.st.post(c.member, gen, parts)
+	c.st.post(c.member, gen, parts, "allgatherv")
 	return pr
 }
 
@@ -409,6 +413,7 @@ func (c *Comm) IAllgathervParts(data []int64) *PartsRequest {
 func (c *Comm) IAlltoallvParts(parts [][]int64) *PartsRequest {
 	anyParts, words := c.checkParts("AlltoallvParts", parts)
 	size := c.Size()
+	c.enterCollective("alltoallv")
 	gen := c.nextGen
 	c.nextGen++
 	pr := &PartsRequest{
@@ -419,7 +424,7 @@ func (c *Comm) IAlltoallvParts(parts [][]int64) *PartsRequest {
 		words:     words,
 		started:   time.Now(),
 	}
-	c.st.post(c.member, gen, anyParts)
+	c.st.post(c.member, gen, anyParts, "alltoallv")
 	return pr
 }
 

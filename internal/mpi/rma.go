@@ -60,7 +60,7 @@ func WinCreate(c *Comm, local []int64) *Win {
 // exchangeAny is exchange with arbitrary payloads (used only for rendezvous
 // of window ids/slices; no metering).
 func (c *Comm) exchangeAny(parts []any) []any {
-	return c.exchange(parts)
+	return c.exchange(parts, "win-create")
 }
 
 func (w *Win) lock(rank int)   { <-w.st.ranks[rank].mu }
@@ -69,6 +69,7 @@ func (w *Win) unlock(rank int) { w.st.ranks[rank].mu <- struct{}{} }
 // Get reads n elements starting at off from rank's window. One RMA message
 // unless the target is the caller itself.
 func (w *Win) Get(rank, off, n int) []int64 {
+	w.enterRMA("rma-get")
 	w.lock(rank)
 	out := append([]int64(nil), w.st.ranks[rank].data[off:off+n]...)
 	w.unlock(rank)
@@ -85,6 +86,7 @@ func (w *Win) Get1(rank, off int) int64 {
 
 // Put writes data into rank's window starting at off.
 func (w *Win) Put(rank, off int, data []int64) {
+	w.enterRMA("rma-put")
 	w.lock(rank)
 	copy(w.st.ranks[rank].data[off:off+len(data)], data)
 	w.unlock(rank)
@@ -102,6 +104,7 @@ func (w *Win) Put1(rank, off int, v int64) {
 // given operand and returns the value held before the update, matching
 // MPI_Fetch_and_op. With OpReplace it is an atomic swap.
 func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
+	w.enterRMA("rma-fetch-and-op")
 	w.lock(rank)
 	data := w.st.ranks[rank].data
 	old := data[off]
@@ -120,6 +123,7 @@ var OpReplace ReduceOp = func(_, b int64) int64 { return b }
 // it currently equals expect, returning the previous value, matching
 // MPI_Compare_and_swap.
 func (w *Win) CompareAndSwap(rank, off int, expect, next int64) int64 {
+	w.enterRMA("rma-compare-and-swap")
 	w.lock(rank)
 	data := w.st.ranks[rank].data
 	old := data[off]

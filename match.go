@@ -231,6 +231,14 @@ type Stats struct {
 	AugmentedPaths, LevelParallelAugments, PathParallelAugments int
 	// Procs and Threads echo the effective configuration.
 	Procs, Threads int
+	// Checkpoints counts phase-boundary snapshots taken during the run;
+	// zero unless launched through the recovery plane (SolveRecoverable).
+	Checkpoints int
+	// CheckpointBytes is the total encoded volume of those snapshots.
+	CheckpointBytes int64
+	// CheckpointWall is the wall time spent taking those snapshots (rank
+	// maximum) — the recovery plane's overhead on the critical path.
+	CheckpointWall time.Duration
 	// WallByOp is the per-primitive wall-clock breakdown (rank maximum),
 	// keyed by "spmv", "invert", "prune", "select", "augment", "init",
 	// "other" — the Fig. 5 decomposition.
@@ -298,12 +306,13 @@ func (st *Stats) ModeledBreakdown(mm MachineModel) map[string]float64 {
 
 // MaximumMatching computes a maximum cardinality matching of g with the
 // distributed MCM-DIST algorithm on opts.Procs simulated ranks.
-func MaximumMatching(g *Graph, opts Options) (*Matching, *Stats, error) {
+func MaximumMatching(g *Graph, opts Options) (m *Matching, st *Stats, err error) {
+	defer guard(&err)
 	res, err := core.Solve(g.a, opts.toConfig())
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &Stats{
+	st = &Stats{
 		Cardinality:           res.Stats.Cardinality,
 		InitCardinality:       res.Stats.InitCardinality,
 		Phases:                res.Stats.Phases,
@@ -315,6 +324,9 @@ func MaximumMatching(g *Graph, opts Options) (*Matching, *Stats, error) {
 		PathParallelAugments:  res.Stats.PathParallelAugments,
 		Procs:                 res.Procs,
 		Threads:               res.Threads,
+		Checkpoints:           res.Stats.Checkpoints,
+		CheckpointBytes:       res.Stats.CheckpointBytes,
+		CheckpointWall:        res.Stats.CheckpointWall,
 		WallByOp:              make(map[string]time.Duration),
 		CommByOp:              make(map[string]CommStats),
 	}
@@ -352,7 +364,8 @@ const (
 
 // MaximumMatchingSerial computes an MCM with the selected shared-memory
 // baseline, optionally warm-started from init (pass nil to start empty).
-func MaximumMatchingSerial(g *Graph, alg SerialAlgorithm, init *Matching) (*Matching, error) {
+func MaximumMatchingSerial(g *Graph, alg SerialAlgorithm, init *Matching) (m *Matching, err error) {
+	defer guard(&err)
 	var in *matching.Matching
 	if init != nil {
 		in = init.internal()
@@ -385,7 +398,8 @@ const (
 
 // MaximalMatching computes a maximal (not necessarily maximum) matching
 // with the selected heuristic; seed drives Karp–Sipser's randomness.
-func MaximalMatching(g *Graph, alg MaximalAlgorithm, seed int64) (*Matching, error) {
+func MaximalMatching(g *Graph, alg MaximalAlgorithm, seed int64) (m *Matching, err error) {
+	defer guard(&err)
 	switch alg {
 	case GreedyMaximal:
 		return fromInternal(matching.Greedy(g.a)), nil

@@ -1,0 +1,184 @@
+package mcmdist
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"mcmdist/internal/core"
+	"mcmdist/internal/mpi"
+)
+
+// FaultSpec configures the deterministic fault injector for a recoverable
+// solve. It mirrors the simulator's fault plane: faults trigger at fixed
+// points in each rank's own operation stream, so a given spec reproduces the
+// same failure on every execution. The zero value injects nothing. Terminal
+// faults (crash, RMA failure) share a budget of MaxFires (default 1) across
+// all attempts of one SolveRecoverable call, which is what lets the retry
+// observe the failure once and then run clean.
+type FaultSpec struct {
+	// Seed drives the straggler jitter.
+	Seed int64
+	// CrashRank dies upon entering its CrashAtCollective-th collective
+	// (1-based, counted per rank). CrashAtCollective 0 disables.
+	CrashRank, CrashAtCollective int
+	// StragglerRank sleeps StragglerDelay (plus seeded jitter up to
+	// StragglerJitter) on every StragglerEvery-th collective entry (default
+	// every one). Delay 0 disables. Stragglers perturb timing only; results
+	// stay bit-identical and no retry is triggered.
+	StragglerRank int
+	// StragglerDelay is the base sleep injected at each triggering entry.
+	StragglerDelay time.Duration
+	// StragglerEvery selects which collective entries sleep (default 1).
+	StragglerEvery int
+	// StragglerJitter bounds the additional seeded random delay.
+	StragglerJitter time.Duration
+	// RMAFailRank dies on its RMAFailAt-th one-sided operation (1-based).
+	// RMAFailAt 0 disables.
+	RMAFailRank, RMAFailAt int
+	// MaxFires bounds how many terminal faults fire in total across the
+	// retry loop. 0 means 1.
+	MaxFires int
+}
+
+// plan converts the spec into a fresh fault plan. Each SolveRecoverable call
+// gets its own plan so the terminal-fault budget restarts per call.
+func (f *FaultSpec) plan() *mpi.FaultPlan {
+	if f == nil {
+		return nil
+	}
+	return &mpi.FaultPlan{
+		Seed:              f.Seed,
+		CrashRank:         f.CrashRank,
+		CrashAtCollective: f.CrashAtCollective,
+		StragglerRank:     f.StragglerRank,
+		StragglerDelay:    f.StragglerDelay,
+		StragglerEvery:    f.StragglerEvery,
+		StragglerJitter:   f.StragglerJitter,
+		RMAFailRank:       f.RMAFailRank,
+		RMAFailAt:         f.RMAFailAt,
+		MaxFires:          f.MaxFires,
+	}
+}
+
+// RecoveryPolicy configures SolveRecoverable: how often to checkpoint, how
+// hard to watch for progress, and how many times to retry a faulted attempt.
+type RecoveryPolicy struct {
+	// MaxRetries bounds how many times a faulted attempt is retried before
+	// its error is surfaced. 0 means 3.
+	MaxRetries int
+	// Backoff is the sleep before the first retry, doubling each further
+	// retry up to MaxBackoff. 0 means 5ms (capped at 500ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// CheckpointEvery takes a phase-boundary checkpoint after the
+	// initializer and after every CheckpointEvery-th augmentation phase.
+	// 0 means every phase; negative disables checkpointing (retries then
+	// restart from scratch).
+	CheckpointEvery int
+	// WatchdogTimeout arms the simulator's progress watchdog: an attempt
+	// making no communication progress for this long is aborted (and then
+	// retried like any other fault). 0 leaves the watchdog off.
+	WatchdogTimeout time.Duration
+	// Fault optionally injects deterministic faults, for testing the
+	// recovery path itself.
+	Fault *FaultSpec
+}
+
+// Recovery reports what the retry engine of a SolveRecoverable call did.
+type Recovery struct {
+	// Attempts counts solve attempts run (1 when no fault occurred);
+	// Retries is Attempts minus one unless the final attempt also failed.
+	Attempts, Retries int
+	// Checkpoints counts snapshots taken across all attempts.
+	Checkpoints int
+	// CheckpointBytes is the snapshots' total encoded volume.
+	CheckpointBytes int64
+	// CheckpointWall is the wall time the successful attempt spent taking
+	// checkpoints (the recovery plane's overhead on the critical path).
+	CheckpointWall time.Duration
+	// ResumedPhase is the augmentation phase the final attempt restarted
+	// from (0 when it started fresh or resumed the initializer snapshot).
+	ResumedPhase int
+}
+
+func recoveryFromCore(r *core.RecoveryStats) *Recovery {
+	if r == nil {
+		return nil
+	}
+	return &Recovery{
+		Attempts:        r.Attempts,
+		Retries:         r.Retries,
+		Checkpoints:     r.Checkpoints,
+		CheckpointBytes: r.CheckpointBytes,
+		CheckpointWall:  r.CheckpointWall,
+		ResumedPhase:    r.ResumedPhase,
+	}
+}
+
+// SolveRecoverable runs MaximumMatching under the fault-tolerant execution
+// plane: phase-boundary checkpoints, an optional progress watchdog, and a
+// bounded-retry restart loop that resumes a faulted attempt from the last
+// checkpoint (verified to be a valid matching of the graph before use).
+// opts.Procs and opts.Permute are ignored, as in MaximumMatching.
+func (dg *DistributedGraph) SolveRecoverable(opts Options, pol RecoveryPolicy) (m *Matching, st *Stats, rec *Recovery, err error) {
+	defer guard(&err)
+	opts.Procs = dg.procs
+	cfg := opts.toConfig()
+	switch {
+	case pol.CheckpointEvery < 0:
+		cfg.CheckpointEvery = 0
+	case pol.CheckpointEvery == 0:
+		cfg.CheckpointEvery = 1
+	default:
+		cfg.CheckpointEvery = pol.CheckpointEvery
+	}
+	cfg.WatchdogTimeout = pol.WatchdogTimeout
+	cfg.Fault = pol.Fault.plan()
+	corePol := core.RecoveryPolicy{
+		MaxRetries: pol.MaxRetries,
+		Backoff:    pol.Backoff,
+		MaxBackoff: pol.MaxBackoff,
+	}
+	res, crec, err := core.SolveRecoverableGrid(dg.g.a, dg.side, dg.side,
+		dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT, cfg, dg.ctxs, corePol)
+	if err != nil {
+		return nil, nil, recoveryFromCore(crec), err
+	}
+	st = statsFromCore(res.Stats, res.PerRank, dg.procs, cfg.Threads)
+	return fromInternal(res.Matching), st, recoveryFromCore(crec), nil
+}
+
+// PanicError is a panic that escaped the library internals, converted to an
+// error at the public API boundary. Panics attributed to a simulated rank
+// arrive as *mpi.RankError instead (with the rank and operation); PanicError
+// covers the driver-side remainder — distribution, gathering, conversion.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error formats the panic value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mcmdist: internal panic: %v", e.Value)
+}
+
+// guard converts a panic into a returned error; every public entry point
+// defers it so no internal failure crashes the embedding process. Rank-level
+// panics are already contained by the simulator (they surface as
+// *mpi.RankError through the normal error return); guard catches what
+// happens outside the rank goroutines.
+func guard(err *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if re, ok := p.(*mpi.RankError); ok {
+		*err = re
+		return
+	}
+	*err = &PanicError{Value: p, Stack: debug.Stack()}
+}

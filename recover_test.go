@@ -1,0 +1,164 @@
+package mcmdist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mcmdist/internal/mpi"
+)
+
+func TestSolveRecoverableSession(t *testing.T) {
+	g := mustRMAT(t, G500, 9, 4, 13)
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+	opts := Options{Init: GreedyInit}
+	clean, _, err := dg.MaximumMatching(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean run through the recovery plane: one attempt, checkpoints taken,
+	// same matching.
+	m, st, rec, err := dg.SolveRecoverable(opts, RecoveryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyMaximum(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cardinality() != clean.Cardinality() {
+		t.Fatalf("recoverable solve found %d, plain solve %d", m.Cardinality(), clean.Cardinality())
+	}
+	if rec.Attempts != 1 || rec.Retries != 0 {
+		t.Fatalf("clean run recovery %+v", rec)
+	}
+	if rec.Checkpoints == 0 || rec.CheckpointBytes == 0 {
+		t.Fatalf("no checkpoints on a recoverable run: %+v", rec)
+	}
+	if st.Checkpoints != rec.Checkpoints || st.CheckpointBytes != rec.CheckpointBytes {
+		t.Fatalf("stats/recovery checkpoint accounting disagree: %+v vs %+v", st, rec)
+	}
+
+	// Injected crash: one retry, identical matching, budget spans the call.
+	m2, _, rec2, err := dg.SolveRecoverable(opts, RecoveryPolicy{
+		Fault: &FaultSpec{CrashRank: 1, CrashAtCollective: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Attempts != 2 || rec2.Retries != 1 {
+		t.Fatalf("faulted run recovery %+v", rec2)
+	}
+	for i := range clean.MateR {
+		if m2.MateR[i] != clean.MateR[i] {
+			t.Fatalf("MateR[%d] = %d after recovery, clean %d", i, m2.MateR[i], clean.MateR[i])
+		}
+	}
+	for j := range clean.MateC {
+		if m2.MateC[j] != clean.MateC[j] {
+			t.Fatalf("MateC[%d] = %d after recovery, clean %d", j, m2.MateC[j], clean.MateC[j])
+		}
+	}
+
+	// The session stays usable after a faulted solve (contexts rebind).
+	m3, _, err := dg.MaximumMatching(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Cardinality() != clean.Cardinality() {
+		t.Fatalf("post-recovery solve found %d, want %d", m3.Cardinality(), clean.Cardinality())
+	}
+}
+
+func TestSolveRecoverableSurfacesExhaustedRetries(t *testing.T) {
+	g := mustRMAT(t, ER, 8, 4, 5)
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+	_, _, rec, err := dg.SolveRecoverable(Options{Init: GreedyInit}, RecoveryPolicy{
+		MaxRetries: 1,
+		Backoff:    time.Millisecond,
+		Fault:      &FaultSpec{CrashRank: 0, CrashAtCollective: 2, MaxFires: 100},
+	})
+	if err == nil {
+		t.Fatal("inexhaustible fault did not surface")
+	}
+	if !errors.Is(err, mpi.ErrInjectedCrash) {
+		t.Fatalf("error does not unwrap to the injected crash: %v", err)
+	}
+	if rec == nil || rec.Attempts != 2 {
+		t.Fatalf("recovery report %+v", rec)
+	}
+}
+
+func TestGuardConvertsPanics(t *testing.T) {
+	// Plain panic value → *PanicError with a stack.
+	f := func() (err error) {
+		defer guard(&err)
+		panic("boom")
+	}
+	err := f()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("guard returned %T, want *PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError not populated: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error message %q lacks the panic value", err)
+	}
+
+	// Rank-attributed panics pass through untouched.
+	want := &mpi.RankError{Rank: 3, Op: "barrier", Err: errors.New("x")}
+	f2 := func() (err error) {
+		defer guard(&err)
+		panic(want)
+	}
+	var re *mpi.RankError
+	if err := f2(); !errors.As(err, &re) || re != want {
+		t.Fatalf("RankError did not pass through: %v", err)
+	}
+
+	// No panic → no error overwrite.
+	f3 := func() (err error) {
+		defer guard(&err)
+		return nil
+	}
+	if err := f3(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLibraryBoundaryContainsPanics(t *testing.T) {
+	// A nil graph would crash Distribute on a field access; the boundary
+	// guard must turn that into an error instead of killing the process.
+	if _, err := Distribute(nil, 4); err == nil {
+		t.Fatal("Distribute(nil) returned no error")
+	}
+
+	// A corrupted distribution makes every rank panic inside the solve; the
+	// simulator contains those into rank errors and the API returns one.
+	g := mustRMAT(t, ER, 7, 4, 9)
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+	dg.blocks[0][0] = nil
+	_, _, err = dg.MaximumMatching(Options{Init: GreedyInit})
+	if err == nil {
+		t.Fatal("solve over a corrupted distribution returned no error")
+	}
+	var re *mpi.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T (%v), want a rank-attributed error", err, err)
+	}
+}

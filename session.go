@@ -36,7 +36,8 @@ type DistributedGraph struct {
 // Distribute blocks the graph onto procs simulated ranks (a perfect
 // square). The returned DistributedGraph is immutable and safe for
 // sequential reuse across solves.
-func Distribute(g *Graph, procs int) (*DistributedGraph, error) {
+func Distribute(g *Graph, procs int) (dg *DistributedGraph, err error) {
+	defer guard(&err)
 	if procs <= 0 {
 		procs = 1
 	}
@@ -79,14 +80,15 @@ func (dg *DistributedGraph) Graph() *Graph { return dg.g }
 // MaximumMatching runs MCM-DIST on the pre-distributed blocks. opts.Procs
 // and opts.Permute are ignored (fixed at distribution time; permute before
 // calling Distribute when load balancing is wanted).
-func (dg *DistributedGraph) MaximumMatching(opts Options) (*Matching, *Stats, error) {
+func (dg *DistributedGraph) MaximumMatching(opts Options) (m *Matching, st *Stats, err error) {
+	defer guard(&err)
 	opts.Procs = dg.procs
 	cfg := opts.toConfig()
 
 	perRankStats := make([]*core.Stats, dg.procs)
 	perRankMeter := make([]mpi.Meter, dg.procs)
 	var mateR, mateC []int64
-	err := core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
+	err = core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
 		cfg, dg.ctxs, func(s *core.Solver) error {
 			mater, matec := s.MaximalInit()
 			if cfg.TreeGrafting {
@@ -108,18 +110,19 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (*Matching, *Stats, er
 	}
 
 	merged := perRankStats[0]
-	for _, st := range perRankStats[1:] {
-		merged.MergeMax(st)
+	for _, cs := range perRankStats[1:] {
+		merged.MergeMax(cs)
 	}
-	m := &Matching{MateR: mateR, MateC: mateC}
-	st := statsFromCore(merged, perRankMeter, dg.procs, cfg.Threads)
+	m = &Matching{MateR: mateR, MateC: mateC}
+	st = statsFromCore(merged, perRankMeter, dg.procs, cfg.Threads)
 	return m, st, nil
 }
 
 // MaximalMatchingDistributed runs only the distributed maximal-matching
 // initializer (the paper's companion algorithms [21]): a fast 1/2-or-better
 // approximation without the MCM phases.
-func (dg *DistributedGraph) MaximalMatchingDistributed(init Initializer, threads int) (*Matching, *Stats, error) {
+func (dg *DistributedGraph) MaximalMatchingDistributed(init Initializer, threads int) (m *Matching, st *Stats, err error) {
+	defer guard(&err)
 	opts := Options{Procs: dg.procs, Threads: threads, Init: init}
 	cfg := opts.toConfig()
 	if cfg.Init == core.InitNone {
@@ -129,7 +132,7 @@ func (dg *DistributedGraph) MaximalMatchingDistributed(init Initializer, threads
 	perRankStats := make([]*core.Stats, dg.procs)
 	perRankMeter := make([]mpi.Meter, dg.procs)
 	var mateR, mateC []int64
-	err := core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
+	err = core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
 		cfg, dg.ctxs, func(s *core.Solver) error {
 			mater, matec := s.MaximalInit()
 			fullR := mater.Gather()
@@ -146,10 +149,10 @@ func (dg *DistributedGraph) MaximalMatchingDistributed(init Initializer, threads
 		return nil, nil, err
 	}
 	merged := perRankStats[0]
-	for _, st := range perRankStats[1:] {
-		merged.MergeMax(st)
+	for _, cs := range perRankStats[1:] {
+		merged.MergeMax(cs)
 	}
-	m := &Matching{MateR: mateR, MateC: mateC}
+	m = &Matching{MateR: mateR, MateC: mateC}
 	return m, statsFromCore(merged, perRankMeter, dg.procs, cfg.Threads), nil
 }
 
@@ -172,6 +175,9 @@ func statsFromCore(cs *core.Stats, perRank []mpi.Meter, procs, threads int) *Sta
 		PathParallelAugments:  cs.PathParallelAugments,
 		Procs:                 procs,
 		Threads:               threads,
+		Checkpoints:           cs.Checkpoints,
+		CheckpointBytes:       cs.CheckpointBytes,
+		CheckpointWall:        cs.CheckpointWall,
 		WallByOp:              make(map[string]time.Duration),
 		CommByOp:              make(map[string]CommStats),
 		CommTimeByOp:          make(map[string]CommTime),
