@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet test-faults soak
+.PHONY: build test race bench bench-smoke vet test-faults soak trace-smoke
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,11 @@ bench:
 # threaded hot path compiling and running without paying full bench time.
 bench-smoke:
 	$(GO) test -bench TableI -benchtime=1x -run '^$$' .
+
+# End-to-end observability smoke: one traced solve on the RMAT scale-14
+# workload with the iteration time-series on, then the emitted trace_event
+# JSON validated by cmd/tracelint (a trace that passes loads in Perfetto
+# and chrome://tracing). CI uploads trace.json as an artifact.
+trace-smoke:
+	$(GO) run ./cmd/bench -exp profile -scale 14 -procs 16 -matrix g500 -trace trace.json -timeseries series.csv
+	$(GO) run ./cmd/tracelint trace.json

@@ -208,3 +208,37 @@ func BenchmarkSolveAllocs(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSolveTraceOverhead measures the cost of the observability plane
+// (ISSUE 5) on a full distributed solve: "off" is the baseline with no
+// Observe config and must stay within noise of the seed solve; "spans" adds
+// per-rank span tracing; "full" adds the iteration time-series and metrics
+// registry on top. EXPERIMENTS.md records the enabled overhead (<5%
+// target).
+func BenchmarkSolveTraceOverhead(b *testing.B) {
+	g, err := RMAT(G500, 12, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dg.Close()
+	for _, tc := range []struct {
+		name string
+		obs  *Observe
+	}{
+		{"off", nil},
+		{"spans", &Observe{Spans: true}},
+		{"full", &Observe{Spans: true, TimeSeries: true, Metrics: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dg.MaximumMatching(Options{Init: GreedyInit, Observe: tc.obs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

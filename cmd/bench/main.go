@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|recovery|all
+//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|recovery|profile|all
 //	      [-scale N] [-procs P] [-threads T] [-no-overlap]
 //	      [-checkpoint-every K] [-fault none|crash|straggler|rma]
 //	      [-fault-rank R] [-fault-at N] [-fault-delay D] [-watchdog D]
-//	      [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	      [-json out.json] [-trace out.json] [-timeseries out.csv]
+//	      [-metrics-addr :9090] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Scaling figures report times from the alpha-beta cost model (see
 // internal/costmodel) next to measured host wall clock where the figure
@@ -17,12 +18,20 @@
 //
 // -json writes a machine-readable envelope: every experiment's row structs
 // keyed by name, plus a measured solve profile (per-op wall seconds, exact
-// communication meters, worker-pool utilization, heap traffic) at the
-// requested scale/procs/threads. When checkpointing or fault injection is
-// requested (-checkpoint-every, -fault, or -exp recovery) the envelope also
-// carries a recovery section: checkpoint wall time, bytes serialized, and
-// retry count next to the clean solve's wall clock. -cpuprofile and
-// -memprofile write pprof profiles covering the experiment runs.
+// communication meters, worker-pool utilization, heap traffic, and the
+// per-iteration time-series) at the requested scale/procs/threads. When
+// checkpointing or fault injection is requested (-checkpoint-every, -fault,
+// or -exp recovery) the envelope also carries a recovery section:
+// checkpoint wall time, bytes serialized, and retry count next to the clean
+// solve's wall clock. -cpuprofile and -memprofile write pprof profiles
+// covering the experiment runs.
+//
+// The observability plane (docs/OBSERVABILITY.md) instruments the measured
+// profile solve: -trace writes its span timeline as Chrome trace_event JSON
+// (load in ui.perfetto.dev), -timeseries writes the per-iteration series as
+// CSV, and -metrics-addr serves live Prometheus metrics at /metrics while
+// the bench runs. -exp profile runs only that measured solve — the quickest
+// way to produce a trace.
 package main
 
 import (
@@ -30,16 +39,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"mcmdist/internal/experiments"
+	"mcmdist/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, recovery, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, recovery, profile, all")
 	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
 	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
 	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
@@ -54,6 +65,9 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "progress-watchdog timeout for the recovery benchmark; 0 leaves it off")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the experiment runs to this path")
+	tracePath := flag.String("trace", "", "write the measured profile solve's span timeline as Chrome trace_event JSON (Perfetto-loadable) to this path")
+	seriesPath := flag.String("timeseries", "", "write the measured profile solve's per-iteration time-series as CSV to this path")
+	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus metrics at this address's /metrics while the bench runs (e.g. :9090)")
 	flag.Parse()
 
 	if *threads > 0 {
@@ -126,6 +140,9 @@ func main() {
 			p := experiments.RecoveryBench(w, *matrix, *scale, *procs, recOpts)
 			recProfile = &p
 			rows = p
+		case "profile":
+			// Only the measured (observed) solve profile, handled below —
+			// the quickest path to a trace or time-series artifact.
 		default:
 			return false
 		}
@@ -147,44 +164,92 @@ func main() {
 		ok = false
 	}
 
-	if ok && *jsonPath != "" {
+	// The measured profile solve runs whenever a consumer wants its output:
+	// the -json envelope, a trace or time-series artifact, a live metrics
+	// endpoint, or -exp profile itself.
+	needProfile := ok && (*jsonPath != "" || *tracePath != "" || *seriesPath != "" ||
+		*metricsAddr != "" || *exp == "profile")
+	if needProfile {
 		t := experiments.DefaultThreads
-		if recProfile == nil && (*fault != "none" || *checkpointEvery > 0) {
-			// Recovery instrumentation was requested but no recovery
-			// experiment ran: measure it now (quietly) for the envelope.
-			p := experiments.RecoveryBench(io.Discard, *matrix, *scale, *procs, recOpts)
-			recProfile = &p
+		var reg *obs.Registry
+		if *metricsAddr != "" {
+			reg = obs.NewRegistry()
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			go func() {
+				if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: metrics server: %v\n", err)
+				}
+			}()
+			fmt.Fprintf(w, "serving metrics at http://%s/metrics\n", *metricsAddr)
 		}
-		envelope := struct {
-			Exp      string                       `json:"exp"`
-			Scale    int                          `json:"scale"`
-			Procs    int                          `json:"procs"`
-			Threads  int                          `json:"threads"`
-			HostCPUs int                          `json:"host_cpus"`
-			Results  map[string]any               `json:"results"`
-			Profile  experiments.SolveProfile     `json:"profile"`
-			Recovery *experiments.RecoveryProfile `json:"recovery,omitempty"`
-		}{
-			Exp:      *exp,
-			Scale:    *scale,
-			Procs:    *procs,
-			Threads:  t,
-			HostCPUs: runtime.NumCPU(),
-			Results:  results,
-			Profile:  experiments.Profile(*matrix, *scale, *procs, t),
-			Recovery: recProfile,
+		col := obs.NewCollector(*procs, obs.Options{
+			Spans:      *tracePath != "",
+			TimeSeries: true,
+			Metrics:    reg,
+		})
+		prof := experiments.ProfileObserved(*matrix, *scale, *procs, t, col)
+		if reg != nil {
+			reg.Counter("mcm_solves_total", "Solves completed by this bench process.").Inc()
 		}
-		buf, err := json.MarshalIndent(envelope, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+		if *tracePath != "" {
+			if err := writeArtifact(*tracePath, col.WriteTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			prof.TraceFile = *tracePath
+			fmt.Fprintf(w, "wrote %s (load in ui.perfetto.dev)\n", *tracePath)
 		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+		if *seriesPath != "" {
+			if err := writeArtifact(*seriesPath, col.WriteSeriesCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			prof.SeriesFile = *seriesPath
+			fmt.Fprintf(w, "wrote %s\n", *seriesPath)
 		}
-		fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		fmt.Fprintf(w, "profile: %s scale=%d p=%d t=%d |M|=%d iters=%d wall=%.3fs\n",
+			*matrix, *scale, prof.Procs, prof.Threads, prof.Cardinality,
+			prof.Iterations, prof.WallSeconds)
+
+		if *jsonPath != "" {
+			if recProfile == nil && (*fault != "none" || *checkpointEvery > 0) {
+				// Recovery instrumentation was requested but no recovery
+				// experiment ran: measure it now (quietly) for the envelope.
+				p := experiments.RecoveryBench(io.Discard, *matrix, *scale, *procs, recOpts)
+				recProfile = &p
+			}
+			envelope := struct {
+				Exp      string                       `json:"exp"`
+				Scale    int                          `json:"scale"`
+				Procs    int                          `json:"procs"`
+				Threads  int                          `json:"threads"`
+				HostCPUs int                          `json:"host_cpus"`
+				Results  map[string]any               `json:"results"`
+				Profile  experiments.SolveProfile     `json:"profile"`
+				Recovery *experiments.RecoveryProfile `json:"recovery,omitempty"`
+			}{
+				Exp:      *exp,
+				Scale:    *scale,
+				Procs:    *procs,
+				Threads:  t,
+				HostCPUs: runtime.NumCPU(),
+				Results:  results,
+				Profile:  prof,
+				Recovery: recProfile,
+			}
+			buf, err := json.MarshalIndent(envelope, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		}
 	}
 
 	if *memProfile != "" {
@@ -203,4 +268,17 @@ func main() {
 	if !ok {
 		os.Exit(2)
 	}
+}
+
+// writeArtifact creates path and streams write into it.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,156 @@
+// Command tracelint validates a Chrome trace_event JSON file such as the
+// one cmd/bench -trace emits: the JSON object form with a traceEvents
+// array, per-event required keys by phase type, and pairing of flow
+// start/finish events. It is the CI gate behind the trace-smoke step —
+// a trace that passes loads in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+//
+// Usage:
+//
+//	tracelint trace.json [more.json ...]
+//
+// Exits nonzero, printing one line per problem, if any file fails.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event mirrors the trace_event fields tracelint checks. Unknown fields are
+// ignored; absent optional numbers are distinguished via pointers.
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Cat  string          `json:"cat"`
+	ID   string          `json:"id"`
+	S    string          `json:"s"`
+	Args json.RawMessage `json:"args"`
+}
+
+// traceFile is the object form of the format: the only form Perfetto's
+// legacy JSON importer fully supports metadata on.
+type traceFile struct {
+	TraceEvents     []event         `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	OtherData       json.RawMessage `json:"otherData"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		if n := lint(path); n > 0 {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: %d problem(s)\n", path, n)
+			bad = true
+		} else {
+			fmt.Printf("tracelint: %s: ok\n", path)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// lint checks one file and returns the number of problems found, printing
+// each to stderr.
+func lint(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+		return 1
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: not valid JSON: %v\n", path, err)
+		return 1
+	}
+	problems := 0
+	bad := func(i int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: event %d: %s\n", path, i, fmt.Sprintf(format, args...))
+		problems++
+	}
+	if len(tf.TraceEvents) == 0 {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: empty traceEvents array\n", path)
+		return problems + 1
+	}
+
+	// flows[id] tracks the state machine of one flow chain: started ("s"),
+	// continued ("t"), finished ("f").
+	type flowState struct{ starts, steps, finishes int }
+	flows := make(map[string]*flowState)
+
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph == "" {
+			bad(i, "missing ph")
+			continue
+		}
+		if ev.Name == "" {
+			bad(i, "ph %q missing name", ev.Ph)
+		}
+		if ev.Pid == nil {
+			bad(i, "%q missing pid", ev.Name)
+		}
+		if ev.Tid == nil && ev.Ph != "M" {
+			bad(i, "%q missing tid", ev.Name)
+		}
+		if ev.Ts == nil && ev.Ph != "M" {
+			bad(i, "%q (ph %q) missing ts", ev.Name, ev.Ph)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil {
+				bad(i, "complete event %q missing dur", ev.Name)
+			} else if *ev.Dur < 0 {
+				bad(i, "complete event %q has negative dur %g", ev.Name, *ev.Dur)
+			}
+		case "i", "I":
+			if ev.S != "" && ev.S != "t" && ev.S != "p" && ev.S != "g" {
+				bad(i, "instant %q has bad scope %q", ev.Name, ev.S)
+			}
+		case "s", "t", "f":
+			if ev.ID == "" {
+				bad(i, "flow event %q missing id", ev.Name)
+				continue
+			}
+			st := flows[ev.ID]
+			if st == nil {
+				st = &flowState{}
+				flows[ev.ID] = st
+			}
+			switch ev.Ph {
+			case "s":
+				st.starts++
+			case "t":
+				st.steps++
+			case "f":
+				st.finishes++
+			}
+		case "M":
+			// Metadata names a known field in args; checked loosely.
+		case "B", "E", "b", "e", "n", "C":
+			// Legal phases this writer does not emit; nothing more to check.
+		default:
+			bad(i, "%q has unknown ph %q", ev.Name, ev.Ph)
+		}
+	}
+	for id, st := range flows {
+		if st.starts != 1 {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: flow %s has %d start events, want 1\n", path, id, st.starts)
+			problems++
+		}
+		if st.finishes != 1 {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: flow %s has %d finish events, want 1\n", path, id, st.finishes)
+			problems++
+		}
+	}
+	return problems
+}

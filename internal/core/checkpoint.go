@@ -134,6 +134,7 @@ func (s *Solver) maybeCheckpoint(phase int, mater, matec *dvec.Dense) {
 	s.Stats.Checkpoints++
 	s.Stats.CheckpointBytes += int64(EncodedSize(s.N1, s.N2))
 	s.Stats.CheckpointWall += time.Since(begin)
+	s.G.RT.Tracer().Instant("checkpoint", int64(phase))
 }
 
 // RestoreMates rebuilds this rank's mate-vector pieces from a checkpoint,

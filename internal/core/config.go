@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
 )
 
@@ -139,6 +140,12 @@ type Config struct {
 	// level-synchronous iteration with SPMD-replicated counters — a
 	// lightweight trace for debugging and teaching.
 	OnIteration func(IterInfo)
+	// Obs attaches the observability plane (internal/obs) to the run: span
+	// tracing onto per-rank ring buffers, per-iteration time-series, and an
+	// optional live metrics registry, per the collector's own options. The
+	// collector must be built for at least the run's rank count. Nil (the
+	// default) records nothing and keeps the hot path at its untraced cost.
+	Obs *obs.Collector
 
 	// Fault attaches a deterministic fault injector to the run's simulated
 	// world (crash at the Nth collective, straggler latency, RMA failure);

@@ -3,6 +3,7 @@ package core
 import (
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmv"
 )
@@ -23,13 +24,18 @@ import (
 // declared maximum, which keeps the termination condition identical to
 // Algorithm 2's. Collective.
 func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
+	trc := s.G.RT.Tracer()
+	solve0 := trc.Begin()
 	// Persistent across phases: parents of visited rows and the root of
 	// the alternating tree owning each row (None = unowned).
 	pir := dvec.NewDense(s.RowL, semiring.None)
 	rootR := dvec.NewDense(s.RowL, semiring.None)
 
 	fresh := false // true while running the full-reset verification phase
+	phase := 0     // sweeps started, fresh verification sweeps included
 	for {
+		phase++
+		phase0 := trc.Begin()
 		pathc := dvec.NewDense(s.ColL, semiring.None)
 		var fc *dvec.SparseV
 		var fcCount *mpi.ValueRequest
@@ -49,6 +55,7 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 				break
 			}
 			s.Stats.Iterations++
+			iter0 := s.obsIterBegin()
 
 			var fr *dvec.SparseV
 			s.tr.track(OpSpMV, func() {
@@ -97,9 +104,11 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 				fc = fr.InvertParents(s.ColL)
 				fcCount = s.startFrontierCount(fc)
 			})
+			s.obsIterEnd(iter0, phase, frontierSize, newPaths, false)
 		}
 
 		if pathsFound == 0 {
+			trc.End(obs.KindPhase, "phase", phase0, int64(phase))
 			if fresh {
 				break // a full fresh sweep found nothing: maximum reached
 			}
@@ -156,7 +165,9 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 			s.Stats.GraftReleasedRows += int(s.G.World.Allreduce(mpi.OpSum, int64(released)))
 			s.G.World.AddWork(len(rootR.Local) + len(dead))
 		})
+		trc.End(obs.KindPhase, "phase", phase0, int64(phase))
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
 	s.captureThreadStats()
+	trc.End(obs.KindSolve, "mcm-graft", solve0, int64(s.Stats.Cardinality))
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmv"
 )
@@ -36,6 +37,8 @@ func (s *Solver) waitFrontierCount(rq *mpi.ValueRequest, fc *dvec.SparseV) int {
 // in place to a maximum cardinality matching. Collective: every rank of the
 // grid calls it together with its own mate vector pieces.
 func (s *Solver) MCM(mater, matec *dvec.Dense) {
+	trc := s.G.RT.Tracer()
+	solve0 := trc.Begin()
 	// pullDisabled turns off the bottom-up direction once a pull scan
 	// proves unproductive. It is sticky across phases: unproductive scans
 	// come from frontier columns that are structurally deficient (no
@@ -45,6 +48,7 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 	phase := 0
 	for {
 		phase++
+		phase0 := trc.Begin()
 		// Per-phase state: parents of visited rows and endpoints of
 		// discovered augmenting paths (Algorithm 2, lines 3-5).
 		pir := dvec.NewDense(s.RowL, semiring.None)
@@ -69,6 +73,7 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 				break
 			}
 			s.Stats.Iterations++
+			iter0 := s.obsIterBegin()
 
 			// Step 1: explore neighbors of the column frontier, choosing
 			// the SpMV direction when direction optimization is on. The
@@ -160,6 +165,7 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 				fcCount = s.startFrontierCount(fc)
 			})
 
+			s.obsIterEnd(iter0, phase, frontierSize, newPaths, usePull)
 			if s.Cfg.OnIteration != nil && s.G.World.Rank() == 0 {
 				s.Cfg.OnIteration(IterInfo{
 					Phase:        phase,
@@ -172,6 +178,7 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 		}
 
 		if pathsFound == 0 {
+			trc.End(obs.KindPhase, "phase", phase0, int64(phase))
 			break // no augmenting path in this phase: matching is maximum
 		}
 		s.Stats.Phases++
@@ -184,9 +191,11 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 			s.augment(pathc, pir, mater, matec, pathsFound)
 		})
 		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
+		trc.End(obs.KindPhase, "phase", phase0, int64(phase))
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
 	s.captureThreadStats()
+	trc.End(obs.KindSolve, "mcm", solve0, int64(s.Stats.Cardinality))
 }
 
 // MCMSingleSource runs the single-source (SS-BFS) variant the paper's
@@ -197,6 +206,8 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 // hence its latency term) explodes while every SpMV does trivial work.
 // Collective.
 func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
+	trc := s.G.RT.Tracer()
+	solve0 := trc.Begin()
 	// retired marks columns proven unmatchable: once no augmenting path
 	// leaves a vertex, none ever will again (augmentations only grow the
 	// reachable matching), so retirement is permanent.
@@ -236,6 +247,7 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 				break
 			}
 			s.Stats.Iterations++
+			iter0 := s.obsIterBegin()
 
 			var fr *dvec.SparseV
 			s.tr.track(OpSpMV, func() {
@@ -256,10 +268,12 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 				s.tr.track(OpInvert, func() { tc = ufr.InvertRoots(s.ColL) })
 				s.tr.track(OpSelect, func() { pathc.ScatterParents(tc) })
 				s.tr.track(OpOther, func() { pathsFound += tc.Nnz() })
+				s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, false)
 				break // single source: the first augmenting path ends the phase
 			}
 			s.tr.track(OpSelect, func() { fr.SetParentsFrom(mater) })
 			s.tr.track(OpInvert, func() { fc = fr.InvertParents(s.ColL) })
+			s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, false)
 		}
 
 		if pathsFound == 0 {
@@ -278,4 +292,5 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 	}
 	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
 	s.captureThreadStats()
+	trc.End(obs.KindSolve, "mcm-ss", solve0, int64(s.Stats.Cardinality))
 }

@@ -77,7 +77,7 @@ func runAttemptGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	perRankComm := make([]mpi.CommTimes, cfg.Procs)
 	var mateR, mateC []int64
 
-	_, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+	w, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
 		cfg.Procs, func(c *mpi.Comm) error {
 			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
 			if ctxs == nil {
@@ -108,6 +108,9 @@ func runAttemptGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 			perRankComm[c.Rank()] = c.CommTimes()
 			return nil
 		})
+	if w != nil {
+		cfg.Obs.AddEvents(w.ObsEvents())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +186,7 @@ func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatr
 // nil ctxs builds fresh contexts, honoring cfg.DisableReuse.
 func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, ctxs []*rt.Ctx, fn func(*Solver) error) error {
-	_, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+	w, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
 		pr*pc, func(c *mpi.Comm) error {
 			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
 			if ctxs == nil {
@@ -199,6 +202,9 @@ func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalM
 			s := NewSolver(g, cfg, n1, n2, blocks[g.MyRow][g.MyCol], blocksT[g.MyRow][g.MyCol])
 			return fn(s)
 		})
+	if w != nil {
+		cfg.Obs.AddEvents(w.ObsEvents())
+	}
 	return err
 }
 
@@ -216,5 +222,11 @@ func newRankCtx(c *mpi.Comm, cfg Config, ctxs []*rt.Ctx, rank int) *rt.Ctx {
 		ctx = rt.New(c)
 	}
 	ctx.SetOverlap(!cfg.DisableOverlap)
+	// Attach (or, for a reused session context, detach) the rank's span
+	// tracer on both the runtime context (op spans via Track) and the comm
+	// (collective/RMA/fault spans inside internal/mpi).
+	tr := cfg.Obs.Tracer(c.Rank())
+	ctx.SetTracer(tr)
+	c.SetTracer(tr)
 	return ctx
 }

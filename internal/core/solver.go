@@ -4,6 +4,7 @@ import (
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/grid"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/parallel"
 	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
@@ -42,6 +43,12 @@ type Solver struct {
 	// construction, so this solve's Stats report a delta even when the pool
 	// is a long-lived session context's.
 	threadBase parallel.Stats
+
+	// rec is the rank's iteration time-series recorder (nil = off) and
+	// iterBase the counter snapshot taken at the top of the current
+	// iteration (see obs.go).
+	rec      *obs.IterRecorder
+	iterBase iterBaseline
 }
 
 // NewSolver builds a rank's solver from pre-distributed blocks. blocks and
@@ -67,6 +74,7 @@ func NewSolver(g *grid.Grid, cfg Config, n1, n2 int, a, at *spmat.LocalMatrix) *
 		Stats:      st,
 		tr:         &tracker{ctx: g.RT, stats: st},
 		threadBase: g.RT.ThreadStats(),
+		rec:        cfg.Obs.Recorder(g.World.WorldRank()),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/parallel"
 )
 
@@ -88,6 +89,8 @@ func (d *Dense) CountEq(v int64) int {
 func (d *Dense) Gather() []int64 {
 	c := d.L.G.World
 	ctx := d.L.G.RT
+	tr := ctx.Tracer()
+	t0 := tr.Begin()
 	r := d.L.MyRange()
 	// Ship (offset, values...) so receivers can place blocks.
 	payload := ctx.GetInts(len(d.Local) + 1)
@@ -105,6 +108,7 @@ func (d *Dense) Gather() []int64 {
 	}
 	rq.Finish()
 	ctx.PutInts(payload)
+	tr.End(obs.KindOp, "dvec.gather", t0, int64(d.L.N))
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mcmdist/internal/core"
+	"mcmdist/internal/obs"
 )
 
 // CommProfile is one op category's exact communication counters: message
@@ -48,6 +49,19 @@ type SolveProfile struct {
 	AllocBytes         uint64                 `json:"alloc_bytes"`
 	Mallocs            uint64                 `json:"mallocs"`
 	HostCPUs           int                    `json:"host_cpus"`
+	// PeakFrontier is the largest column frontier any iteration entered and
+	// PeakFrontierIteration when it happened — present even when the full
+	// time-series was not recorded.
+	PeakFrontier          int `json:"peak_frontier"`
+	PeakFrontierIteration int `json:"peak_frontier_iteration"`
+	// TimeSeries is the cross-rank merged per-iteration time-series (one
+	// entry per BFS iteration), present when the profile ran observed
+	// (ProfileObserved with a time-series-recording collector).
+	TimeSeries []obs.IterSample `json:"time_series,omitempty"`
+	// TraceFile and SeriesFile name the artifacts the bench driver wrote
+	// alongside this profile (Perfetto trace JSON, time-series CSV).
+	TraceFile  string `json:"trace_file,omitempty"`
+	SeriesFile string `json:"series_file,omitempty"`
 }
 
 // Profile runs one solve of the named suite matrix and reports everything a
@@ -56,11 +70,19 @@ type SolveProfile struct {
 // heap traffic of the solve (allocation bytes and mallocs across all ranks,
 // including matrix generation-free solve work only).
 func Profile(name string, scale, procs, threads int) SolveProfile {
+	return ProfileObserved(name, scale, procs, threads, nil)
+}
+
+// ProfileObserved is Profile with the observability plane attached: the
+// solve records into col (span trace, per-iteration time-series, metrics,
+// per the collector's options) and the profile carries the merged
+// time-series. A nil collector reduces to Profile.
+func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector) SolveProfile {
 	a := suiteMatrix(name, scale)
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res := run(a, core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9})
+	res := run(a, core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9, Obs: col})
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 
@@ -104,5 +126,8 @@ func Profile(name string, scale, procs, threads int) SolveProfile {
 		p.CommHiddenFraction = 1 - exposed.Seconds()/total.Seconds()
 	}
 	p.OverlapDisabled = DisableOverlap
+	p.PeakFrontier = res.Stats.PeakFrontier
+	p.PeakFrontierIteration = res.Stats.PeakFrontierIteration
+	p.TimeSeries = col.Series()
 	return p
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"mcmdist/internal/obs"
 )
 
 // Injected fault sentinels. Errors returned from a faulted Run wrap one of
@@ -101,9 +103,12 @@ func (f *FaultPlan) fire() bool {
 
 // onCollective runs the fault checks for one rank entering its n-th
 // collective (n is 1-based). It panics with a *RankError for a crash; the
-// panic is contained by RunWith.
-func (f *FaultPlan) onCollective(rank int, op string, n int64) {
+// panic is contained by RunWith. Fired faults leave an instant on the
+// rank's trace (tr may be nil) so injected failures are visible in the
+// merged timeline.
+func (f *FaultPlan) onCollective(rank int, op string, n int64, tr *obs.Tracer) {
 	if f.CrashAtCollective > 0 && rank == f.CrashRank && n == int64(f.CrashAtCollective) && f.fire() {
+		tr.Instant("fault.crash", n)
 		panic(&RankError{Rank: rank, Op: op, Err: ErrInjectedCrash})
 	}
 	if f.StragglerDelay > 0 && rank == f.StragglerRank {
@@ -116,14 +121,16 @@ func (f *FaultPlan) onCollective(rank int, op string, n int64) {
 			if f.StragglerJitter > 0 {
 				d += time.Duration(splitmix64(uint64(f.Seed)^uint64(rank)<<40^uint64(n)) % uint64(f.StragglerJitter))
 			}
+			tr.Instant("fault.straggler", int64(d))
 			time.Sleep(d)
 		}
 	}
 }
 
 // onRMA runs the fault checks for one rank entering its n-th one-sided op.
-func (f *FaultPlan) onRMA(rank int, op string, n int64) {
+func (f *FaultPlan) onRMA(rank int, op string, n int64, tr *obs.Tracer) {
 	if f.RMAFailAt > 0 && rank == f.RMAFailRank && n == int64(f.RMAFailAt) && f.fire() {
+		tr.Instant("fault.rma", n)
 		panic(&RankError{Rank: rank, Op: op, Err: ErrInjectedRMAFailure})
 	}
 }
@@ -150,7 +157,7 @@ func (c *Comm) enterCollective(op string) {
 	}
 	if f := w.faults; f != nil {
 		n := w.faultColl[c.worldRank].Add(1)
-		f.onCollective(c.worldRank, op, n)
+		f.onCollective(c.worldRank, op, n, c.tracer())
 	}
 }
 
@@ -168,6 +175,6 @@ func (w *Win) enterRMA(op string) {
 	world.progress.Add(1)
 	if f := world.faults; f != nil {
 		n := world.faultRMA[w.comm.worldRank].Add(1)
-		f.onRMA(w.comm.worldRank, op, n)
+		f.onRMA(w.comm.worldRank, op, n, w.comm.tracer())
 	}
 }

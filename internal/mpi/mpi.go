@@ -64,6 +64,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mcmdist/internal/obs"
 )
 
 // CommKind labels the collective family a transfer belongs to, for the
@@ -197,6 +199,12 @@ type World struct {
 	faults    *FaultPlan
 	faultColl []atomic.Int64
 	faultRMA  []atomic.Int64
+
+	// Observability plane (see obs.go): one tracer slot per rank (each rank
+	// goroutine touches only its own slot) and the world-plane event list
+	// (under mu).
+	obsTracers []*obs.Tracer
+	obsEvents  []obs.Event
 }
 
 type meterCell struct {
@@ -510,9 +518,17 @@ func (c *Comm) exchange(parts []any, op string) []any {
 	c.enterCollective(op)
 	gen := c.nextGen
 	c.nextGen++
+	tr := c.tracer()
+	var t0 int64
+	if tr != nil {
+		t0 = obs.Now()
+	}
 	st.post(c.member, gen, parts, op)
 	got := st.collect(c.member, gen)
 	st.finishRead(gen)
+	if tr != nil {
+		tr.EndFlow(obs.KindCollective, op, t0, gen, obs.FlowID(st.id, gen))
+	}
 	return got
 }
 

@@ -1,0 +1,69 @@
+package mpi
+
+import (
+	"errors"
+
+	"mcmdist/internal/obs"
+)
+
+// SetTracer attaches t as this rank's span tracer: from now on every
+// collective completion, progressive exchange, RMA op and injected fault on
+// this rank records into t. Each rank goroutine must set (and later read)
+// only its own tracer — the world keeps one slot per rank precisely so no
+// two goroutines ever share one. A nil t turns tracing off for the rank.
+//
+// All communicators of a rank (world, row, column) share the slot, so a
+// single SetTracer on any handle covers them all.
+func (c *Comm) SetTracer(t *obs.Tracer) {
+	if w := c.st.world; w != nil && c.worldRank < len(w.obsTracers) {
+		w.obsTracers[c.worldRank] = t
+	}
+}
+
+// tracer returns this rank's span tracer (nil when tracing is off). The
+// lookup is one slice index — cheap enough for every collective entry.
+func (c *Comm) tracer() *obs.Tracer {
+	w := c.st.world
+	if w == nil || c.worldRank >= len(w.obsTracers) {
+		return nil
+	}
+	return w.obsTracers[c.worldRank]
+}
+
+// addObsEvent appends one world-plane instant (abort, deadlock) under the
+// world lock. Rank -1 attributes the event to the world as a whole.
+func (w *World) addObsEvent(name string, rank int, arg int64) {
+	w.mu.Lock()
+	w.obsEvents = append(w.obsEvents, obs.Event{Name: name, Rank: rank, At: obs.Now(), Arg: arg})
+	w.mu.Unlock()
+}
+
+// ObsEvents returns the world-plane events recorded so far (abort causes,
+// deadlock diagnoses). Callers hand them to an obs.Collector after the
+// world joins.
+func (w *World) ObsEvents() []obs.Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]obs.Event, len(w.obsEvents))
+	copy(out, w.obsEvents)
+	return out
+}
+
+// obsAbortEvent classifies an abort cause for the trace: watchdog deadlocks
+// and injected faults get their own instant names so they stand out on the
+// runtime track.
+func (w *World) obsAbortEvent(cause error) {
+	name, rank := "abort", -1
+	var de *DeadlockError
+	var re *RankError
+	switch {
+	case errors.As(cause, &de):
+		name = "deadlock"
+	case errors.As(cause, &re):
+		rank = re.Rank
+		if errors.Is(re, ErrInjectedCrash) || errors.Is(re, ErrInjectedRMAFailure) {
+			name = "fault-abort"
+		}
+	}
+	w.addObsEvent(name, rank, 0)
+}

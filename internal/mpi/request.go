@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"mcmdist/internal/obs"
 )
 
 // Request is one rank's handle on a split-phase collective. The call has
@@ -21,6 +23,7 @@ import (
 type Request struct {
 	c   *Comm
 	gen int64
+	op  string
 
 	mu       sync.Mutex
 	started  time.Time
@@ -39,7 +42,7 @@ func (c *Comm) start(op string, parts []any, lending bool, finish func([]any)) *
 	c.enterCollective(op)
 	gen := c.nextGen
 	c.nextGen++
-	r := &Request{c: c, gen: gen, started: time.Now(), lending: lending, finish: finish}
+	r := &Request{c: c, gen: gen, op: op, started: time.Now(), lending: lending, finish: finish}
 	c.st.post(c.member, gen, parts, op)
 	return r
 }
@@ -97,10 +100,15 @@ func (r *Request) advance() {
 	r.readDone = true
 }
 
-// complete records the time ledger once. Caller holds r.mu.
+// complete records the time ledger once, plus a collective span (post to
+// completion) on the rank's comm track when tracing is on. Caller holds
+// r.mu.
 func (r *Request) complete() {
 	r.done = true
 	r.c.addCommTimes(time.Since(r.started), r.exposed)
+	if tr := r.c.tracer(); tr != nil {
+		tr.EndFlow(obs.KindCollective, r.op, obs.At(r.started), r.gen, obs.FlowID(r.c.st.id, r.gen))
+	}
 }
 
 // SlicesRequest is a split-phase collective resolving to one slice per
@@ -370,6 +378,7 @@ func (c *Comm) checkParts(name string, parts [][]int64) ([]any, int64) {
 type PartsRequest struct {
 	c   *Comm
 	gen int64
+	op  string
 
 	mu        sync.Mutex
 	delivered []bool
@@ -396,7 +405,7 @@ func (c *Comm) IAllgathervParts(data []int64) *PartsRequest {
 	gen := c.nextGen
 	c.nextGen++
 	pr := &PartsRequest{
-		c: c, gen: gen,
+		c: c, gen: gen, op: "allgatherv",
 		delivered: make([]bool, size),
 		kind:      KindAllgather,
 		msgs:      int64(size - 1),
@@ -417,7 +426,7 @@ func (c *Comm) IAlltoallvParts(parts [][]int64) *PartsRequest {
 	gen := c.nextGen
 	c.nextGen++
 	pr := &PartsRequest{
-		c: c, gen: gen,
+		c: c, gen: gen, op: "alltoallv",
 		delivered: make([]bool, size),
 		kind:      KindAlltoall,
 		msgs:      int64(size - 1),
@@ -523,5 +532,8 @@ func (pr *PartsRequest) Finish() {
 	pr.exposed += time.Since(begin)
 	pr.c.addComm(pr.kind, pr.msgs, pr.words)
 	pr.c.addCommTimes(time.Since(pr.started), pr.exposed)
+	if tr := pr.c.tracer(); tr != nil {
+		tr.EndFlow(obs.KindCollective, pr.op, obs.At(pr.started), pr.gen, obs.FlowID(pr.c.st.id, pr.gen))
+	}
 	pr.finished = true
 }

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"mcmdist/internal/obs"
+)
 
 // winState is the shared half of an RMA window: every rank's exposed local
 // slice plus a lock per rank providing the atomicity MPI guarantees for
@@ -70,12 +74,15 @@ func (w *Win) unlock(rank int) { w.st.ranks[rank].mu <- struct{}{} }
 // unless the target is the caller itself.
 func (w *Win) Get(rank, off, n int) []int64 {
 	w.enterRMA("rma-get")
+	tr := w.comm.tracer()
+	t0 := tr.Begin()
 	w.lock(rank)
 	out := append([]int64(nil), w.st.ranks[rank].data[off:off+n]...)
 	w.unlock(rank)
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, int64(n))
 	}
+	tr.End(obs.KindRMA, "rma-get", t0, int64(n))
 	return out
 }
 
@@ -87,12 +94,15 @@ func (w *Win) Get1(rank, off int) int64 {
 // Put writes data into rank's window starting at off.
 func (w *Win) Put(rank, off int, data []int64) {
 	w.enterRMA("rma-put")
+	tr := w.comm.tracer()
+	t0 := tr.Begin()
 	w.lock(rank)
 	copy(w.st.ranks[rank].data[off:off+len(data)], data)
 	w.unlock(rank)
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, int64(len(data)))
 	}
+	tr.End(obs.KindRMA, "rma-put", t0, int64(len(data)))
 }
 
 // Put1 writes a single element.
@@ -105,6 +115,8 @@ func (w *Win) Put1(rank, off int, v int64) {
 // MPI_Fetch_and_op. With OpReplace it is an atomic swap.
 func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
 	w.enterRMA("rma-fetch-and-op")
+	tr := w.comm.tracer()
+	t0 := tr.Begin()
 	w.lock(rank)
 	data := w.st.ranks[rank].data
 	old := data[off]
@@ -113,6 +125,7 @@ func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, 2)
 	}
+	tr.End(obs.KindRMA, "rma-fetch-and-op", t0, 2)
 	return old
 }
 
@@ -124,6 +137,8 @@ var OpReplace ReduceOp = func(_, b int64) int64 { return b }
 // MPI_Compare_and_swap.
 func (w *Win) CompareAndSwap(rank, off int, expect, next int64) int64 {
 	w.enterRMA("rma-compare-and-swap")
+	tr := w.comm.tracer()
+	t0 := tr.Begin()
 	w.lock(rank)
 	data := w.st.ranks[rank].data
 	old := data[off]
@@ -134,6 +149,7 @@ func (w *Win) CompareAndSwap(rank, off int, expect, next int64) int64 {
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, 2)
 	}
+	tr.End(obs.KindRMA, "rma-compare-and-swap", t0, 2)
 	return old
 }
 

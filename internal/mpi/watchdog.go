@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mcmdist/internal/obs"
 )
 
 // DeadlockError reports a world aborted by the progress watchdog: no mailbox
@@ -55,6 +57,7 @@ func (w *World) Abort(cause error) {
 	if !w.aborted.CompareAndSwap(false, true) {
 		return
 	}
+	w.obsAbortEvent(cause)
 	w.mu.Lock()
 	w.abortCause = cause
 	states := make([]*commState, 0, 1+len(w.splits))
@@ -192,9 +195,10 @@ func RunWith(cfg RunConfig, size int, fn func(c *Comm) error) (*World, error) {
 		meters:    make([]meterCell, size),
 		splits:    make(map[string]*commState),
 		wins:      make(map[string]*winState),
-		faults:    cfg.Faults,
-		faultColl: make([]atomic.Int64, size),
-		faultRMA:  make([]atomic.Int64, size),
+		faults:     cfg.Faults,
+		faultColl:  make([]atomic.Int64, size),
+		faultRMA:   make([]atomic.Int64, size),
+		obsTracers: make([]*obs.Tracer, size),
 	}
 	ranks := make([]int, size)
 	for i := range ranks {

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// IterSample is one per-rank measurement of one level-synchronous BFS
+// iteration — the row granularity of Figs. 5–8 style analysis. SPMD-
+// replicated quantities (frontier, paths, matched) are identical across
+// ranks; the meter and timing fields are this rank's own deltas over the
+// iteration.
+type IterSample struct {
+	// Rank is the recording rank; -1 marks a cross-rank merged sample.
+	Rank int `json:"rank"`
+	// Phase is the augmenting phase the iteration belongs to (1-based).
+	Phase int `json:"phase"`
+	// Iteration is the global BFS iteration number (1-based, monotone
+	// across phases).
+	Iteration int `json:"iteration"`
+	// Frontier is the number of active column vertices entering the
+	// iteration.
+	Frontier int `json:"frontier"`
+	// NewPaths is the number of augmenting paths discovered this iteration.
+	NewPaths int `json:"new_paths"`
+	// Matched is the cardinality so far: initialization plus all paths
+	// augmented up to this sample.
+	Matched int `json:"matched"`
+	// Pull reports whether the direction-optimized solver ran this
+	// iteration in pull mode.
+	Pull bool `json:"pull"`
+	// WallNs is the iteration wall time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// Msgs and Words are the communication meter deltas (α messages,
+	// β words) this rank moved during the iteration.
+	Msgs  int64 `json:"msgs"`
+	Words int64 `json:"words"`
+	// CommNs is the total request-in-flight time; ExposedNs the part the
+	// rank actually spent blocked (the rest was hidden behind compute).
+	CommNs    int64 `json:"comm_ns"`
+	ExposedNs int64 `json:"exposed_ns"`
+	// PoolBusyNs and PoolSpanNs are the worker-pool telemetry deltas;
+	// busy/span per thread is the pool utilization for the iteration.
+	PoolBusyNs int64 `json:"pool_busy_ns"`
+	PoolSpanNs int64 `json:"pool_span_ns"`
+}
+
+// IterRecorder accumulates one rank's iteration samples and, when a
+// registry is attached, feeds the live metrics. Like Tracer it is
+// single-writer (the owning rank goroutine) and nil-safe.
+type IterRecorder struct {
+	rank    int
+	samples []IterSample
+
+	reg       *Registry
+	mIters    *Counter
+	mPaths    *Counter
+	mWords    *Counter
+	mMsgs     *Counter
+	mFrontier *Gauge
+	mMatched  *Gauge
+	mIterSec  *Histogram
+}
+
+func newIterRecorder(rank int, reg *Registry) *IterRecorder {
+	r := &IterRecorder{rank: rank, samples: make([]IterSample, 0, 256), reg: reg}
+	if reg != nil {
+		r.mIters = reg.Counter("mcm_iterations_total", "BFS iterations completed (rank 0 view).")
+		r.mPaths = reg.Counter("mcm_paths_total", "Augmenting paths discovered (rank 0 view).")
+		r.mWords = reg.Counter("mcm_comm_words_total", "Words moved by collectives, summed over ranks.")
+		r.mMsgs = reg.Counter("mcm_comm_msgs_total", "Messages sent by collectives, summed over ranks.")
+		r.mFrontier = reg.Gauge("mcm_frontier_size", "Active frontier size of the current iteration (rank 0 view).")
+		r.mMatched = reg.Gauge("mcm_matched", "Matching cardinality so far (rank 0 view).")
+		r.mIterSec = reg.Histogram("mcm_iteration_seconds", "Per-iteration wall time (rank 0 view).", nil)
+	}
+	return r
+}
+
+// Record appends one sample (and updates the live metrics when attached:
+// per-rank counters from every rank, SPMD gauges from rank 0 only so the
+// scrape sees each value once).
+func (r *IterRecorder) Record(s IterSample) {
+	if r == nil {
+		return
+	}
+	s.Rank = r.rank
+	r.samples = append(r.samples, s)
+	if r.reg == nil {
+		return
+	}
+	r.mWords.Add(s.Words)
+	r.mMsgs.Add(s.Msgs)
+	if r.rank == 0 {
+		r.mIters.Add(1)
+		r.mPaths.Add(int64(s.NewPaths))
+		r.mFrontier.Set(int64(s.Frontier))
+		r.mMatched.Set(int64(s.Matched))
+		r.mIterSec.Observe(float64(s.WallNs) / 1e9)
+	}
+}
+
+// Samples returns this rank's samples in recording order. Call after the
+// owning rank has finished.
+func (r *IterRecorder) Samples() []IterSample {
+	if r == nil {
+		return nil
+	}
+	return r.samples
+}
+
+// PerRankSeries returns every rank's samples concatenated, ordered by
+// (phase, iteration, rank).
+func (c *Collector) PerRankSeries() []IterSample {
+	if c == nil {
+		return nil
+	}
+	var out []IterSample
+	for _, r := range c.recs {
+		out = append(out, r.Samples()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Iteration != out[j].Iteration {
+			return out[i].Iteration < out[j].Iteration
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Series merges the per-rank samples into one row per iteration: SPMD
+// fields from rank order, wall and comm times as rank maxima (the critical
+// path), meter and pool fields summed across ranks. Merged rows carry
+// Rank = -1.
+func (c *Collector) Series() []IterSample {
+	if c == nil {
+		return nil
+	}
+	byIter := make(map[int]*IterSample)
+	var order []int
+	for _, rec := range c.recs {
+		for _, s := range rec.Samples() {
+			m, ok := byIter[s.Iteration]
+			if !ok {
+				merged := s
+				merged.Rank = -1
+				byIter[s.Iteration] = &merged
+				order = append(order, s.Iteration)
+				continue
+			}
+			if s.WallNs > m.WallNs {
+				m.WallNs = s.WallNs
+			}
+			if s.CommNs > m.CommNs {
+				m.CommNs = s.CommNs
+			}
+			if s.ExposedNs > m.ExposedNs {
+				m.ExposedNs = s.ExposedNs
+			}
+			m.Msgs += s.Msgs
+			m.Words += s.Words
+			m.PoolBusyNs += s.PoolBusyNs
+			m.PoolSpanNs += s.PoolSpanNs
+		}
+	}
+	sort.Ints(order)
+	out := make([]IterSample, 0, len(order))
+	for _, it := range order {
+		out = append(out, *byIter[it])
+	}
+	return out
+}
+
+// WriteSeriesCSV writes every rank's samples (plus the merged rows,
+// Rank = -1) as CSV with a header row.
+func (c *Collector) WriteSeriesCSV(w io.Writer) error {
+	if c == nil {
+		return fmt.Errorf("obs: no collector (time-series was not enabled)")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "rank,phase,iteration,frontier,new_paths,matched,pull,wall_ns,msgs,words,comm_ns,exposed_ns,pool_busy_ns,pool_span_ns")
+	row := func(s IterSample) {
+		pull := 0
+		if s.Pull {
+			pull = 1
+		}
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Rank, s.Phase, s.Iteration, s.Frontier, s.NewPaths, s.Matched, pull,
+			s.WallNs, s.Msgs, s.Words, s.CommNs, s.ExposedNs, s.PoolBusyNs, s.PoolSpanNs)
+	}
+	for _, s := range c.PerRankSeries() {
+		row(s)
+	}
+	for _, s := range c.Series() {
+		row(s)
+	}
+	return bw.Flush()
+}

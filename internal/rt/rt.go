@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/parallel"
 	"mcmdist/internal/semiring"
 )
@@ -67,6 +68,11 @@ type Ctx struct {
 	pool *parallel.Pool
 
 	ops map[string]OpCost
+
+	// trc is the rank's span tracer (nil = tracing off). Track records one
+	// op span per tracked section into it, which is what puts the Table I
+	// primitives on the timeline.
+	trc *obs.Tracer
 }
 
 // New returns an enabled context bound to comm.
@@ -114,6 +120,25 @@ func (c *Ctx) SetOverlap(on bool) {
 // Overlap reports whether the compute/communication-overlap schedules are
 // active. A nil context runs the blocking reference paths.
 func (c *Ctx) Overlap() bool { return c != nil && !c.noOverlap }
+
+// SetTracer attaches (or, with nil, detaches) the rank's span tracer. The
+// solver wires the same tracer into the context and its communicator at
+// rank setup, so op spans and collective spans land on one timeline. Safe
+// on a nil context.
+func (c *Ctx) SetTracer(t *obs.Tracer) {
+	if c != nil {
+		c.trc = t
+	}
+}
+
+// Tracer returns the rank's span tracer (nil when tracing is off; a nil
+// tracer's methods are no-ops, so callers need not check).
+func (c *Ctx) Tracer() *obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.trc
+}
 
 // EnsureThreads sizes the context's persistent worker pool — the rank's
 // intra-node thread team, the analogue of the paper's OpenMP threads — to t.
@@ -423,6 +448,7 @@ func (c *Ctx) Track(op string, fn func()) OpCost {
 	}
 	before := c.comm.MeterSnapshot()
 	beforeCT := c.comm.CommTimes()
+	t0 := c.trc.Begin()
 	start := time.Now()
 	fn()
 	delta := OpCost{
@@ -430,6 +456,7 @@ func (c *Ctx) Track(op string, fn func()) OpCost {
 		Meter: c.comm.MeterSnapshot().Sub(before),
 		Comm:  c.comm.CommTimes().Sub(beforeCT),
 	}
+	c.trc.End(obs.KindOp, op, t0, delta.Meter.Words)
 	if c.ops == nil {
 		c.ops = make(map[string]OpCost)
 	}

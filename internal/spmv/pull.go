@@ -2,6 +2,7 @@ package spmv
 
 import (
 	"mcmdist/internal/dvec"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmat"
 )
@@ -49,6 +50,8 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 	}
 
 	ctx := g.RT
+	tr := ctx.Tracer()
+	expand0 := tr.Begin()
 
 	// Expand the frontier along my grid column (same as the push direction)
 	// into a dense lookup over my column slab. The lookup lives in the
@@ -129,6 +132,8 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 	// The dense visited/frontier bitmaps are scanned with packed bitwise
 	// operations in real bottom-up implementations: 64 entries per word.
 	g.World.AddWork(len(visited.Local)/64 + skip.Len()/64 + nvis + 1)
+	tr.End(obs.KindOp, "spmv.pull.expand", expand0, int64(len(x.Idx)))
+	scan0 := tr.Begin()
 
 	// Pull: every unvisited local row scans its adjacency and stops at the
 	// first frontier neighbor. Hits are staged as (row, parent, root)
@@ -168,6 +173,8 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 		work += int(wk)
 	}
 	g.World.AddWork(work)
+	tr.End(obs.KindOp, "spmv.pull.scan", scan0, int64(work))
+	fold0 := tr.Begin()
 
 	// Fold: identical to the push direction.
 	parts := ctx.GetParts(g.PC)
@@ -191,6 +198,7 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 		ctx.PutInts(fold)
 	}
 	g.World.AddWork(out.LocalNnz())
+	tr.End(obs.KindOp, "spmv.fold", fold0, int64(out.LocalNnz()))
 	return out, PullStats{Scanned: work, Hits: nhits}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/parallel"
 	"mcmdist/internal/rt"
 	"mcmdist/internal/semiring"
@@ -53,6 +54,8 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 	}
 
 	ctx := g.RT
+	tr := ctx.Tracer()
+	expand0 := tr.Begin()
 
 	// Expand: allgather the frontier pieces along my grid column. The union
 	// of the pieces is exactly my column slab, i.e. the frontier entries my
@@ -133,6 +136,9 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 		ctx.PutInts(slab)
 	}
 
+	tr.End(obs.KindOp, "spmv.expand", expand0, int64(len(x.Idx)))
+	fold0 := tr.Begin()
+
 	// Fold: route each discovered row to its owner within my grid row and
 	// merge with the semiring addition.
 	parts := ctx.GetParts(g.PC)
@@ -154,6 +160,7 @@ func Mul(a *spmat.LocalMatrix, x *dvec.SparseV, op semiring.AddOp, outL dvec.Lay
 		ctx.PutInts(fold)
 	}
 	g.World.AddWork(out.LocalNnz())
+	tr.End(obs.KindOp, "spmv.fold", fold0, int64(out.LocalNnz()))
 	return out
 }
 

@@ -139,6 +139,11 @@ type Options struct {
 	// iteration: phase, frontier size, paths found, and the SpMV direction
 	// used.
 	Trace io.Writer
+	// Observe, when non-nil, attaches the observability plane — span
+	// tracing, per-iteration time-series, live metrics — per its fields;
+	// the recorded data comes back on Stats.Obs. Nil records nothing and
+	// keeps the solver at its untraced cost.
+	Observe *Observe
 }
 
 func (o Options) toConfig() core.Config {
@@ -251,6 +256,14 @@ type Stats struct {
 	CommTimeByOp map[string]CommTime
 	// PerRank holds every rank's cumulative totals.
 	PerRank []CommStats
+	// PeakFrontier is the largest column frontier any BFS iteration entered
+	// and PeakFrontierIteration the iteration it occurred at — the one-line
+	// summary of the iteration time-series, recorded even without
+	// Options.Observe.
+	PeakFrontier, PeakFrontierIteration int
+	// Obs carries the run's observability data (span trace, time-series,
+	// metrics) when Options.Observe was set; nil otherwise.
+	Obs *ObsReport
 }
 
 // MachineModel holds alpha-beta cost-model constants (seconds per local op,
@@ -308,37 +321,19 @@ func (st *Stats) ModeledBreakdown(mm MachineModel) map[string]float64 {
 // distributed MCM-DIST algorithm on opts.Procs simulated ranks.
 func MaximumMatching(g *Graph, opts Options) (m *Matching, st *Stats, err error) {
 	defer guard(&err)
-	res, err := core.Solve(g.a, opts.toConfig())
+	cfg := opts.toConfig()
+	procs := opts.Procs
+	if opts.GridRows > 0 && opts.GridCols > 0 {
+		procs = opts.GridRows * opts.GridCols
+	}
+	col := opts.Observe.collector(procs)
+	cfg.Obs = col
+	res, err := core.Solve(g.a, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	st = &Stats{
-		Cardinality:           res.Stats.Cardinality,
-		InitCardinality:       res.Stats.InitCardinality,
-		Phases:                res.Stats.Phases,
-		Iterations:            res.Stats.Iterations,
-		PushIterations:        res.Stats.PushIterations,
-		PullIterations:        res.Stats.PullIterations,
-		AugmentedPaths:        res.Stats.AugmentedPaths,
-		LevelParallelAugments: res.Stats.LevelParallelAugments,
-		PathParallelAugments:  res.Stats.PathParallelAugments,
-		Procs:                 res.Procs,
-		Threads:               res.Threads,
-		Checkpoints:           res.Stats.Checkpoints,
-		CheckpointBytes:       res.Stats.CheckpointBytes,
-		CheckpointWall:        res.Stats.CheckpointWall,
-		WallByOp:              make(map[string]time.Duration),
-		CommByOp:              make(map[string]CommStats),
-	}
-	for op, d := range res.Stats.Wall {
-		st.WallByOp[string(op)] = d
-	}
-	for op, m := range res.Stats.Meter {
-		st.CommByOp[string(op)] = CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
-	}
-	for _, m := range res.PerRank {
-		st.PerRank = append(st.PerRank, CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
-	}
+	st = statsFromCore(res.Stats, res.PerRank, res.Procs, res.Threads)
+	st.Obs = newObsReport(col)
 	return fromInternal(res.Matching), st, nil
 }
 

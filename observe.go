@@ -1,0 +1,164 @@
+package mcmdist
+
+import (
+	"io"
+	"time"
+
+	"mcmdist/internal/obs"
+)
+
+// Observe configures the observability plane of a distributed run: per-rank
+// span tracing (Chrome trace_event / Perfetto export), a per-iteration
+// time-series, and a live Prometheus-style metrics registry. Attach one via
+// Options.Observe; the resulting data is returned on Stats.Obs. All layers
+// default to off, and a nil Observe keeps the solver hot path at its
+// untraced cost.
+type Observe struct {
+	// Spans records begin/end spans of every solve, phase, BFS iteration,
+	// Table I primitive, collective, and RMA operation into a fixed-capacity
+	// per-rank ring buffer (oldest spans are overwritten once full).
+	Spans bool
+	// SpanCap overrides the per-rank ring capacity; 0 means the default
+	// (65536 spans per rank).
+	SpanCap int
+	// TimeSeries records one sample per rank per BFS iteration: frontier
+	// size, paths found, bytes moved, exposed vs hidden communication time,
+	// and worker-pool utilization.
+	TimeSeries bool
+	// Metrics maintains a live metrics registry (counters, gauges,
+	// histograms) during the run, exposable in Prometheus text format via
+	// ObsReport.WriteMetrics.
+	Metrics bool
+}
+
+// collector builds the internal collector for an effective rank count, or
+// nil when o is nil.
+func (o *Observe) collector(procs int) *obs.Collector {
+	if o == nil {
+		return nil
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	var reg *obs.Registry
+	if o.Metrics {
+		reg = obs.NewRegistry()
+	}
+	return obs.NewCollector(procs, obs.Options{
+		Spans:      o.Spans,
+		SpanCap:    o.SpanCap,
+		TimeSeries: o.TimeSeries,
+		Metrics:    reg,
+	})
+}
+
+// IterSample is one BFS iteration's observation. Per-rank samples carry the
+// observing rank; merged samples (Rank = -1) take the rank maximum of the
+// wall and communication times (critical path) and the rank sum of the
+// volume counters.
+type IterSample struct {
+	// Rank is the observing rank, or -1 for a cross-rank merged sample.
+	Rank int
+	// Phase is the 1-based MS-BFS phase and Iteration the 1-based global
+	// iteration number (monotone across phases).
+	Phase, Iteration int
+	// Frontier is the column-frontier size entering the iteration, NewPaths
+	// the augmenting paths discovered by it, and Matched the matching
+	// cardinality the run had found when it ended (initializer included).
+	Frontier, NewPaths, Matched int
+	// Pull reports whether the bottom-up SpMV direction was used.
+	Pull bool
+	// Wall is the iteration's wall-clock time; Comm the time its
+	// communication requests were in flight, of which Exposed was actually
+	// spent blocked (the rest hid behind computation).
+	Wall, Comm, Exposed time.Duration
+	// Msgs and Words count the messages and 8-byte words the iteration moved.
+	Msgs, Words int64
+	// PoolBusy is the worker-pool busy time inside the iteration and
+	// PoolSpan the pool's capacity over the same interval (busy/span is
+	// utilization).
+	PoolBusy, PoolSpan time.Duration
+}
+
+func sampleFromInternal(s obs.IterSample) IterSample {
+	return IterSample{
+		Rank:      s.Rank,
+		Phase:     s.Phase,
+		Iteration: s.Iteration,
+		Frontier:  s.Frontier,
+		NewPaths:  s.NewPaths,
+		Matched:   s.Matched,
+		Pull:      s.Pull,
+		Wall:      time.Duration(s.WallNs),
+		Comm:      time.Duration(s.CommNs),
+		Exposed:   time.Duration(s.ExposedNs),
+		Msgs:      s.Msgs,
+		Words:     s.Words,
+		PoolBusy:  time.Duration(s.PoolBusyNs),
+		PoolSpan:  time.Duration(s.PoolSpanNs),
+	}
+}
+
+// ObsReport is the observability data of one run, returned on Stats.Obs
+// when Options.Observe was set.
+type ObsReport struct {
+	col *obs.Collector
+}
+
+func newObsReport(col *obs.Collector) *ObsReport {
+	if col == nil {
+		return nil
+	}
+	return &ObsReport{col: col}
+}
+
+// WriteTrace writes the recorded spans as Chrome trace_event JSON — one
+// compute track and one communication track per rank, flow arrows tying
+// each collective's participants together — loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Requires Observe.Spans.
+func (r *ObsReport) WriteTrace(w io.Writer) error {
+	return r.col.WriteTrace(w)
+}
+
+// WriteTimeSeriesCSV writes the per-iteration time-series as CSV: every
+// rank's samples first, then the cross-rank merged samples (rank -1).
+// Requires Observe.TimeSeries.
+func (r *ObsReport) WriteTimeSeriesCSV(w io.Writer) error {
+	return r.col.WriteSeriesCSV(w)
+}
+
+// Samples returns the merged per-iteration time-series (one sample per BFS
+// iteration, Rank = -1). Requires Observe.TimeSeries.
+func (r *ObsReport) Samples() []IterSample {
+	return samplesFromInternal(r.col.Series())
+}
+
+// PerRankSamples returns every rank's per-iteration samples, ordered by
+// iteration then rank. Requires Observe.TimeSeries.
+func (r *ObsReport) PerRankSamples() []IterSample {
+	return samplesFromInternal(r.col.PerRankSeries())
+}
+
+func samplesFromInternal(in []obs.IterSample) []IterSample {
+	out := make([]IterSample, len(in))
+	for i, s := range in {
+		out[i] = sampleFromInternal(s)
+	}
+	return out
+}
+
+// DroppedSpans reports how many spans the per-rank rings overwrote; nonzero
+// means the trace shows only the most recent Observe.SpanCap spans per rank.
+func (r *ObsReport) DroppedSpans() uint64 {
+	return r.col.Dropped()
+}
+
+// WriteMetrics writes the run's metrics registry in Prometheus text
+// exposition format. Requires Observe.Metrics.
+func (r *ObsReport) WriteMetrics(w io.Writer) error {
+	reg := r.col.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.WritePrometheus(w)
+}

@@ -84,6 +84,8 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (m *Matching, st *Stat
 	defer guard(&err)
 	opts.Procs = dg.procs
 	cfg := opts.toConfig()
+	col := opts.Observe.collector(dg.procs)
+	cfg.Obs = col
 
 	perRankStats := make([]*core.Stats, dg.procs)
 	perRankMeter := make([]mpi.Meter, dg.procs)
@@ -115,6 +117,7 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (m *Matching, st *Stat
 	}
 	m = &Matching{MateR: mateR, MateC: mateC}
 	st = statsFromCore(merged, perRankMeter, dg.procs, cfg.Threads)
+	st.Obs = newObsReport(col)
 	return m, st, nil
 }
 
@@ -188,6 +191,8 @@ func statsFromCore(cs *core.Stats, perRank []mpi.Meter, procs, threads int) *Sta
 	for op, m := range cs.Meter {
 		st.CommByOp[string(op)] = CommStats{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
 	}
+	st.PeakFrontier = cs.PeakFrontier
+	st.PeakFrontierIteration = cs.PeakFrontierIteration
 	for op, ct := range cs.Comm {
 		st.CommTimeByOp[string(op)] = CommTime{Total: ct.Total, Exposed: ct.Exposed}
 	}
