@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet test-faults soak trace-smoke
+.PHONY: build test race bench bench-smoke vet test-faults soak trace-smoke transport-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ bench:
 # threaded hot path compiling and running without paying full bench time.
 bench-smoke:
 	$(GO) test -bench TableI -benchtime=1x -run '^$$' .
+
+# Multi-process transport smoke: one solve spanning four OS processes over
+# loopback TCP (mcm coordinating, three mcmrank workers), its matching
+# byte-compared against the in-process oracle; then a traced solve on the
+# tcp backend validated by cmd/tracelint. See docs/TRANSPORT.md.
+transport-smoke:
+	scripts/transport_smoke.sh
+	$(GO) run ./cmd/bench -exp profile -scale 12 -procs 4 -matrix g500 -transport tcp -trace transport-trace.json
+	$(GO) run ./cmd/tracelint transport-trace.json
 
 # End-to-end observability smoke: one traced solve on the RMAT scale-14
 # workload with the iteration time-series on, then the emitted trace_event

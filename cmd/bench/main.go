@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|recovery|profile|all
-//	      [-scale N] [-procs P] [-threads T] [-no-overlap]
+//	      [-scale N] [-procs P] [-threads T] [-no-overlap] [-transport inproc|tcp]
 //	      [-checkpoint-every K] [-fault none|crash|straggler|rma]
 //	      [-fault-rank R] [-fault-at N] [-fault-delay D] [-watchdog D]
 //	      [-json out.json] [-trace out.json] [-timeseries out.csv]
@@ -24,7 +24,10 @@
 // or -exp recovery) the envelope also carries a recovery section:
 // checkpoint wall time, bytes serialized, and retry count next to the clean
 // solve's wall clock. -cpuprofile and -memprofile write pprof profiles
-// covering the experiment runs.
+// covering the experiment runs. -transport selects the backend the measured
+// profile solve runs on (inproc, or tcp for a loopback-socket world) and is
+// recorded in the envelope; results are bit-identical across backends, only
+// the wall clocks change.
 //
 // The observability plane (docs/OBSERVABILITY.md) instruments the measured
 // profile solve: -trace writes its span timeline as Chrome trace_event JSON
@@ -43,9 +46,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"time"
 
 	"mcmdist/internal/experiments"
+	"mcmdist/internal/mpi"
 	"mcmdist/internal/obs"
 )
 
@@ -56,6 +61,7 @@ func main() {
 	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
 	noOverlap := flag.Bool("no-overlap", false, "disable the split-phase compute/communication overlap (results are bit-identical; wall clocks and the exposed-comm ledger change)")
 	matrix := flag.String("matrix", "road_usa", "matrix for the -json measured solve profile: a Table II stand-in name or g500/er/ssca (RMAT)")
+	transport := flag.String("transport", "inproc", "transport backend for the measured solve profile: inproc, or tcp (loopback sockets, one endpoint per rank)")
 	jsonPath := flag.String("json", "", "write machine-readable results (experiment rows + measured solve profile) to this path")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint stride (phases) for the recovery benchmark; 0 means every phase")
 	fault := flag.String("fault", "none", "fault injected into the recovery benchmark: none, crash, straggler, rma")
@@ -74,6 +80,11 @@ func main() {
 		experiments.DefaultThreads = *threads
 	}
 	experiments.DisableOverlap = *noOverlap
+	if !slices.Contains(mpi.Transports(), *transport) {
+		fmt.Fprintf(os.Stderr, "bench: unknown -transport %q (have %v)\n", *transport, mpi.Transports())
+		os.Exit(1)
+	}
+	experiments.TransportBackend = *transport
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -220,23 +231,25 @@ func main() {
 				recProfile = &p
 			}
 			envelope := struct {
-				Exp      string                       `json:"exp"`
-				Scale    int                          `json:"scale"`
-				Procs    int                          `json:"procs"`
-				Threads  int                          `json:"threads"`
-				HostCPUs int                          `json:"host_cpus"`
-				Results  map[string]any               `json:"results"`
-				Profile  experiments.SolveProfile     `json:"profile"`
-				Recovery *experiments.RecoveryProfile `json:"recovery,omitempty"`
+				Exp       string                       `json:"exp"`
+				Scale     int                          `json:"scale"`
+				Procs     int                          `json:"procs"`
+				Threads   int                          `json:"threads"`
+				Transport string                       `json:"transport"`
+				HostCPUs  int                          `json:"host_cpus"`
+				Results   map[string]any               `json:"results"`
+				Profile   experiments.SolveProfile     `json:"profile"`
+				Recovery  *experiments.RecoveryProfile `json:"recovery,omitempty"`
 			}{
-				Exp:      *exp,
-				Scale:    *scale,
-				Procs:    *procs,
-				Threads:  t,
-				HostCPUs: runtime.NumCPU(),
-				Results:  results,
-				Profile:  prof,
-				Recovery: recProfile,
+				Exp:       *exp,
+				Scale:     *scale,
+				Procs:     *procs,
+				Threads:   t,
+				Transport: *transport,
+				HostCPUs:  runtime.NumCPU(),
+				Results:   results,
+				Profile:   prof,
+				Recovery:  recProfile,
 			}
 			buf, err := json.MarshalIndent(envelope, "", "  ")
 			if err != nil {

@@ -5,11 +5,18 @@
 // (-rmat g500|ssca|er -scale N), or a Table II stand-in (-matrix name
 // -scale N).
 //
+// By default every rank is a goroutine of this process (the in-process
+// transport). With -transport tcp the solve spans OS processes: rank 0
+// (this binary) listens on -addr, coordinates the rendezvous, and ships the
+// job spec to the cmd/mcmrank workers that join; `mcm -transport tcp
+// -rank N` is an alternative worker spelling. See docs/TRANSPORT.md.
+//
 // Examples:
 //
 //	mcm -rmat g500 -scale 14 -procs 16 -init mindegree
 //	mcm -in graph.mtx -procs 4 -breakdown
 //	mcm -matrix road_usa -scale 12 -procs 16 -verify
+//	mcm -rmat g500 -scale 10 -procs 4 -transport tcp -addr 127.0.0.1:9301
 package main
 
 import (
@@ -22,6 +29,10 @@ import (
 	"time"
 
 	"mcmdist"
+	"mcmdist/internal/distjob"
+	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi/tcpnet"
+	"mcmdist/internal/semiring"
 )
 
 func main() {
@@ -48,10 +59,35 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-primitive runtime breakdown")
 	trace := flag.Bool("trace", false, "print one line per BFS iteration")
 	out := flag.String("out", "", "write the matching as 'row col' lines to this file")
+	transport := flag.String("transport", "inproc", "transport backend: inproc (ranks are goroutines) or tcp (ranks are OS processes)")
+	addr := flag.String("addr", "", "tcp transport: rendezvous address (rank 0 listens, workers dial)")
+	rank := flag.Int("rank", 0, "tcp transport: the world rank this process hosts; rank 0 coordinates and ships the job, ranks >= 1 join as workers and ignore the graph/solver flags")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(mcmdist.TableIINames(), "\n"))
+		return
+	}
+
+	switch *transport {
+	case "inproc":
+		if *addr != "" || *rank != 0 {
+			log.Fatal("-addr and -rank require -transport tcp")
+		}
+	case "tcp":
+		if *addr == "" {
+			log.Fatal("-transport tcp requires -addr")
+		}
+		if *rank < 0 {
+			log.Fatalf("-rank %d out of range", *rank)
+		}
+	default:
+		log.Fatalf("unknown -transport %q", *transport)
+	}
+	if *transport == "tcp" && *rank > 0 {
+		// Worker mode: the coordinator ships the job spec, so every graph
+		// and solver flag is ignored here — mcmrank with mcm's clothes on.
+		runWorker(*addr, *rank, *out)
 		return
 	}
 
@@ -106,7 +142,36 @@ func main() {
 		log.Fatalf("unknown -augment %q", *augment)
 	}
 
-	m, st, err := mcmdist.MaximumMatching(g, opts)
+	var tr *mcmdist.Transport
+	if *transport == "tcp" {
+		spec := &distjob.Spec{
+			RMAT: *rmatClass, Matrix: *matrix, Scale: *scale, Seed: *seed,
+			Procs: *procs, Threads: *threads,
+			Init: *initAlg, Semiring: *semiringFlag, Augment: *augment,
+			NoPrune: *noPrune, DirectionOptimized: *dirOpt, Graft: *graft,
+			NoPermute: *noPermute,
+		}
+		if *in != "" {
+			// Workers may not share our filesystem: embed the file.
+			content, err := os.ReadFile(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.MTX = string(content)
+		}
+		blob, err := spec.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("coordinating %d-rank tcp world at %s (waiting for %d workers)\n",
+			*procs, *addr, *procs-1)
+		if tr, err = mcmdist.CoordinateTCPWithConfig(*addr, *procs, blob); err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+	}
+
+	m, st, err := mcmdist.MaximumMatchingOn(tr, g, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -166,6 +231,49 @@ func main() {
 			fmt.Println(" (DISAGREES with MCM-DIST!)")
 		}
 	}
+}
+
+// runWorker joins a TCP world as a non-coordinator rank: the job spec
+// arrives in the roster exchange, and the graph and configuration are
+// rebuilt locally from it (see internal/distjob).
+func runWorker(addr string, rank int, out string) {
+	log.SetPrefix(fmt.Sprintf("mcm[rank %d]: ", rank))
+	n, blob, err := tcpnet.Join(addr, rank, tcpnet.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n.Close()
+	res, err := distjob.Run(n, blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|M| = %d (worker rank %d of %d)\n",
+		res.Stats.Cardinality, rank, n.WorldSize())
+	if out != "" {
+		if err := writeMateVector(out, res.Matching); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("matching written to %s\n", out)
+	}
+}
+
+// writeMateVector is writeMatching for the internal representation the
+// worker path holds; both produce identical files for identical matchings.
+func writeMateVector(path string, m *matching.Matching) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i, j := range m.MateR {
+		if j == semiring.None {
+			continue
+		}
+		if _, err := fmt.Fprintf(f, "%d %d\n", i, j); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // writeMatching stores the matched pairs, one "row col" line each.

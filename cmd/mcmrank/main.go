@@ -1,0 +1,94 @@
+// Command mcmrank is the worker process of a multi-process solve: it joins
+// a TCP world being coordinated by `mcm -transport tcp` (or any other
+// coordinator speaking the rendezvous protocol of internal/mpi/tcpnet),
+// receives the job spec in the roster exchange, rebuilds the same input
+// matrix and configuration locally, and runs its rank of MCM-DIST.
+//
+// The final mate vectors are allgathered, so a worker holds the full
+// matching when the solve completes; -out makes it write the matching just
+// like mcm does, which is how the transport smoke test cross-checks the
+// backends.
+//
+// Example (one coordinator plus three workers, any order):
+//
+//	mcm -rmat g500 -scale 10 -procs 4 -transport tcp -addr 127.0.0.1:9301 &
+//	mcmrank -addr 127.0.0.1:9301 -rank 1 &
+//	mcmrank -addr 127.0.0.1:9301 -rank 2 &
+//	mcmrank -addr 127.0.0.1:9301 -rank 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mcmdist/internal/distjob"
+	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi/tcpnet"
+	"mcmdist/internal/semiring"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	addr := flag.String("addr", "", "coordinator address to join (host:port)")
+	rank := flag.Int("rank", -1, "world rank this process hosts (1..procs-1)")
+	out := flag.String("out", "", "write the matching as 'row col' lines to this file")
+	timeout := flag.Duration("timeout", 30*time.Second, "how long to keep dialing the coordinator")
+	quiet := flag.Bool("quiet", false, "suppress the progress lines")
+	flag.Parse()
+
+	if *addr == "" || *rank < 1 {
+		log.Fatal("mcmrank: -addr and -rank (>= 1) are required; rank 0 is the coordinator (mcm -transport tcp)")
+	}
+	log.SetPrefix(fmt.Sprintf("mcmrank[%d]: ", *rank))
+	say := func(format string, args ...any) {
+		if !*quiet {
+			log.Printf(format, args...)
+		}
+	}
+
+	say("joining %s", *addr)
+	n, blob, err := tcpnet.Join(*addr, *rank, tcpnet.Options{DialTimeout: *timeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n.Close()
+	say("joined %d-rank world, solving", n.WorldSize())
+
+	res, err := distjob.Run(n, blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	say("|M| = %d, phases %d, iterations %d",
+		res.Stats.Cardinality, res.Stats.Phases, res.Stats.Iterations)
+
+	if *out != "" {
+		if err := writeMatching(*out, res.Matching); err != nil {
+			log.Fatal(err)
+		}
+		say("matching written to %s", *out)
+	}
+}
+
+// writeMatching stores the matched pairs in cmd/mcm's format, one
+// "row col" line each, so outputs from the two binaries can be compared
+// byte for byte.
+func writeMatching(path string, m *matching.Matching) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i, j := range m.MateR {
+		if j == semiring.None {
+			continue
+		}
+		if _, err := fmt.Fprintf(f, "%d %d\n", i, j); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -126,7 +126,11 @@ func SolveRecoverableGrid(a *spmat.CSC, pr, pc, n1, n2 int, blocks, blocksT [][]
 	backoff := pol.Backoff
 	for {
 		rec.Attempts++
-		res, err := runAttemptGrid(pr, pc, n1, n2, blocks, blocksT, cfg, ctxs)
+		// The retry engine is in-process-only: each attempt needs a fresh
+		// world, and coordinating restart across processes is out of scope
+		// (see docs/TRANSPORT.md). A nil transport selects the inproc
+		// backend per attempt.
+		res, err := runAttemptGrid(nil, pr, pc, n1, n2, blocks, blocksT, cfg, ctxs)
 		if err == nil {
 			rec.CheckpointWall = res.Stats.CheckpointWall
 			return res, rec, nil

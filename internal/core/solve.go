@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mcmdist/internal/grid"
 	"mcmdist/internal/matching"
@@ -36,6 +37,20 @@ type Result struct {
 // a square process grid, runs the configured maximal-matching initializer
 // and then MCM-DIST, and returns the matching with run statistics.
 func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
+	return SolveOn(nil, a, cfg)
+}
+
+// SolveOn is Solve over an explicit transport endpoint, the entry point that
+// lets one solve span OS processes. Every participating process calls it
+// with its own endpoint and a bit-identical (a, cfg) pair: distribution,
+// permutation and seeding are deterministic, so each process derives the
+// same global blocks and runs only the ranks its endpoint hosts. The final
+// mate vectors are allgathered, so every process returns the full Matching;
+// Stats, PerRank and PerRankComm cover only locally hosted ranks (remote
+// entries stay zero — observability is per-process, see docs/TRANSPORT.md).
+// A nil tr means the in-process backend hosting all cfg.Procs ranks, which
+// is exactly Solve.
+func SolveOn(tr mpi.Transport, a *spmat.CSC, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	pr, pc, err := cfg.gridShape()
 	if err != nil {
@@ -55,7 +70,7 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 	blocks := spmat.Distribute2D(work, pr, pc)
 	blocksT := spmat.Distribute2D(work.Transpose(), pr, pc)
 
-	res, err := runAttemptGrid(pr, pc, work.NRows, work.NCols, blocks, blocksT, cfg, nil)
+	res, err := runAttemptGrid(tr, pr, pc, work.NRows, work.NCols, blocks, blocksT, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -65,20 +80,55 @@ func Solve(a *spmat.CSC, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// SolveEndpoints runs one solve over every endpoint of a pre-built
+// transport set concurrently in this process — the loopback form of a
+// multi-process deployment, used by tests and the conformance suite. It
+// returns one Result per endpoint, in eps order, and the first error. The
+// caller retains ownership of the endpoints (and must Close them).
+func SolveEndpoints(eps []mpi.Transport, a *spmat.CSC, cfg Config) ([]*Result, error) {
+	results := make([]*Result, len(eps))
+	errs := make([]error, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep mpi.Transport) {
+			defer wg.Done()
+			results[i], errs[i] = SolveOn(ep, a, cfg)
+		}(i, ep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
 // runAttemptGrid runs one complete solve attempt on pre-distributed blocks:
 // launch the world (under the configured fault plane and watchdog), restore
 // or initialize the mate vectors, run the MCM phases, gather the result and
-// merge statistics. Solve calls it once; SolveRecoverableGrid calls it in a
-// retry loop, setting cfg.Resume between attempts.
-func runAttemptGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+// merge statistics. SolveOn calls it once; SolveRecoverableGrid calls it in
+// a retry loop, setting cfg.Resume between attempts. A nil tr runs on the
+// in-process backend; otherwise fn runs only on tr's locally hosted ranks
+// and the mate vectors are captured on the lowest of them (they are
+// allgathered, so every rank holds the full vectors).
+func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, ctxs []*rt.Ctx) (*Result, error) {
+	if tr == nil {
+		tr = mpi.NewInproc(cfg.Procs)
+	}
+	if tr.WorldSize() != cfg.Procs {
+		return nil, fmt.Errorf("core: transport world size %d != configured procs %d", tr.WorldSize(), cfg.Procs)
+	}
+	localRoot := tr.LocalRanks()[0]
 	perRankStats := make([]*Stats, cfg.Procs)
 	perRankMeter := make([]mpi.Meter, cfg.Procs)
 	perRankComm := make([]mpi.CommTimes, cfg.Procs)
 	var mateR, mateC []int64
 
-	w, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
-		cfg.Procs, func(c *mpi.Comm) error {
+	w, err := mpi.RunTransport(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+		tr, func(c *mpi.Comm) error {
 			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
 			if ctxs == nil {
 				defer ctx.Close() // fresh context: release the worker pool with the rank
@@ -100,7 +150,7 @@ func runAttemptGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 
 			fullR := mater.Gather()
 			fullC := matec.Gather()
-			if c.Rank() == 0 {
+			if c.Rank() == localRoot {
 				mateR, mateC = fullR, fullC
 			}
 			perRankStats[c.Rank()] = s.Stats
@@ -115,8 +165,17 @@ func runAttemptGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 		return nil, err
 	}
 
-	merged := perRankStats[0]
-	for _, st := range perRankStats[1:] {
+	// Merge the locally hosted ranks' stats (on the in-process backend that
+	// is every rank; remote ranks report in their own process).
+	var merged *Stats
+	for _, st := range perRankStats {
+		if st == nil {
+			continue
+		}
+		if merged == nil {
+			merged = st
+			continue
+		}
 		merged.MergeMax(st)
 	}
 	return &Result{

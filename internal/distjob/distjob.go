@@ -1,0 +1,258 @@
+// Package distjob defines the job description a multi-process solve ships
+// through the transport bootstrap: the coordinator (cmd/mcm -transport tcp)
+// encodes a Spec into the rendezvous config blob, every worker
+// (cmd/mcmrank) decodes it, and both sides rebuild a bit-identical input
+// matrix and solver configuration from it. Determinism of the generators
+// and of MCM-DIST then guarantees every process computes the same matching
+// without ever moving the graph over the wire.
+//
+// The codec is versioned JSON: a decoder rejects blobs whose "v" field it
+// does not understand, so coordinator and worker binaries from different
+// builds fail loudly instead of diverging silently.
+package distjob
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mcmdist/internal/core"
+	"mcmdist/internal/gen"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/mtx"
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/semiring"
+	"mcmdist/internal/spmat"
+)
+
+// Run decodes a job blob and solves it on the given transport endpoint: the
+// whole worker side of a distributed job, shared by cmd/mcmrank and
+// cmd/mcm's worker mode. The matrix and configuration are rebuilt locally
+// from the spec, so only the blob ever crosses the wire.
+func Run(tr mpi.Transport, blob []byte) (*core.Result, error) {
+	spec, err := Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Procs != tr.WorldSize() {
+		return nil, fmt.Errorf("distjob: job spec procs %d != transport world size %d", spec.Procs, tr.WorldSize())
+	}
+	a, err := spec.BuildMatrix()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := spec.CoreConfig()
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveOn(tr, a, cfg)
+}
+
+// Version is the current Spec codec version.
+const Version = 1
+
+// Spec describes one distributed solve: the graph source (exactly one of
+// RMAT, Matrix or MTX) and the solver options, mirroring cmd/mcm's flags.
+type Spec struct {
+	// V is the codec version; Encode stamps it, Decode validates it.
+	V int `json:"v"`
+
+	// RMAT selects a synthetic R-MAT matrix by class: "g500", "ssca" or
+	// "er" (Section V-B of the paper).
+	RMAT string `json:"rmat,omitempty"`
+	// Matrix selects a Table II stand-in by generator name.
+	Matrix string `json:"matrix,omitempty"`
+	// MTX carries a Matrix Market file inline. Workers may start in a
+	// different filesystem namespace than the coordinator, so the content
+	// travels in the spec rather than as a path.
+	MTX string `json:"mtx,omitempty"`
+	// Scale sizes generated matrices (2^scale vertices per side).
+	Scale int `json:"scale,omitempty"`
+	// EdgeFactor overrides the R-MAT nonzeros per row; 0 means the
+	// class default (32, or 16 for SSCA).
+	EdgeFactor int `json:"edge_factor,omitempty"`
+	// Seed drives the generators and the load-balancing permutation.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Procs is the world size; it must match the transport's.
+	Procs int `json:"procs"`
+	// Threads is the modeled thread count per rank.
+	Threads int `json:"threads,omitempty"`
+	// Init names the initializer: "none", "greedy", "karpsipser" or
+	// "mindegree".
+	Init string `json:"init,omitempty"`
+	// Semiring names the SpMV addition: "minparent", "randroot" or
+	// "randparent".
+	Semiring string `json:"semiring,omitempty"`
+	// Augment names the augmentation strategy: "auto", "level" or "path".
+	Augment string `json:"augment,omitempty"`
+	// NoPrune disables tree pruning (the Fig. 8 ablation).
+	NoPrune bool `json:"no_prune,omitempty"`
+	// DirectionOptimized enables the bottom-up BFS direction.
+	DirectionOptimized bool `json:"direction_optimized,omitempty"`
+	// Graft selects the tree-grafting MCM variant.
+	Graft bool `json:"graft,omitempty"`
+	// NoPermute skips the load-balancing random permutation.
+	NoPermute bool `json:"no_permute,omitempty"`
+}
+
+// Encode serializes the spec, stamping the codec version.
+func (s *Spec) Encode() ([]byte, error) {
+	c := *s
+	c.V = Version
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(&c)
+}
+
+// Decode parses and validates a blob produced by Encode.
+func Decode(blob []byte) (*Spec, error) {
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("distjob: empty job spec (coordinator sent no config blob)")
+	}
+	var s Spec
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("distjob: bad job spec: %w", err)
+	}
+	if s.V != Version {
+		return nil, fmt.Errorf("distjob: job spec version %d, this build speaks %d", s.V, Version)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	n := 0
+	for _, src := range []string{s.RMAT, s.Matrix, s.MTX} {
+		if src != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("distjob: spec needs exactly one graph source (rmat, matrix or mtx), got %d", n)
+	}
+	if s.Procs <= 0 {
+		return fmt.Errorf("distjob: procs %d must be positive", s.Procs)
+	}
+	if _, err := s.rmatParams(); err != nil {
+		return err
+	}
+	if _, err := initByName(s.Init); err != nil {
+		return err
+	}
+	if _, err := addOpByName(s.Semiring); err != nil {
+		return err
+	}
+	if _, err := augmentByName(s.Augment); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Spec) rmatParams() (rmat.Params, error) {
+	switch strings.ToLower(s.RMAT) {
+	case "", "g500":
+		return rmat.G500, nil
+	case "ssca":
+		return rmat.SSCA, nil
+	case "er":
+		return rmat.ER, nil
+	default:
+		return rmat.Params{}, fmt.Errorf("distjob: unknown rmat class %q", s.RMAT)
+	}
+}
+
+func initByName(name string) (core.Init, error) {
+	switch name {
+	case "", "mindegree":
+		return core.InitDynMinDegree, nil
+	case "none":
+		return core.InitNone, nil
+	case "greedy":
+		return core.InitGreedy, nil
+	case "karpsipser":
+		return core.InitKarpSipser, nil
+	default:
+		return 0, fmt.Errorf("distjob: unknown init %q", name)
+	}
+}
+
+func addOpByName(name string) (semiring.AddOp, error) {
+	switch name {
+	case "", "minparent":
+		return semiring.MinParent, nil
+	case "randroot":
+		return semiring.RandRoot, nil
+	case "randparent":
+		return semiring.RandParent, nil
+	default:
+		return 0, fmt.Errorf("distjob: unknown semiring %q", name)
+	}
+}
+
+func augmentByName(name string) (core.AugmentMode, error) {
+	switch name {
+	case "", "auto":
+		return core.AugmentAuto, nil
+	case "level":
+		return core.AugmentLevelParallel, nil
+	case "path":
+		return core.AugmentPathParallel, nil
+	default:
+		return 0, fmt.Errorf("distjob: unknown augment %q", name)
+	}
+}
+
+// BuildMatrix rebuilds the input matrix from the spec. The generators are
+// deterministic in the spec fields, so every process gets a bit-identical
+// matrix.
+func (s *Spec) BuildMatrix() (*spmat.CSC, error) {
+	switch {
+	case s.MTX != "":
+		return mtx.Read(strings.NewReader(s.MTX))
+	case s.Matrix != "":
+		sp, err := gen.FindSpec(s.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(sp, s.Scale)
+	default:
+		p, err := s.rmatParams()
+		if err != nil {
+			return nil, err
+		}
+		ef := s.EdgeFactor
+		if ef == 0 {
+			ef = p.EdgeFactor()
+		}
+		return rmat.Generate(p, s.Scale, ef, s.Seed)
+	}
+}
+
+// CoreConfig maps the spec onto a core solver configuration. Every process
+// must derive its config from the same spec so the solve stays SPMD.
+func (s *Spec) CoreConfig() (core.Config, error) {
+	cfg := core.Config{
+		Procs:              s.Procs,
+		Threads:            s.Threads,
+		DisablePrune:       s.NoPrune,
+		DirectionOptimized: s.DirectionOptimized,
+		TreeGrafting:       s.Graft,
+		Permute:            !s.NoPermute,
+		Seed:               s.Seed,
+	}
+	var err error
+	if cfg.Init, err = initByName(s.Init); err != nil {
+		return core.Config{}, err
+	}
+	if cfg.AddOp, err = addOpByName(s.Semiring); err != nil {
+		return core.Config{}, err
+	}
+	if cfg.Augment, err = augmentByName(s.Augment); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}

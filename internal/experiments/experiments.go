@@ -35,6 +35,15 @@ var DefaultThreads = 12
 // and the exposed-communication ledger change.
 var DisableOverlap = false
 
+// TransportBackend selects the transport the measured solve profile runs
+// on (cmd/bench -transport): "inproc" (the default simulation) or any
+// other registered backend, e.g. "tcp" for a loopback-socket world hosted
+// by this process. The scripted experiments always run in-process; results
+// are bit-identical across backends (the conformance suite pins this), so
+// the knob exists to measure the real communication stack, not to change
+// answers.
+var TransportBackend = "inproc"
+
 // Run solves the matrix on p ranks with the given options and returns the
 // result; it panics on configuration errors (experiment code paths use
 // known-good configurations).

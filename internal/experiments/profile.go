@@ -1,11 +1,17 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
 	"mcmdist/internal/core"
+	"mcmdist/internal/mpi"
 	"mcmdist/internal/obs"
+	"mcmdist/internal/spmat"
+
+	// Register the TCP backend so TransportBackend can select it.
+	_ "mcmdist/internal/mpi/tcpnet"
 )
 
 // CommProfile is one op category's exact communication counters: message
@@ -21,8 +27,12 @@ type CommProfile struct {
 // simulation really runs); communication counters are exact; modeled
 // seconds come from the same alpha-beta model as the figures.
 type SolveProfile struct {
-	Matrix          string  `json:"matrix"`
-	Scale           int     `json:"scale"`
+	Matrix string `json:"matrix"`
+	Scale  int    `json:"scale"`
+	// Transport names the backend the measured solve ran on: "inproc"
+	// (every rank a goroutine of one world) or "tcp" (loopback sockets,
+	// one endpoint per rank, all hosted by this process).
+	Transport       string  `json:"transport"`
 	Procs           int     `json:"procs"`
 	Threads         int     `json:"threads"`
 	Cardinality     int     `json:"cardinality"`
@@ -79,16 +89,18 @@ func Profile(name string, scale, procs, threads int) SolveProfile {
 // time-series. A nil collector reduces to Profile.
 func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector) SolveProfile {
 	a := suiteMatrix(name, scale)
+	cfg := core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9, Obs: col}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res := run(a, core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9, Obs: col})
+	res := runOnBackend(a, cfg)
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 
 	p := SolveProfile{
 		Matrix:          name,
 		Scale:           scale,
+		Transport:       transportName(),
 		Procs:           res.Procs,
 		Threads:         res.Threads,
 		Cardinality:     res.Stats.Cardinality,
@@ -130,4 +142,47 @@ func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector)
 	p.PeakFrontierIteration = res.Stats.PeakFrontierIteration
 	p.TimeSeries = col.Series()
 	return p
+}
+
+// transportName resolves the TransportBackend knob's effective value.
+func transportName() string {
+	if TransportBackend == "" {
+		return "inproc"
+	}
+	return TransportBackend
+}
+
+// runOnBackend runs one solve on the selected transport backend. The
+// in-process backend is the plain run(); any other backend builds its full
+// endpoint set in this process (the loopback deployment), drives every
+// endpoint concurrently, and merges the per-endpoint observations — each
+// process sees only its own ranks' meters and stats, so the merged view is
+// reassembled exactly the way a multi-process harness would.
+func runOnBackend(a *spmat.CSC, cfg core.Config) *core.Result {
+	name := transportName()
+	if name == "inproc" {
+		return run(a, cfg)
+	}
+	cfg.DisableOverlap = DisableOverlap
+	eps, err := mpi.NewTransportSet(name, cfg.Procs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	results, err := core.SolveEndpoints(eps, a, cfg)
+	cerr := mpi.CloseAll(eps)
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	res := results[0]
+	for i, r := range results[1:] {
+		res.Stats.MergeMax(r.Stats)
+		for _, rank := range eps[i+1].LocalRanks() {
+			res.PerRank[rank] = r.PerRank[rank]
+			res.PerRankComm[rank] = r.PerRankComm[rank]
+		}
+	}
+	return res
 }

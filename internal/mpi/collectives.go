@@ -128,31 +128,88 @@ func (c *Comm) Scatterv(root int, parts [][]int64) []int64 {
 	return out
 }
 
-// ReduceOp is an associative, commutative reduction operator.
-type ReduceOp func(a, b int64) int64
+// OpCode names a reduction operator on the wire, so FetchAndOp can be
+// executed by the process owning the target window. OpCodeCustom marks an
+// operator built with CustomOp, which only works against local windows.
+type OpCode uint8
+
+// The coded reduction operators.
+const (
+	// OpCodeCustom is a caller-supplied operator with no wire form.
+	OpCodeCustom OpCode = iota
+	// OpCodeSum is addition.
+	OpCodeSum
+	// OpCodeMax is the maximum.
+	OpCodeMax
+	// OpCodeMin is the minimum.
+	OpCodeMin
+	// OpCodeLor is logical or (nonzero → 1).
+	OpCodeLor
+	// OpCodeReplace ignores the prior value (MPI_REPLACE).
+	OpCodeReplace
+)
+
+// ReduceOp is an associative, commutative reduction operator. The package's
+// named operators carry an OpCode so one-sided FetchAndOp calls can cross a
+// process boundary; operators built with CustomOp are local-only there
+// (Allreduce always evaluates locally, so any operator works in it on every
+// backend).
+type ReduceOp struct {
+	// Code is the operator's wire name (OpCodeCustom for CustomOp).
+	Code OpCode
+	fn   func(a, b int64) int64
+}
+
+// Apply evaluates the operator.
+func (op ReduceOp) Apply(a, b int64) int64 { return op.fn(a, b) }
+
+// CustomOp wraps an arbitrary associative, commutative function as a
+// ReduceOp. Usable in Allreduce on every backend; rejected by FetchAndOp on
+// remote windows (the function cannot be shipped to the owning process).
+func CustomOp(fn func(a, b int64) int64) ReduceOp {
+	return ReduceOp{Code: OpCodeCustom, fn: fn}
+}
 
 // Standard reduction operators.
 var (
-	OpSum ReduceOp = func(a, b int64) int64 { return a + b }
-	OpMax ReduceOp = func(a, b int64) int64 {
+	OpSum = ReduceOp{Code: OpCodeSum, fn: func(a, b int64) int64 { return a + b }}
+	OpMax = ReduceOp{Code: OpCodeMax, fn: func(a, b int64) int64 {
 		if a > b {
 			return a
 		}
 		return b
-	}
-	OpMin ReduceOp = func(a, b int64) int64 {
+	}}
+	OpMin = ReduceOp{Code: OpCodeMin, fn: func(a, b int64) int64 {
 		if a < b {
 			return a
 		}
 		return b
-	}
-	OpLor ReduceOp = func(a, b int64) int64 {
+	}}
+	OpLor = ReduceOp{Code: OpCodeLor, fn: func(a, b int64) int64 {
 		if a != 0 || b != 0 {
 			return 1
 		}
 		return 0
-	}
+	}}
 )
+
+// opByCode resolves a wire code back to its operator.
+func opByCode(code OpCode) (ReduceOp, bool) {
+	switch code {
+	case OpCodeSum:
+		return OpSum, true
+	case OpCodeMax:
+		return OpMax, true
+	case OpCodeMin:
+		return OpMin, true
+	case OpCodeLor:
+		return OpLor, true
+	case OpCodeReplace:
+		return OpReplace, true
+	default:
+		return ReduceOp{}, false
+	}
+}
 
 // Allreduce reduces val across all ranks with op and returns the result on
 // every rank. Costed as a binomial reduce-broadcast tree.
@@ -197,22 +254,13 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 	}
 	// All members derive the same id, so they share one commState via the
-	// world registry. The parent generation makes repeated Splits distinct.
+	// world registry (remote traffic may even have materialized it first).
+	// The parent generation makes repeated Splits distinct. Abort sets the
+	// world flag before snapshotting w.comms under w.mu, so either the
+	// snapshot saw the insert (Abort marks st) or commStateFor's load sees
+	// the flag — a freshly split comm can never miss an abort.
 	id := fmt.Sprintf("%s/split@%d/c%d", c.st.id, c.nextGen, color)
-	w := c.st.world
-	w.mu.Lock()
-	st, ok := w.splits[id]
-	if !ok {
-		st = newCommState(w, id, worldRanks)
-		w.splits[id] = st
-	}
-	w.mu.Unlock()
-	// Abort sets the world flag before snapshotting w.splits under w.mu, so
-	// either the snapshot saw our insert (Abort marks st) or this load sees
-	// the flag (we mark st) — a freshly split comm can never miss an abort.
-	if w.aborted.Load() {
-		st.markAborted(w.abortReason())
-	}
+	st := c.st.world.commStateFor(id, worldRanks)
 	return &Comm{st: st, member: myIndex, worldRank: c.worldRank}
 }
 

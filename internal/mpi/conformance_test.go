@@ -1,0 +1,416 @@
+package mpi_test
+
+// The backend conformance suite: every registered Transport runs the same
+// SPMD programs and is pinned against the in-process oracle — per-rank
+// results bit-identical, per-rank meter ledgers (Msgs/Words/Work, per kind)
+// bit-identical. The suite is the contract that lets everything above the
+// transport seam (core, experiments, cmd) treat backends as interchangeable.
+//
+// It lives in an external test package so it can import the tcpnet backend
+// (which itself imports mpi) without a cycle.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcmdist/internal/mpi"
+	_ "mcmdist/internal/mpi/tcpnet" // register the "tcp" backend
+)
+
+// conformanceSizes are the world sizes every program runs at (1 = degenerate
+// single-rank world, 3 = odd, 4 = the CI topology).
+var conformanceSizes = []int{1, 3, 4}
+
+// backendRun is one backend execution: which world hosted each rank (on
+// inproc one world hosts all; on tcp each rank has its own), and each
+// endpoint's error keyed by its lowest hosted rank.
+type backendRun struct {
+	worldOf map[int]*mpi.World
+	errOf   map[int]error
+}
+
+// runBackend builds every endpooint of a size-rank world on the named
+// backend, runs fn over all of them concurrently, closes the endpoints, and
+// collects the per-rank worlds and per-endpoint errors.
+func runBackend(t *testing.T, backend string, size int, mkcfg func() mpi.RunConfig, fn func(c *mpi.Comm) error) *backendRun {
+	t.Helper()
+	eps, err := mpi.NewTransportSet(backend, size)
+	if err != nil {
+		t.Fatalf("building %q endpoints: %v", backend, err)
+	}
+	run := &backendRun{worldOf: map[int]*mpi.World{}, errOf: map[int]error{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep mpi.Transport) {
+			defer wg.Done()
+			w, err := mpi.RunTransport(mkcfg(), ep, fn)
+			mu.Lock()
+			defer mu.Unlock()
+			run.errOf[ep.LocalRanks()[0]] = err
+			if w != nil {
+				for _, r := range ep.LocalRanks() {
+					run.worldOf[r] = w
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	if err := mpi.CloseAll(eps); err != nil {
+		t.Errorf("closing %q endpoints: %v", backend, err)
+	}
+	return run
+}
+
+// firstErr returns the lowest-rank endpoint error (the aggregate verdict of
+// a run; on inproc there is exactly one).
+func (r *backendRun) firstErr() error {
+	for rank := 0; ; rank++ {
+		if err, ok := r.errOf[rank]; ok {
+			return err
+		}
+		if rank > len(r.errOf)+1024 {
+			return nil
+		}
+	}
+}
+
+// nonOracleBackends returns every registered backend except the oracle.
+func nonOracleBackends(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, name := range mpi.Transports() {
+		if name != "inproc" {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no non-oracle backends registered")
+	}
+	return out
+}
+
+// pinRanks compares each rank's result rows and meter ledgers against the
+// oracle run.
+func pinRanks(t *testing.T, backend string, size int, oracle, got *backendRun, oracleRows, gotRows [][]int64) {
+	t.Helper()
+	for r := 0; r < size; r++ {
+		if want, have := fmt.Sprint(oracleRows[r]), fmt.Sprint(gotRows[r]); want != have {
+			t.Errorf("%s size %d rank %d result rows:\n  oracle: %s\n  %s: %s", backend, size, r, want, backend, have)
+		}
+		ow, gw := oracle.worldOf[r], got.worldOf[r]
+		if ow == nil || gw == nil {
+			t.Fatalf("%s size %d rank %d missing world (oracle %v, got %v)", backend, size, r, ow != nil, gw != nil)
+		}
+		if want, have := ow.RankMeter(r), gw.RankMeter(r); want != have {
+			t.Errorf("%s size %d rank %d meter: oracle %+v, got %+v", backend, size, r, want, have)
+		}
+		for _, kind := range []mpi.CommKind{mpi.KindAllgather, mpi.KindAlltoall, mpi.KindGather, mpi.KindScatter, mpi.KindBcast, mpi.KindReduce, mpi.KindRMA} {
+			if want, have := ow.RankKindMeter(r, kind), gw.RankKindMeter(r, kind); want != have {
+				t.Errorf("%s size %d rank %d %v meter: oracle %+v, got %+v", backend, size, r, kind, want, have)
+			}
+		}
+	}
+}
+
+// collectiveProgram exercises every blocking collective, the Into variants,
+// and a two-level Split, writing a deterministic digest into rows[rank].
+func collectiveProgram(size int, rows [][]int64) func(c *mpi.Comm) error {
+	return func(c *mpi.Comm) error {
+		r := int64(c.Rank())
+		var out []int64
+
+		c.Barrier()
+		out = append(out, c.Bcast(0, []int64{42, r * 0})...)
+		out = append(out, c.Allreduce(mpi.OpSum, r+1))
+		out = append(out, c.Allreduce(mpi.OpMax, 100-r))
+		out = append(out, c.Allreduce(mpi.CustomOp(func(a, b int64) int64 { return a ^ b }), r+7))
+
+		for _, part := range c.Allgatherv([]int64{r, r * r}) {
+			out = append(out, part...)
+		}
+		parts := make([][]int64, size)
+		for d := range parts {
+			parts[d] = []int64{r*100 + int64(d), r - int64(d)}
+		}
+		for _, part := range c.Alltoallv(parts) {
+			out = append(out, part...)
+		}
+		out = append(out, c.AllgathervInto([]int64{r + 5}, nil)...)
+		flat := c.AlltoallvFlat(parts, nil)
+		out = append(out, flat...)
+		into, _ := c.AlltoallvInto(parts, nil)
+		for _, part := range into {
+			out = append(out, part...)
+		}
+
+		for _, part := range c.Gatherv(0, []int64{r * 3}) {
+			out = append(out, part...)
+		}
+		var scat [][]int64
+		if c.Rank() == 0 {
+			scat = make([][]int64, size)
+			for d := range scat {
+				scat[d] = []int64{int64(d) * 11, int64(d) * 13}
+			}
+		}
+		out = append(out, c.Scatterv(0, scat)...)
+
+		// Two-way split plus a size-1 sub-split keyed in reverse order.
+		half := c.Split(c.Rank()%2, -c.Rank())
+		out = append(out, half.Allreduce(mpi.OpSum, r+1))
+		out = append(out, int64(half.Rank()), int64(half.Size()))
+		solo := half.Split(half.Rank(), 0)
+		out = append(out, solo.Allreduce(mpi.OpMax, r))
+
+		c.AddWork(int(r) + 3)
+		rows[c.WorldRank()] = out
+		return nil
+	}
+}
+
+// requestProgram exercises the split-phase requests, including progressive
+// Parts consumption and compute/communication overlap.
+func requestProgram(size int, rows [][]int64) func(c *mpi.Comm) error {
+	return func(c *mpi.Comm) error {
+		r := int64(c.Rank())
+		var out []int64
+
+		breq := c.IBcast(0, []int64{7, 8, 9})
+		areq := c.IAllreduce(mpi.OpMin, 50+r)
+		c.AddWork(10) // overlapped compute
+		out = append(out, breq.Wait()...)
+		out = append(out, areq.Wait())
+
+		greq := c.IAllgatherv([]int64{r * 2, r * 2 + 1})
+		for _, part := range greq.Wait() {
+			out = append(out, part...)
+		}
+
+		parts := make([][]int64, size)
+		for d := range parts {
+			parts[d] = []int64{r + int64(d)*10}
+		}
+		preq := c.IAlltoallvParts(parts)
+		sum := int64(0)
+		for {
+			src, part, ok := preq.Next()
+			if !ok {
+				break
+			}
+			sum += int64(src+1) * part[0]
+		}
+		preq.Finish()
+		out = append(out, sum)
+
+		// Digest must be commutative: Next yields parts in arrival order,
+		// which is scheduling-dependent on every backend.
+		gp := c.IAllgathervParts([]int64{r + 20})
+		mix := int64(0)
+		for {
+			src, part, ok := gp.Next()
+			if !ok {
+				break
+			}
+			mix += (int64(src) + 3) * (part[0]*part[0] + 1)
+		}
+		gp.Finish()
+		out = append(out, mix)
+
+		rows[c.WorldRank()] = out
+		return nil
+	}
+}
+
+// rmaProgram exercises one-sided traffic: ring puts, gets, fetch-and-op with
+// every coded operator, compare-and-swap, fenced epochs.
+func rmaProgram(size int, rows [][]int64) func(c *mpi.Comm) error {
+	return func(c *mpi.Comm) error {
+		r := int64(c.Rank())
+		local := make([]int64, 8)
+		for i := range local {
+			local[i] = r*10 + int64(i)
+		}
+		win := mpi.WinCreate(c, local)
+		right := (c.Rank() + 1) % size
+
+		// Epoch 1: everyone puts a stamp into its right neighbor.
+		win.Put(right, 0, []int64{1000 + r})
+		win.Put1(right, 1, 2000+r)
+		win.Fence()
+
+		// Epoch 2: read the left neighbor's slice, accumulate into right.
+		var out []int64
+		out = append(out, win.Get(right, 0, 4)...)
+		out = append(out, win.Get1(right, 5))
+		out = append(out, win.FetchAndOp(right, 2, mpi.OpSum, 5))
+		out = append(out, win.FetchAndOp(right, 2, mpi.OpMax, 1))
+		out = append(out, win.FetchAndOp(right, 3, mpi.OpMin, -r))
+		out = append(out, win.FetchAndOp(right, 4, mpi.OpReplace, 77+r))
+		win.Fence()
+
+		// Epoch 3: CAS on own slice via the ring (deterministic winner per
+		// slot: only one rank targets each).
+		out = append(out, win.CompareAndSwap(right, 6, int64(right)*10+6, -9))
+		out = append(out, win.CompareAndSwap(right, 6, int64(right)*10+6, -8))
+		win.Fence()
+
+		out = append(out, local...)
+		rows[c.WorldRank()] = out
+		return nil
+	}
+}
+
+// TestConformanceRegistry pins the registered backend set.
+func TestConformanceRegistry(t *testing.T) {
+	names := mpi.Transports()
+	has := func(n string) bool {
+		for _, x := range names {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("inproc") || !has("tcp") {
+		t.Fatalf("registered transports %v, want both inproc and tcp", names)
+	}
+}
+
+// conformanceCase runs one program on the oracle and every other backend at
+// every conformance size, pinning rows and meters.
+func conformanceCase(t *testing.T, program func(size int, rows [][]int64) func(c *mpi.Comm) error) {
+	t.Helper()
+	for _, size := range conformanceSizes {
+		oracleRows := make([][]int64, size)
+		oracle := runBackend(t, "inproc", size, func() mpi.RunConfig { return mpi.RunConfig{} }, program(size, oracleRows))
+		if err := oracle.firstErr(); err != nil {
+			t.Fatalf("oracle size %d: %v", size, err)
+		}
+		for _, backend := range nonOracleBackends(t) {
+			gotRows := make([][]int64, size)
+			got := runBackend(t, backend, size, func() mpi.RunConfig { return mpi.RunConfig{} }, program(size, gotRows))
+			for rank, err := range got.errOf {
+				if err != nil {
+					t.Fatalf("%s size %d endpoint %d: %v", backend, size, rank, err)
+				}
+			}
+			pinRanks(t, backend, size, oracle, got, oracleRows, gotRows)
+		}
+	}
+}
+
+func TestConformanceCollectives(t *testing.T) { conformanceCase(t, collectiveProgram) }
+
+func TestConformanceRequests(t *testing.T) { conformanceCase(t, requestProgram) }
+
+func TestConformanceRMA(t *testing.T) { conformanceCase(t, rmaProgram) }
+
+// TestConformanceFault pins injected-crash behavior: the endpoint hosting
+// the crash rank reports the injected error on every backend, and every
+// other endpoint observes the abort (locally structured or propagated).
+func TestConformanceFault(t *testing.T) {
+	const size = 4
+	program := func(c *mpi.Comm) error {
+		for i := 0; i < 6; i++ {
+			c.Barrier()
+		}
+		return nil
+	}
+	for _, backend := range append([]string{"inproc"}, nonOracleBackends(t)...) {
+		plan := &mpi.FaultPlan{CrashRank: 2, CrashAtCollective: 3}
+		run := runBackend(t, backend, size, func() mpi.RunConfig { return mpi.RunConfig{Faults: plan} }, program)
+		if plan.Fired() != 1 {
+			t.Errorf("%s: fault fired %d times, want 1", backend, plan.Fired())
+		}
+		sawInjected := false
+		for rank, err := range run.errOf {
+			if err == nil {
+				t.Errorf("%s endpoint %d: no error from a crashed world", backend, rank)
+				continue
+			}
+			if errors.Is(err, mpi.ErrInjectedCrash) {
+				sawInjected = true
+				continue
+			}
+			var remote *mpi.RemoteAbortError
+			if !errors.As(err, &remote) || !strings.Contains(err.Error(), "injected") {
+				t.Errorf("%s endpoint %d: unexpected abort cause %v", backend, rank, err)
+			}
+		}
+		if !sawInjected {
+			t.Errorf("%s: no endpoint reported the injected crash directly", backend)
+		}
+	}
+}
+
+// TestConformanceWatchdog pins watchdog behavior: rank 0 never posts the
+// barrier, so every endpoint hosting a blocked rank aborts with a deadlock
+// diagnosis (its own watchdog) or the propagated abort, each within the
+// configured timeout.
+func TestConformanceWatchdog(t *testing.T) {
+	const size = 3
+	program := func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return nil // never posts; peers wedge in the barrier
+		}
+		c.Barrier()
+		return nil
+	}
+	cfg := func() mpi.RunConfig {
+		return mpi.RunConfig{WatchdogTimeout: 200 * time.Millisecond, WatchdogPoll: 10 * time.Millisecond}
+	}
+	for _, backend := range append([]string{"inproc"}, nonOracleBackends(t)...) {
+		run := runBackend(t, backend, size, cfg, program)
+		stuck := 0
+		for rank, err := range run.errOf {
+			if rank == 0 && err == nil {
+				// A rank-0-only endpoint finishes clean (its world hosted no
+				// blocked rank); the oracle hosts everyone so it must fail.
+				if backend == "inproc" {
+					t.Errorf("%s: oracle returned nil despite wedged ranks", backend)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s endpoint %d: wedged world returned nil", backend, rank)
+				continue
+			}
+			if !strings.Contains(err.Error(), "no progress") {
+				t.Errorf("%s endpoint %d: abort cause %v does not carry the deadlock diagnosis", backend, rank, err)
+			}
+			stuck++
+		}
+		if stuck == 0 {
+			t.Errorf("%s: no endpoint diagnosed the deadlock", backend)
+		}
+	}
+}
+
+// TestConformanceStraggler pins that stragglers perturb timing only: results
+// and meters stay bit-identical to the oracle run without any fault plan.
+func TestConformanceStraggler(t *testing.T) {
+	const size = 3
+	oracleRows := make([][]int64, size)
+	oracle := runBackend(t, "inproc", size, func() mpi.RunConfig { return mpi.RunConfig{} }, collectiveProgram(size, oracleRows))
+	if err := oracle.firstErr(); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	plan := func() *mpi.FaultPlan {
+		return &mpi.FaultPlan{Seed: 7, StragglerRank: 1, StragglerDelay: time.Millisecond, StragglerEvery: 2}
+	}
+	for _, backend := range append([]string{"inproc"}, nonOracleBackends(t)...) {
+		gotRows := make([][]int64, size)
+		shared := plan()
+		got := runBackend(t, backend, size, func() mpi.RunConfig { return mpi.RunConfig{Faults: shared} }, collectiveProgram(size, gotRows))
+		if err := got.firstErr(); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		pinRanks(t, backend, size, oracle, got, oracleRows, gotRows)
+	}
+}

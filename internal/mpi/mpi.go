@@ -180,16 +180,24 @@ func (t CommTimes) Hidden() time.Duration {
 	return t.Total - t.Exposed
 }
 
-// World is one SPMD execution: a set of ranks and their shared runtime state.
+// World is one process's share of an SPMD execution: the ranks this process
+// hosts, their mailboxes and meters, and the transport endpoint connecting
+// them to the ranks hosted elsewhere. On the in-process backend the process
+// hosts every rank and the world is the whole execution, exactly as before
+// the transport refactor.
 type World struct {
-	size   int
-	meters []meterCell
+	size      int
+	local     []int  // world ranks hosted in this process, ascending
+	isLocal   []bool // indexed by world rank
+	hasRemote bool   // some ranks live in other processes
+	transport Transport
+	meters    []meterCell // indexed by world rank; only local cells ever move
 
 	mu         sync.Mutex
-	splits     map[string]*commState
-	wins       map[string]*winState
-	root       *commState // the world communicator's mailbox (under mu)
-	abortCause error      // first Abort cause (under mu)
+	comms      map[string]*commState // every materialized communicator, by id
+	root       *commState            // the world communicator's mailbox (under mu)
+	abortCause error                 // first Abort cause (under mu)
+	winsByID   map[string]*winState  // RMA window registry (see rma.go)
 
 	aborted  atomic.Bool
 	progress atomic.Int64 // bumped on every post/retire/RMA; watchdog food
@@ -202,7 +210,7 @@ type World struct {
 
 	// Observability plane (see obs.go): one tracer slot per rank (each rank
 	// goroutine touches only its own slot) and the world-plane event list
-	// (under mu).
+	// (under mu). Collection is strictly per-process — see ObsEvents.
 	obsTracers []*obs.Tracer
 	obsEvents  []obs.Event
 }
@@ -227,9 +235,10 @@ type kindCell struct {
 // whole-comm quiesce rendezvous. Each participating rank holds a *Comm
 // handle that pairs this state with its member index.
 type commState struct {
-	id    string
-	world *World
-	ranks []int // world ranks of the members, in member order
+	id        string
+	world     *World
+	ranks     []int // world ranks of the members, in member order
+	hasRemote bool  // some members are hosted by other processes
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -263,6 +272,14 @@ func newCommState(w *World, id string, ranks []int) *commState {
 		doneSet: make(map[int64]bool),
 		ops:     make(map[int64]string),
 	}
+	if w != nil {
+		for _, r := range ranks {
+			if !w.isLocalRank(r) {
+				st.hasRemote = true
+				break
+			}
+		}
+	}
 	for s := range st.posted {
 		st.posted[s] = make(map[int64][]any)
 	}
@@ -270,10 +287,35 @@ func newCommState(w *World, id string, ranks []int) *commState {
 	return st
 }
 
-// post deposits member m's contribution to collective gen. It never blocks:
-// a rank may run arbitrarily far ahead of its peers. op labels the
-// generation for watchdog diagnostics.
+// post deposits member m's contribution to collective gen locally and ships
+// the remote-addressed parts through the world's transport. It never blocks
+// beyond the transport's own send path: a rank may run arbitrarily far
+// ahead of its peers. op labels the generation for watchdog diagnostics.
 func (st *commState) post(m int, gen int64, parts []any, op string) {
+	st.deposit(m, gen, parts, op)
+	if !st.hasRemote {
+		return
+	}
+	msg := &PostMsg{
+		Comm: st.id, Ranks: st.ranks, Src: m, Gen: gen, Op: op,
+		Parts:   make([][]int64, len(parts)),
+		Present: make([]bool, len(parts)),
+	}
+	for i, p := range parts {
+		if p != nil {
+			msg.Parts[i] = asInts(p)
+			msg.Present[i] = true
+		}
+	}
+	if err := st.world.transport.Post(msg); err != nil {
+		st.world.Abort(&TransportError{Backend: st.world.transport.Name(), Op: "post", Err: err})
+	}
+}
+
+// deposit is the local half of post: it files the contribution in this
+// process's mailbox and wakes waiters. Remote contributions arrive here too,
+// via World.DeliverPost.
+func (st *commState) deposit(m int, gen int64, parts []any, op string) {
 	st.mu.Lock()
 	st.posted[m][gen] = parts
 	st.arrived[gen]++
@@ -341,10 +383,22 @@ func (st *commState) nextArrived(m int, gen int64, delivered []bool) (int, any) 
 	}
 }
 
-// finishRead declares one member done reading gen. When the last member
-// finishes, the generation retires: its posted buffers are dropped and
-// waitConsumed waiters are released.
-func (st *commState) finishRead(gen int64) {
+// finishRead declares one local member done reading gen and notifies the
+// processes hosting the other members. When the last member (counting
+// remote notices) finishes, the generation retires: its posted buffers are
+// dropped and waitConsumed waiters are released.
+func (st *commState) finishRead(m int, gen int64) {
+	st.takeOne(gen)
+	if st.hasRemote {
+		if err := st.world.transport.FinishRead(st.id, st.ranks, m, gen); err != nil {
+			st.world.Abort(&TransportError{Backend: st.world.transport.Name(), Op: "finish", Err: err})
+		}
+	}
+}
+
+// takeOne counts one member (local or remote) done reading gen, retiring
+// the generation when the count reaches the membership.
+func (st *commState) takeOne(gen int64) {
 	st.mu.Lock()
 	st.taken[gen]++
 	if st.taken[gen] == len(st.ranks) {
@@ -525,7 +579,7 @@ func (c *Comm) exchange(parts []any, op string) []any {
 	}
 	st.post(c.member, gen, parts, op)
 	got := st.collect(c.member, gen)
-	st.finishRead(gen)
+	st.finishRead(c.member, gen)
 	if tr != nil {
 		tr.EndFlow(obs.KindCollective, op, t0, gen, obs.FlowID(st.id, gen))
 	}
@@ -537,4 +591,64 @@ func logTreeDepth(p int) int64 {
 		return 0
 	}
 	return int64(bits.Len(uint(p - 1)))
+}
+
+// LocalRanks returns the world ranks hosted by this process, ascending. On
+// the in-process backend that is every rank.
+func (w *World) LocalRanks() []int { return w.local }
+
+// Transport returns the backend endpoint this world runs over.
+func (w *World) Transport() Transport { return w.transport }
+
+// isLocalRank reports whether the given world rank is hosted here.
+func (w *World) isLocalRank(r int) bool {
+	return r >= 0 && r < len(w.isLocal) && w.isLocal[r]
+}
+
+// commStateFor returns the communicator state with the given id,
+// materializing it (with the given membership) on first touch. Remote
+// traffic for a communicator can arrive before any local rank has Split it;
+// both paths meet here under w.mu. A communicator materialized after the
+// world aborted starts aborted, so late waiters unwind immediately.
+func (w *World) commStateFor(id string, ranks []int) *commState {
+	w.mu.Lock()
+	st, ok := w.comms[id]
+	if !ok {
+		st = newCommState(w, id, ranks)
+		w.comms[id] = st
+	}
+	w.mu.Unlock()
+	if w.aborted.Load() {
+		st.markAborted(w.abortReason())
+	}
+	return st
+}
+
+// DeliverPost files a remote member's contribution in this process's
+// mailbox. Called by transport receiver goroutines; safe concurrently with
+// local posts.
+func (w *World) DeliverPost(msg *PostMsg) {
+	st := w.commStateFor(msg.Comm, msg.Ranks)
+	parts := make([]any, len(msg.Ranks))
+	for i := range parts {
+		if i < len(msg.Present) && msg.Present[i] {
+			parts[i] = msg.Parts[i]
+		}
+	}
+	st.deposit(msg.Src, msg.Gen, parts, msg.Op)
+}
+
+// DeliverFinish counts a remote member done reading one generation,
+// retiring it locally once every member (local and remote) has finished.
+// Called by transport receiver goroutines.
+func (w *World) DeliverFinish(comm string, ranks []int, gen int64) {
+	w.commStateFor(comm, ranks).takeOne(gen)
+}
+
+// DeliverAbort aborts this process's share of the world with a cause
+// propagated from the process where the world actually died. The abort is
+// not re-propagated (the originator already notified every peer). Called by
+// transport receiver goroutines.
+func (w *World) DeliverAbort(from int, msg string) {
+	w.abort(&RemoteAbortError{From: from, Msg: msg}, false)
 }

@@ -14,10 +14,22 @@ import (
 //
 // All communicators of a rank (world, row, column) share the slot, so a
 // single SetTracer on any handle covers them all.
+//
+// Observability collection is strictly per-process: tracers and world-plane
+// events never cross the transport. Each process traces only the ranks it
+// hosts (a Comm handle exists only for locally hosted ranks, so the slots of
+// remote ranks are structurally unreachable), and a whole-world trace over a
+// multi-process backend is assembled by merging each process's output —
+// obs.Collector outputs are rank-tagged, so the merge is a concatenation.
 func (c *Comm) SetTracer(t *obs.Tracer) {
-	if w := c.st.world; w != nil && c.worldRank < len(w.obsTracers) {
-		w.obsTracers[c.worldRank] = t
+	w := c.st.world
+	if w == nil {
+		return
 	}
+	if !w.isLocalRank(c.worldRank) {
+		panic("mpi: SetTracer for a rank not hosted by this process")
+	}
+	w.obsTracers[c.worldRank] = t
 }
 
 // tracer returns this rank's span tracer (nil when tracing is off). The
@@ -40,7 +52,10 @@ func (w *World) addObsEvent(name string, rank int, arg int64) {
 
 // ObsEvents returns the world-plane events recorded so far (abort causes,
 // deadlock diagnoses). Callers hand them to an obs.Collector after the
-// world joins.
+// world joins. Like tracers, events are per-process: each process records
+// only what it observed locally (a propagated abort appears in every
+// process, attributed by the RemoteAbortError cause on the receiving side),
+// and cross-process aggregation happens outside the transport.
 func (w *World) ObsEvents() []obs.Event {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -96,7 +96,7 @@ func (r *Request) advance() {
 	if r.finish != nil {
 		r.finish(got)
 	}
-	r.c.st.finishRead(r.gen)
+	r.c.st.finishRead(r.c.member, r.gen)
 	r.readDone = true
 }
 
@@ -338,7 +338,7 @@ func (c *Comm) IAllreduce(op ReduceOp, val int64) *ValueRequest {
 	q.r = c.start("allreduce", parts, false, func(got []any) {
 		acc := asInts(got[0])[0]
 		for s := 1; s < size; s++ {
-			acc = op(acc, asInts(got[s])[0])
+			acc = op.Apply(acc, asInts(got[s])[0])
 		}
 		depth := logTreeDepth(size)
 		c.addComm(KindReduce, 2*depth, 2*depth)
@@ -527,7 +527,7 @@ func (pr *PartsRequest) Finish() {
 		}
 	}
 	begin := time.Now()
-	pr.c.st.finishRead(pr.gen)
+	pr.c.st.finishRead(pr.c.member, pr.gen)
 	pr.c.st.waitConsumed(pr.gen)
 	pr.exposed += time.Since(begin)
 	pr.c.addComm(pr.kind, pr.msgs, pr.words)

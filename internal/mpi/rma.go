@@ -6,16 +6,19 @@ import (
 	"mcmdist/internal/obs"
 )
 
-// winState is the shared half of an RMA window: every rank's exposed local
-// slice plus a lock per rank providing the atomicity MPI guarantees for
-// accumulate-style operations.
+// winState is one process's share of an RMA window: the exposed local slice
+// of every rank hosted here, plus a lock per rank providing the atomicity
+// MPI guarantees for accumulate-style operations. Slices of ranks hosted by
+// other processes are absent — operations on them are routed through the
+// transport and executed, under the owner's lock, by the owning process.
 type winState struct {
+	id    string
 	ranks []rankWindow
 }
 
 type rankWindow struct {
 	mu   chan struct{} // binary semaphore; avoids copying sync.Mutex values
-	data []int64
+	data []int64       // nil for ranks hosted by another process
 }
 
 // Win is one rank's handle on a remote-memory-access window, the analogue of
@@ -30,45 +33,121 @@ type Win struct {
 // access. Every rank of the communicator must call it with its own slice
 // (which may be nil). The caller retains ownership of the slice; remote
 // ranks access it only through Get, Put and FetchAndOp.
+//
+// The window id is derived collectively (communicator id plus the call's
+// generation), so every process materializes the same window under the same
+// id; each process registers only the slices of its own ranks. The exchange
+// doubles as the barrier MPI_Win_create implies — on return every member
+// has registered, so one-sided traffic may start immediately.
 func WinCreate(c *Comm, local []int64) *Win {
-	size := c.Size()
-	// Rendezvous the slice headers through the world registry keyed by a
-	// collectively agreed id; the exchange also acts as the barrier
-	// MPI_Win_create implies.
-	parts := make([]any, size)
-	for d := 0; d < size; d++ {
-		parts[d] = local
-	}
 	id := fmt.Sprintf("%s/win@%d", c.st.id, c.nextGen)
-	got := c.exchangeAny(parts)
 	w := c.st.world
-	w.mu.Lock()
-	st, ok := w.wins[id]
-	if !ok {
-		st = &winState{ranks: make([]rankWindow, size)}
-		for s := 0; s < size; s++ {
-			var data []int64
-			if got[s] != nil {
-				data = got[s].([]int64)
-			}
-			sem := make(chan struct{}, 1)
-			sem <- struct{}{}
-			st.ranks[s] = rankWindow{mu: sem, data: data}
-		}
-		w.wins[id] = st
-	}
-	w.mu.Unlock()
+	st := w.winFor(id, c.Size())
+	<-st.ranks[c.member].mu
+	st.ranks[c.member].data = local
+	st.ranks[c.member].mu <- struct{}{}
+	// The rendezvous: an unmetered exchange, exactly one collective entry
+	// per member (the fault plane counts it, identically on every backend).
+	c.exchange(make([]any, c.Size()), "win-create")
 	return &Win{comm: c, st: st}
 }
 
-// exchangeAny is exchange with arbitrary payloads (used only for rendezvous
-// of window ids/slices; no metering).
-func (c *Comm) exchangeAny(parts []any) []any {
-	return c.exchange(parts, "win-create")
+// winFor returns the window state with the given id, materializing it (with
+// size member slots) on first touch. Local registration and remote RMA
+// requests both resolve windows here, under w.mu.
+func (w *World) winFor(id string, size int) *winState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.winsByID[id]
+	if !ok {
+		st = &winState{id: id, ranks: make([]rankWindow, size)}
+		for s := range st.ranks {
+			sem := make(chan struct{}, 1)
+			sem <- struct{}{}
+			st.ranks[s] = rankWindow{mu: sem}
+		}
+		w.winsByID[id] = st
+	}
+	return st
 }
 
 func (w *Win) lock(rank int)   { <-w.st.ranks[rank].mu }
 func (w *Win) unlock(rank int) { w.st.ranks[rank].mu <- struct{}{} }
+
+// remote reports whether the window slice of the given member rank is owned
+// by another process.
+func (w *Win) remote(rank int) bool {
+	return !w.comm.st.world.isLocalRank(w.comm.st.ranks[rank])
+}
+
+// call routes one one-sided operation to the process hosting the target
+// member and blocks for the reply. Transport failures abort the world and
+// unwind the calling rank through the usual abort plane.
+func (w *Win) call(rank int, req *RMAReq) *RMAResp {
+	req.Win = w.st.id
+	req.Member = rank
+	world := w.comm.st.world
+	resp, err := world.transport.RMA(world.rankToWorld(w.comm, rank), req)
+	if err != nil {
+		world.Abort(&TransportError{Backend: world.transport.Name(), Op: "rma", Err: err})
+		panic(abortSignal{cause: world.abortReason()})
+	}
+	return resp
+}
+
+// rankToWorld maps a member index of c's communicator to a world rank.
+func (w *World) rankToWorld(c *Comm, member int) int { return c.st.ranks[member] }
+
+// ExecRMA executes one one-sided operation against this process's window
+// registry, under the target rank's window lock. Called by transport
+// receiver goroutines on behalf of remote ranks; the local fast path in
+// Get/Put/FetchAndOp/CompareAndSwap performs the same operations directly.
+func (w *World) ExecRMA(req *RMAReq) (*RMAResp, error) {
+	w.mu.Lock()
+	st, ok := w.winsByID[req.Win]
+	w.mu.Unlock()
+	if !ok || req.Member < 0 || req.Member >= len(st.ranks) {
+		return nil, fmt.Errorf("mpi: rma request against unknown window %q member %d", req.Win, req.Member)
+	}
+	<-st.ranks[req.Member].mu
+	defer func() { st.ranks[req.Member].mu <- struct{}{} }()
+	data := st.ranks[req.Member].data
+	switch req.Op {
+	case RMAGet:
+		if req.Off < 0 || req.Off+req.N > len(data) {
+			return nil, fmt.Errorf("mpi: rma get [%d:%d) outside window %q member %d (len %d)", req.Off, req.Off+req.N, req.Win, req.Member, len(data))
+		}
+		return &RMAResp{Data: append([]int64(nil), data[req.Off:req.Off+req.N]...)}, nil
+	case RMAPut:
+		if req.Off < 0 || req.Off+len(req.Data) > len(data) {
+			return nil, fmt.Errorf("mpi: rma put [%d:%d) outside window %q member %d (len %d)", req.Off, req.Off+len(req.Data), req.Win, req.Member, len(data))
+		}
+		copy(data[req.Off:req.Off+len(req.Data)], req.Data)
+		return &RMAResp{}, nil
+	case RMAFetchAndOp:
+		op, ok := opByCode(req.Code)
+		if !ok {
+			return nil, fmt.Errorf("mpi: rma fetch-and-op with unknown op code %d", req.Code)
+		}
+		if req.Off < 0 || req.Off >= len(data) {
+			return nil, fmt.Errorf("mpi: rma fetch-and-op offset %d outside window %q member %d (len %d)", req.Off, req.Win, req.Member, len(data))
+		}
+		old := data[req.Off]
+		data[req.Off] = op.Apply(old, req.Operand)
+		return &RMAResp{Old: old}, nil
+	case RMACompareAndSwap:
+		if req.Off < 0 || req.Off >= len(data) {
+			return nil, fmt.Errorf("mpi: rma compare-and-swap offset %d outside window %q member %d (len %d)", req.Off, req.Win, req.Member, len(data))
+		}
+		old := data[req.Off]
+		if old == req.Expect {
+			data[req.Off] = req.Next
+		}
+		return &RMAResp{Old: old}, nil
+	default:
+		return nil, fmt.Errorf("mpi: unknown rma op %d", req.Op)
+	}
+}
 
 // Get reads n elements starting at off from rank's window. One RMA message
 // unless the target is the caller itself.
@@ -76,9 +155,14 @@ func (w *Win) Get(rank, off, n int) []int64 {
 	w.enterRMA("rma-get")
 	tr := w.comm.tracer()
 	t0 := tr.Begin()
-	w.lock(rank)
-	out := append([]int64(nil), w.st.ranks[rank].data[off:off+n]...)
-	w.unlock(rank)
+	var out []int64
+	if w.remote(rank) {
+		out = w.call(rank, &RMAReq{Op: RMAGet, Off: off, N: n}).Data
+	} else {
+		w.lock(rank)
+		out = append([]int64(nil), w.st.ranks[rank].data[off:off+n]...)
+		w.unlock(rank)
+	}
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, int64(n))
 	}
@@ -96,9 +180,13 @@ func (w *Win) Put(rank, off int, data []int64) {
 	w.enterRMA("rma-put")
 	tr := w.comm.tracer()
 	t0 := tr.Begin()
-	w.lock(rank)
-	copy(w.st.ranks[rank].data[off:off+len(data)], data)
-	w.unlock(rank)
+	if w.remote(rank) {
+		w.call(rank, &RMAReq{Op: RMAPut, Off: off, Data: data})
+	} else {
+		w.lock(rank)
+		copy(w.st.ranks[rank].data[off:off+len(data)], data)
+		w.unlock(rank)
+	}
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, int64(len(data)))
 	}
@@ -112,16 +200,26 @@ func (w *Win) Put1(rank, off int, v int64) {
 
 // FetchAndOp atomically applies op to the element at (rank, off) with the
 // given operand and returns the value held before the update, matching
-// MPI_Fetch_and_op. With OpReplace it is an atomic swap.
+// MPI_Fetch_and_op. With OpReplace it is an atomic swap. A CustomOp cannot
+// target a rank hosted by another process (the function has no wire form);
+// the named package operators work everywhere.
 func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
 	w.enterRMA("rma-fetch-and-op")
 	tr := w.comm.tracer()
 	t0 := tr.Begin()
-	w.lock(rank)
-	data := w.st.ranks[rank].data
-	old := data[off]
-	data[off] = op(old, operand)
-	w.unlock(rank)
+	var old int64
+	if w.remote(rank) {
+		if op.Code == OpCodeCustom {
+			panic("mpi: FetchAndOp with a CustomOp cannot target a remote process; use a named operator")
+		}
+		old = w.call(rank, &RMAReq{Op: RMAFetchAndOp, Off: off, Code: op.Code, Operand: operand}).Old
+	} else {
+		w.lock(rank)
+		data := w.st.ranks[rank].data
+		old = data[off]
+		data[off] = op.Apply(old, operand)
+		w.unlock(rank)
+	}
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, 2)
 	}
@@ -130,7 +228,7 @@ func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
 }
 
 // OpReplace makes FetchAndOp behave as an atomic swap (MPI_REPLACE).
-var OpReplace ReduceOp = func(_, b int64) int64 { return b }
+var OpReplace = ReduceOp{Code: OpCodeReplace, fn: func(_, b int64) int64 { return b }}
 
 // CompareAndSwap atomically replaces the element at (rank, off) with next if
 // it currently equals expect, returning the previous value, matching
@@ -139,13 +237,18 @@ func (w *Win) CompareAndSwap(rank, off int, expect, next int64) int64 {
 	w.enterRMA("rma-compare-and-swap")
 	tr := w.comm.tracer()
 	t0 := tr.Begin()
-	w.lock(rank)
-	data := w.st.ranks[rank].data
-	old := data[off]
-	if old == expect {
-		data[off] = next
+	var old int64
+	if w.remote(rank) {
+		old = w.call(rank, &RMAReq{Op: RMACompareAndSwap, Off: off, Expect: expect, Next: next}).Old
+	} else {
+		w.lock(rank)
+		data := w.st.ranks[rank].data
+		old = data[off]
+		if old == expect {
+			data[off] = next
+		}
+		w.unlock(rank)
 	}
-	w.unlock(rank)
 	if rank != w.comm.Rank() {
 		w.comm.addComm(KindRMA, 1, 2)
 	}

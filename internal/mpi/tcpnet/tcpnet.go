@@ -1,0 +1,747 @@
+// Package tcpnet is the TCP backend of the mpi package's Transport seam:
+// one OS process per rank, full-mesh TCP connections, and a versioned
+// length-prefixed codec for the []int64 mailbox payloads. Rank bootstrap is
+// a rendezvous at rank 0 — it listens, every other rank dials in and
+// announces itself, and rank 0 replies with the full roster (plus an opaque
+// job-configuration blob) from which the peers wire up the remaining mesh
+// edges among themselves.
+//
+// The backend moves exactly the three traffic kinds of the Transport
+// contract — collective posts, read-retirement notices, and one-sided RMA
+// operations — so everything above the seam (metering, CommTimes, fault
+// injection, the watchdog, tracing) behaves identically to the in-process
+// oracle; the conformance suite in package mpi pins that bit-for-bit.
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcmdist/internal/mpi"
+)
+
+// Options tunes the backend's timeouts. The zero value selects the defaults.
+type Options struct {
+	// DialTimeout bounds how long Join (and the mesh dials) retry an
+	// unreachable peer before giving up; peers start in any order, so dials
+	// retry until the window closes. Default 15s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write; a peer that stops draining its
+	// socket surfaces as a transport error instead of a silent hang.
+	// Default 30s.
+	WriteTimeout time.Duration
+	// CloseTimeout bounds the graceful BYE drain in Close before the
+	// connections are torn down regardless. Default 5s.
+	CloseTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 15 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.CloseTimeout <= 0 {
+		o.CloseTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// peer is one mesh connection. Writers serialize on wmu and build each frame
+// as a single Write, so frames never interleave; the reader goroutine owns
+// the receive side exclusively.
+type peer struct {
+	rank int
+	conn net.Conn
+	wmu  sync.Mutex
+	bye  chan struct{} // closed when the peer's BYE arrives
+	byeO sync.Once
+}
+
+// Net is one process's TCP endpoint of a world: it hosts exactly one rank
+// and holds one connection to every other rank. It implements mpi.Transport.
+type Net struct {
+	rank   int
+	size   int
+	opts   Options
+	config []byte // the coordinator's job blob (as received by Join)
+
+	peers []*peer // indexed by world rank; peers[rank] == nil
+
+	world atomic.Pointer[mpi.World]
+
+	callID  atomic.Uint64
+	pending sync.Map // callID → chan rmaReply
+
+	closed  atomic.Bool
+	readers sync.WaitGroup
+}
+
+type rmaReply struct {
+	resp *mpi.RMAResp
+	err  error
+}
+
+// Rendezvous is rank 0's bootstrap listener, split from Coordinate so the
+// address (which may have been chosen by the kernel, ":0") is known before
+// the peers are told to dial it.
+type Rendezvous struct {
+	ln   net.Listener
+	opts Options
+}
+
+// Listen opens rank 0's rendezvous listener on addr ("host:port"; a zero
+// port lets the kernel pick).
+func Listen(addr string, opts Options) (*Rendezvous, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: rendezvous listen on %q: %w", addr, err)
+	}
+	return &Rendezvous{ln: ln, opts: opts.withDefaults()}, nil
+}
+
+// Addr returns the rendezvous address peers must Join.
+func (rv *Rendezvous) Addr() string { return rv.ln.Addr().String() }
+
+// Close abandons the rendezvous without coordinating (Coordinate closes the
+// listener itself).
+func (rv *Rendezvous) Close() error { return rv.ln.Close() }
+
+// Coordinate completes rank 0's bootstrap of a size-rank world: it accepts
+// one dial-in per peer rank, replies to each with the roster (every rank's
+// mesh listen address) and the opaque config blob, and keeps the accepted
+// connections as its mesh edges. It returns rank 0's transport endpoint.
+// config is typically an encoded job spec that tells worker processes what
+// to solve; nil is fine.
+func (rv *Rendezvous) Coordinate(size int, config []byte) (*Net, error) {
+	defer rv.ln.Close()
+	if size <= 0 {
+		return nil, fmt.Errorf("tcpnet: world size %d must be positive", size)
+	}
+	n := &Net{rank: 0, size: size, opts: rv.opts, config: config, peers: make([]*peer, size)}
+	addrs := make([]string, size)
+	addrs[0] = rv.Addr()
+	deadline := time.Now().Add(rv.opts.DialTimeout)
+	for accepted := 0; accepted < size-1; accepted++ {
+		rv.ln.(*net.TCPListener).SetDeadline(deadline)
+		conn, err := rv.ln.Accept()
+		if err != nil {
+			n.teardown()
+			return nil, fmt.Errorf("tcpnet: rendezvous accept (%d/%d peers in): %w", accepted, size-1, err)
+		}
+		rank, listenAddr, err := readHello(conn, rv.opts)
+		if err != nil {
+			conn.Close()
+			n.teardown()
+			return nil, err
+		}
+		if rank <= 0 || rank >= size {
+			conn.Close()
+			n.teardown()
+			return nil, fmt.Errorf("tcpnet: peer announced rank %d outside world of size %d", rank, size)
+		}
+		if n.peers[rank] != nil {
+			conn.Close()
+			n.teardown()
+			return nil, fmt.Errorf("tcpnet: rank %d joined twice", rank)
+		}
+		n.peers[rank] = newPeer(rank, conn)
+		addrs[rank] = listenAddr
+	}
+	var body wbuf
+	body.u32(uint32(size))
+	for _, a := range addrs {
+		body.str(a)
+	}
+	body.bytes(config)
+	for r := 1; r < size; r++ {
+		p := n.peers[r]
+		if err := n.send(p, frameRoster, body.b); err != nil {
+			n.teardown()
+			return nil, fmt.Errorf("tcpnet: sending roster to rank %d: %w", r, err)
+		}
+	}
+	return n, nil
+}
+
+// Join is a worker rank's bootstrap: open a mesh listener, dial the
+// coordinator (retrying while it comes up), announce the rank, receive the
+// roster and config blob, then complete the mesh — dialing every lower
+// nonzero rank and accepting every higher one. It returns this rank's
+// transport endpoint and the coordinator's config blob.
+func Join(addr string, rank int, opts Options) (*Net, []byte, error) {
+	opts = opts.withDefaults()
+	if rank <= 0 {
+		return nil, nil, fmt.Errorf("tcpnet: Join with rank %d (rank 0 coordinates via Listen/Coordinate)", rank)
+	}
+	ln, err := net.Listen("tcp", meshListenAddr(addr))
+	if err != nil {
+		return nil, nil, fmt.Errorf("tcpnet: mesh listen: %w", err)
+	}
+	defer ln.Close()
+
+	conn, err := dialRetry(addr, opts.DialTimeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tcpnet: dialing coordinator %q: %w", addr, err)
+	}
+	if err := writeHello(conn, rank, ln.Addr().String(), opts); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	typ, body, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("tcpnet: awaiting roster: %w", err)
+	}
+	if typ != frameRoster {
+		conn.Close()
+		return nil, nil, fmt.Errorf("tcpnet: expected ROSTER, got %s", frameName(typ))
+	}
+	rb := rbuf{b: body}
+	size := int(rb.u32())
+	if rb.bad || size <= 0 || size > 1<<20 {
+		conn.Close()
+		return nil, nil, fmt.Errorf("tcpnet: malformed roster size")
+	}
+	addrs := make([]string, size)
+	for i := range addrs {
+		addrs[i] = rb.str()
+	}
+	config := rb.bytesField()
+	if err := rb.err(frameRoster); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if rank >= size {
+		conn.Close()
+		return nil, nil, fmt.Errorf("tcpnet: rank %d outside world of size %d", rank, size)
+	}
+
+	n := &Net{rank: rank, size: size, opts: opts, config: config, peers: make([]*peer, size)}
+	n.peers[0] = newPeer(0, conn)
+	// Mesh edge (i, j), i > j ≥ 1, is dialed by i and accepted by j; the
+	// bootstrap connection already covers every (r, 0) edge.
+	for j := 1; j < rank; j++ {
+		c, err := dialRetry(addrs[j], opts.DialTimeout)
+		if err != nil {
+			n.teardown()
+			return nil, nil, fmt.Errorf("tcpnet: dialing rank %d at %q: %w", j, addrs[j], err)
+		}
+		if err := writeHello(c, rank, "", opts); err != nil {
+			c.Close()
+			n.teardown()
+			return nil, nil, err
+		}
+		n.peers[j] = newPeer(j, c)
+	}
+	deadline := time.Now().Add(opts.DialTimeout)
+	for need := size - rank - 1; need > 0; need-- {
+		ln.(*net.TCPListener).SetDeadline(deadline)
+		c, err := ln.Accept()
+		if err != nil {
+			n.teardown()
+			return nil, nil, fmt.Errorf("tcpnet: mesh accept (awaiting %d higher ranks): %w", need, err)
+		}
+		r, _, err := readHello(c, opts)
+		if err != nil {
+			c.Close()
+			n.teardown()
+			return nil, nil, err
+		}
+		if r <= rank || r >= size || n.peers[r] != nil {
+			c.Close()
+			n.teardown()
+			return nil, nil, fmt.Errorf("tcpnet: unexpected mesh hello from rank %d at rank %d", r, rank)
+		}
+		n.peers[r] = newPeer(r, c)
+	}
+	return n, config, nil
+}
+
+// meshListenAddr picks the worker's mesh listen address: the coordinator
+// host's wildcard port when the host is explicit, plain ":0" otherwise.
+// Loopback coordinators get loopback mesh listeners, which keeps multi-rank
+// tests and the smoke script off external interfaces.
+func meshListenAddr(coord string) string {
+	host, _, err := net.SplitHostPort(coord)
+	if err != nil || host == "" {
+		return ":0"
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
+		return net.JoinHostPort(host, "0")
+	}
+	return ":0"
+}
+
+// dialRetry dials addr until it answers or the window closes; peers start in
+// any order, so connection-refused is an expected transient.
+func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, window)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func newPeer(rank int, conn net.Conn) *peer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &peer{rank: rank, conn: conn, bye: make(chan struct{})}
+}
+
+func writeHello(conn net.Conn, rank int, listenAddr string, opts Options) error {
+	var b wbuf
+	b.b = append(b.b, wireMagic...)
+	b.u8(wireVersion)
+	b.u32(uint32(rank))
+	b.str(listenAddr)
+	conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+	err := writeFrame(conn, frameHello, b.b)
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		return fmt.Errorf("tcpnet: sending hello: %w", err)
+	}
+	return nil
+}
+
+func readHello(conn net.Conn, opts Options) (rank int, listenAddr string, err error) {
+	conn.SetReadDeadline(time.Now().Add(opts.DialTimeout))
+	typ, body, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return 0, "", fmt.Errorf("tcpnet: awaiting hello: %w", err)
+	}
+	if typ != frameHello {
+		return 0, "", fmt.Errorf("tcpnet: expected HELLO, got %s", frameName(typ))
+	}
+	rb := rbuf{b: body}
+	if len(rb.b) < len(wireMagic) || string(rb.b[:len(wireMagic)]) != wireMagic {
+		return 0, "", fmt.Errorf("tcpnet: bad magic in hello (foreign peer?)")
+	}
+	rb.off = len(wireMagic)
+	if v := rb.u8(); v != wireVersion {
+		return 0, "", fmt.Errorf("tcpnet: peer speaks wire version %d, this build speaks %d", v, wireVersion)
+	}
+	rank = int(rb.u32())
+	listenAddr = rb.str()
+	if err := rb.err(frameHello); err != nil {
+		return 0, "", err
+	}
+	return rank, listenAddr, nil
+}
+
+// teardown closes every connection established so far (bootstrap failure
+// path only; the graceful path is Close).
+func (n *Net) teardown() {
+	for _, p := range n.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+// Name returns "tcp".
+func (n *Net) Name() string { return "tcp" }
+
+// WorldSize returns the rank count of the world.
+func (n *Net) WorldSize() int { return n.size }
+
+// LocalRanks returns the single rank this process hosts.
+func (n *Net) LocalRanks() []int { return []int{n.rank} }
+
+// Rank returns this process's world rank.
+func (n *Net) Rank() int { return n.rank }
+
+// Config returns the coordinator's opaque config blob (what Join received;
+// on rank 0, what Coordinate was given).
+func (n *Net) Config() []byte { return n.config }
+
+// Bind attaches the world and starts one reader goroutine per peer
+// connection; from here on inbound frames flow into the mailbox.
+func (n *Net) Bind(w *mpi.World) error {
+	if !n.world.CompareAndSwap(nil, w) {
+		return fmt.Errorf("tcpnet: endpoint bound twice")
+	}
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		n.readers.Add(1)
+		go n.readLoop(p)
+	}
+	return nil
+}
+
+// send writes one frame to a peer under its write lock and deadline.
+func (n *Net) send(p *peer, typ byte, body []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	err := writeFrame(p.conn, typ, body)
+	p.conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// Post ships msg's parts to each remote member's process. Every remote
+// member gets exactly one POST frame carrying only its own part (plus the
+// envelope), so the receiving mailbox counts exactly one arrival per
+// (source, generation) and wire volume matches the addressed payloads.
+func (n *Net) Post(msg *mpi.PostMsg) error {
+	for i, dst := range msg.Ranks {
+		if dst == n.rank {
+			continue
+		}
+		p := n.peers[dst]
+		if p == nil {
+			return fmt.Errorf("tcpnet: no connection to rank %d", dst)
+		}
+		var b wbuf
+		b.str(msg.Comm)
+		b.ranks(msg.Ranks)
+		b.u32(uint32(msg.Src))
+		b.i64(msg.Gen)
+		b.str(msg.Op)
+		b.u32(uint32(len(msg.Ranks)))
+		for j := range msg.Ranks {
+			if j == i && j < len(msg.Present) && msg.Present[j] {
+				b.u8(1)
+				b.ints(msg.Parts[j])
+			} else {
+				b.u8(0)
+				b.u32(0)
+			}
+		}
+		if err := n.send(p, framePost, b.b); err != nil {
+			return fmt.Errorf("tcpnet: posting %s gen %d to rank %d: %w", msg.Op, msg.Gen, dst, err)
+		}
+	}
+	return nil
+}
+
+// FinishRead notifies every remote member's process that member m has
+// finished reading generation gen on the communicator.
+func (n *Net) FinishRead(comm string, ranks []int, m int, gen int64) error {
+	var b wbuf
+	b.str(comm)
+	b.ranks(ranks)
+	b.u32(uint32(m))
+	b.i64(gen)
+	for _, dst := range ranks {
+		if dst == n.rank {
+			continue
+		}
+		p := n.peers[dst]
+		if p == nil {
+			return fmt.Errorf("tcpnet: no connection to rank %d", dst)
+		}
+		if err := n.send(p, frameFinish, b.b); err != nil {
+			return fmt.Errorf("tcpnet: finish notice gen %d to rank %d: %w", gen, dst, err)
+		}
+	}
+	return nil
+}
+
+// RMA sends one one-sided operation to the process hosting rank and blocks
+// for its reply.
+func (n *Net) RMA(rank int, req *mpi.RMAReq) (*mpi.RMAResp, error) {
+	p := n.peers[rank]
+	if p == nil {
+		return nil, fmt.Errorf("tcpnet: no connection to rank %d", rank)
+	}
+	id := n.callID.Add(1)
+	ch := make(chan rmaReply, 1)
+	n.pending.Store(id, ch)
+	defer n.pending.Delete(id)
+
+	var b wbuf
+	b.u64(id)
+	b.str(req.Win)
+	b.u32(uint32(req.Member))
+	b.u8(byte(req.Op))
+	b.i64(int64(req.Off))
+	b.i64(int64(req.N))
+	b.ints(req.Data)
+	b.u8(byte(req.Code))
+	b.i64(req.Operand)
+	b.i64(req.Expect)
+	b.i64(req.Next)
+	if err := n.send(p, frameRMAReq, b.b); err != nil {
+		return nil, fmt.Errorf("tcpnet: rma call %d to rank %d: %w", id, rank, err)
+	}
+	reply := <-ch
+	return reply.resp, reply.err
+}
+
+// Abort best-effort broadcasts the world abort to every peer; dead
+// connections are skipped (the local abort must never block on them).
+// In-flight RMA calls are failed too — their replies may never come from a
+// world that is dying, and the callers must unwind through the abort plane.
+func (n *Net) Abort(msg string) {
+	var b wbuf
+	b.u32(uint32(n.rank))
+	b.str(msg)
+	for _, p := range n.peers {
+		if p != nil {
+			n.send(p, frameAbort, b.b)
+		}
+	}
+	n.failPending(fmt.Errorf("tcpnet: world aborted: %s", msg))
+}
+
+// Close drains the mesh gracefully: send BYE to every peer, wait (bounded by
+// CloseTimeout) until each peer's BYE arrives — a peer only says BYE once
+// its world has joined, so our window service is no longer needed — then
+// tear the connections down and join the readers.
+func (n *Net) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			n.send(p, frameBye, nil)
+		}
+	}
+	// Drain only applies to a bound endpoint: without readers no BYE can be
+	// observed, and an unbound world never owed its peers any service.
+	if n.world.Load() != nil {
+		deadline := time.NewTimer(n.opts.CloseTimeout)
+	drain:
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			select {
+			case <-p.bye:
+			case <-deadline.C:
+				break drain
+			}
+		}
+		deadline.Stop()
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	n.failPending(fmt.Errorf("tcpnet: endpoint closed"))
+	n.readers.Wait()
+	return nil
+}
+
+// failPending resolves every in-flight RMA call with err.
+func (n *Net) failPending(err error) {
+	n.pending.Range(func(key, value any) bool {
+		select {
+		case value.(chan rmaReply) <- rmaReply{err: err}:
+		default:
+		}
+		return true
+	})
+}
+
+// readLoop owns a peer connection's receive side: it decodes frames and
+// feeds them to the bound world until BYE, EOF, or a transport fault. A
+// fault with the world still live aborts it (the peer process died
+// mid-solve); after BYE or Close the loop just winds down.
+func (n *Net) readLoop(p *peer) {
+	defer n.readers.Done()
+	// However the loop ends — BYE, EOF, fault — the peer needs nothing more
+	// from us; marking it drained lets Close stop waiting for it.
+	defer p.byeO.Do(func() { close(p.bye) })
+	for {
+		typ, body, err := readFrame(p.conn)
+		if err != nil {
+			if n.closed.Load() {
+				return
+			}
+			select {
+			case <-p.bye:
+				// The peer drained politely and closed; nothing is lost.
+				return
+			default:
+			}
+			cause := fmt.Errorf("tcpnet: connection to rank %d: %w", p.rank, err)
+			n.failPendingPeer(cause)
+			if w := n.world.Load(); w != nil {
+				w.Abort(&mpi.TransportError{Backend: "tcp", Op: "read", Err: cause})
+			}
+			return
+		}
+		if err := n.handle(p, typ, body); err != nil {
+			if w := n.world.Load(); w != nil {
+				w.Abort(&mpi.TransportError{Backend: "tcp", Op: "decode", Err: err})
+			}
+			return
+		}
+		if typ == frameBye {
+			return
+		}
+	}
+}
+
+// failPendingPeer fails in-flight RMA calls when a connection dies. Call ids
+// are not tracked per peer; failing all of them is correct because the world
+// is about to abort anyway.
+func (n *Net) failPendingPeer(err error) { n.failPending(err) }
+
+// handle dispatches one inbound frame.
+func (n *Net) handle(p *peer, typ byte, body []byte) error {
+	w := n.world.Load()
+	switch typ {
+	case framePost:
+		rb := rbuf{b: body}
+		msg := &mpi.PostMsg{Comm: rb.str(), Ranks: rb.ranks()}
+		msg.Src = int(rb.u32())
+		msg.Gen = rb.i64()
+		msg.Op = rb.str()
+		nparts := int(rb.u32())
+		if rb.bad || nparts != len(msg.Ranks) {
+			return fmt.Errorf("tcpnet: POST parts/ranks mismatch from rank %d", p.rank)
+		}
+		msg.Parts = make([][]int64, nparts)
+		msg.Present = make([]bool, nparts)
+		for i := 0; i < nparts; i++ {
+			msg.Present[i] = rb.u8() != 0
+			msg.Parts[i] = rb.ints()
+		}
+		if err := rb.err(typ); err != nil {
+			return err
+		}
+		w.DeliverPost(msg)
+	case frameFinish:
+		rb := rbuf{b: body}
+		comm := rb.str()
+		ranks := rb.ranks()
+		rb.u32() // member index; retirement only counts readers
+		gen := rb.i64()
+		if err := rb.err(typ); err != nil {
+			return err
+		}
+		w.DeliverFinish(comm, ranks, gen)
+	case frameRMAReq:
+		rb := rbuf{b: body}
+		id := rb.u64()
+		req := &mpi.RMAReq{Win: rb.str(), Member: int(rb.u32()), Op: mpi.RMAOp(rb.u8()),
+			Off: int(rb.i64()), N: int(rb.i64()), Data: rb.ints(), Code: mpi.OpCode(rb.u8())}
+		req.Operand = rb.i64()
+		req.Expect = rb.i64()
+		req.Next = rb.i64()
+		if err := rb.err(typ); err != nil {
+			return err
+		}
+		resp, rmaErr := w.ExecRMA(req)
+		var b wbuf
+		b.u64(id)
+		if rmaErr != nil {
+			b.u8(0)
+			b.str(rmaErr.Error())
+		} else {
+			b.u8(1)
+			b.ints(resp.Data)
+			b.i64(resp.Old)
+		}
+		if err := n.send(p, frameRMAResp, b.b); err != nil {
+			return fmt.Errorf("tcpnet: rma reply %d to rank %d: %w", id, p.rank, err)
+		}
+	case frameRMAResp:
+		rb := rbuf{b: body}
+		id := rb.u64()
+		ok := rb.u8() != 0
+		var reply rmaReply
+		if ok {
+			reply.resp = &mpi.RMAResp{Data: rb.ints(), Old: rb.i64()}
+		} else {
+			reply.err = fmt.Errorf("tcpnet: remote rma failed on rank %d: %s", p.rank, rb.str())
+		}
+		if err := rb.err(typ); err != nil {
+			return err
+		}
+		if ch, found := n.pending.Load(id); found {
+			select {
+			case ch.(chan rmaReply) <- reply:
+			default:
+			}
+		}
+	case frameAbort:
+		rb := rbuf{b: body}
+		from := int(rb.u32())
+		msg := rb.str()
+		if err := rb.err(typ); err != nil {
+			return err
+		}
+		w.DeliverAbort(from, msg)
+		n.failPending(fmt.Errorf("tcpnet: world aborted by rank %d: %s", from, msg))
+	case frameBye:
+		p.byeO.Do(func() { close(p.bye) })
+	default:
+		return fmt.Errorf("tcpnet: unexpected %s frame from rank %d", frameName(typ), p.rank)
+	}
+	return nil
+}
+
+// Loopback builds every endpoint of a size-rank world over 127.0.0.1, for
+// tests and the conformance suite. Endpoint i hosts rank i.
+func Loopback(size int) ([]mpi.Transport, error) {
+	return LoopbackConfig(size, nil)
+}
+
+// LoopbackConfig is Loopback with a coordinator config blob (each Join-side
+// endpoint will report it from Config).
+func LoopbackConfig(size int, config []byte) ([]mpi.Transport, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("tcpnet: world size %d must be positive", size)
+	}
+	rv, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		return nil, err
+	}
+	eps := make([]mpi.Transport, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	go func() {
+		defer wg.Done()
+		n, err := rv.Coordinate(size, config)
+		if err == nil {
+			eps[0] = n
+		}
+		errs[0] = err
+	}()
+	for r := 1; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			n, _, err := Join(rv.Addr(), r, Options{})
+			if err == nil {
+				eps[r] = n
+			}
+			errs[r] = err
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.(*Net).teardown()
+				}
+			}
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+func init() {
+	mpi.RegisterTransport("tcp", Loopback)
+}

@@ -1,0 +1,247 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format (version 1, magic "MCMNET1"):
+//
+//	frame   := u32 bodyLen | u8 type | body
+//	u32/u64 := little-endian; int64 values travel as their two's-complement u64
+//	str     := u32 len | bytes (UTF-8, no terminator)
+//	ints    := u32 count | count × u64
+//
+// Frame bodies:
+//
+//	HELLO    := magic "MCMNET1" | u8 version | u32 rank | str listenAddr
+//	ROSTER   := u32 size | size × str addr | str config
+//	POST     := str comm | u32 n | n × u32 rank | u32 src | u64 gen |
+//	            str op | u32 n | n × (u8 present | ints part)
+//	FINISH   := str comm | u32 n | n × u32 rank | u32 member | u64 gen
+//	RMA_REQ  := u64 callID | str win | u32 member | u8 op | u64 off |
+//	            u64 n | ints data | u8 code | u64 operand | u64 expect | u64 next
+//	RMA_RESP := u64 callID | u8 ok | ok: (ints data | u64 old) / !ok: str error
+//	ABORT    := u32 from | str msg
+//	BYE      := (empty)
+//
+// The HELLO magic and version open every connection (both the rendezvous
+// dial and the mesh dials), so a version-skewed or foreign peer is rejected
+// before any traffic flows. A frame body is capped at maxFrame bytes;
+// payloads are []int64 throughout, matching the mailbox model.
+
+// wireMagic and wireVersion identify the protocol on every new connection.
+const (
+	wireMagic   = "MCMNET1"
+	wireVersion = 1
+)
+
+// maxFrame caps one frame body (1 GiB), a guard against corrupted length
+// prefixes rather than a practical limit.
+const maxFrame = 1 << 30
+
+// The frame types.
+const (
+	frameHello byte = iota + 1
+	frameRoster
+	framePost
+	frameFinish
+	frameRMAReq
+	frameRMAResp
+	frameAbort
+	frameBye
+)
+
+// frameName renders a frame type for error messages.
+func frameName(t byte) string {
+	switch t {
+	case frameHello:
+		return "HELLO"
+	case frameRoster:
+		return "ROSTER"
+	case framePost:
+		return "POST"
+	case frameFinish:
+		return "FINISH"
+	case frameRMAReq:
+		return "RMA_REQ"
+	case frameRMAResp:
+		return "RMA_RESP"
+	case frameAbort:
+		return "ABORT"
+	case frameBye:
+		return "BYE"
+	default:
+		return fmt.Sprintf("frame(%d)", t)
+	}
+}
+
+// wbuf builds a frame body.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)   { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *wbuf) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+func (w *wbuf) ints(v []int64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i64(x)
+	}
+}
+
+func (w *wbuf) ranks(rs []int) {
+	w.u32(uint32(len(rs)))
+	for _, r := range rs {
+		w.u32(uint32(r))
+	}
+}
+
+// rbuf decodes a frame body. The first malformed field poisons the buffer;
+// err() reports it after decoding.
+type rbuf struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *rbuf) fail() {
+	r.bad = true
+}
+
+func (r *rbuf) u8() byte {
+	if r.bad || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.bad || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.bad || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) i64() int64 { return int64(r.u64()) }
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	if r.bad || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *rbuf) bytesField() []byte {
+	n := int(r.u32())
+	if r.bad || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	p := append([]byte(nil), r.b[r.off:r.off+n]...)
+	r.off += n
+	return p
+}
+
+func (r *rbuf) ints() []int64 {
+	n := int(r.u32())
+	if r.bad || n < 0 || r.off+8*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return []int64{}
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = r.i64()
+	}
+	return v
+}
+
+func (r *rbuf) ranks() []int {
+	n := int(r.u32())
+	if r.bad || n < 0 || r.off+4*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	rs := make([]int, n)
+	for i := range rs {
+		rs[i] = int(r.u32())
+	}
+	return rs
+}
+
+// err reports the first decode failure, also flagging trailing garbage.
+func (r *rbuf) err(frame byte) error {
+	if r.bad {
+		return fmt.Errorf("tcpnet: malformed %s frame (%d bytes)", frameName(frame), len(r.b))
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("tcpnet: %s frame has %d trailing bytes", frameName(frame), len(r.b)-r.off)
+	}
+	return nil
+}
+
+// writeFrame sends one frame: length prefix, type byte, body.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("tcpnet: %s frame body %d bytes exceeds cap %d", frameName(typ), len(body), maxFrame)
+	}
+	hdr := make([]byte, 0, 5+len(body))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(body)))
+	hdr = append(hdr, typ)
+	hdr = append(hdr, body...)
+	_, err := w.Write(hdr)
+	return err
+}
+
+// readFrame receives one frame, enforcing the body cap.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	typ := hdr[4]
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("tcpnet: %s frame body %d bytes exceeds cap %d", frameName(typ), n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("tcpnet: short %s frame: %w", frameName(typ), err)
+	}
+	return typ, body, nil
+}

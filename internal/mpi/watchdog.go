@@ -50,26 +50,34 @@ func (w *World) abortReason() error {
 
 // Abort marks the world dead with the given cause and wakes every rank
 // blocked in a mailbox wait; they unwind with an abortSignal panic that
-// RunWith contains. Idempotent — only the first cause is kept. Safe to call
-// from any goroutine (the watchdog, a context watcher, a rank's deferred
-// error handler).
+// RunTransport contains. On a multi-process backend the abort is propagated
+// to every peer process, which aborts its share of the world the same way.
+// Idempotent — only the first cause is kept. Safe to call from any goroutine
+// (the watchdog, a context watcher, a rank's deferred error handler).
 func (w *World) Abort(cause error) {
+	w.abort(cause, true)
+}
+
+// abort is Abort with control over peer propagation: DeliverAbort passes
+// propagate=false because the originating process already notified every
+// peer, which keeps abort storms from ping-ponging across the fabric.
+func (w *World) abort(cause error, propagate bool) {
 	if !w.aborted.CompareAndSwap(false, true) {
 		return
 	}
 	w.obsAbortEvent(cause)
 	w.mu.Lock()
 	w.abortCause = cause
-	states := make([]*commState, 0, 1+len(w.splits))
-	if w.root != nil {
-		states = append(states, w.root)
-	}
-	for _, st := range w.splits {
+	states := make([]*commState, 0, len(w.comms))
+	for _, st := range w.comms {
 		states = append(states, st)
 	}
 	w.mu.Unlock()
 	for _, st := range states {
 		st.markAborted(cause)
+	}
+	if propagate && w.hasRemote {
+		w.transport.Abort(cause.Error())
 	}
 }
 
@@ -94,14 +102,13 @@ func (st *commState) markAborted(cause error) {
 // no-pending-collective report (ranks stuck in compute or RMA).
 func (w *World) deadlockError(timeout time.Duration) *DeadlockError {
 	w.mu.Lock()
-	states := make([]*commState, 0, 1+len(w.splits))
-	if w.root != nil {
-		states = append(states, w.root)
-	}
-	for _, st := range w.splits {
+	states := make([]*commState, 0, len(w.comms))
+	for _, st := range w.comms {
 		states = append(states, st)
 	}
 	w.mu.Unlock()
+	// Deterministic scan order across runs (map iteration is not).
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
 
 	var unconsumed *DeadlockError
 	for _, st := range states {
@@ -185,16 +192,52 @@ func RunCtx(ctx context.Context, size int, fn func(c *Comm) error) (*World, erro
 }
 
 // RunWith is Run under a RunConfig: fault injection, progress watchdog, and
-// context cancellation.
+// context cancellation. It always runs over the in-process backend, hosting
+// every rank as a goroutine — the package's historical semantics.
 func RunWith(cfg RunConfig, size int, fn func(c *Comm) error) (*World, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: size %d must be positive", size)
 	}
+	return RunTransport(cfg, NewInproc(size), fn)
+}
+
+// RunTransport launches fn on every world rank hosted by this process's
+// transport endpoint and waits for all of them. Over Inproc that is every
+// rank and the call is self-contained; over a multi-process backend each
+// participating process calls RunTransport with its own endpoint and fn runs
+// only on the locally hosted ranks, with remote mailbox and RMA traffic
+// riding the transport. The caller retains ownership of tr and must Close it
+// after inspecting the returned world.
+//
+// Error semantics match the historical Run: the first locally hosted rank's
+// own failure (in ascending rank order) wins, then the world abort cause
+// (which may have originated in a peer process), then any abort-derived rank
+// unwinding.
+func RunTransport(cfg RunConfig, tr Transport, fn func(c *Comm) error) (*World, error) {
+	size := tr.WorldSize()
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", size)
+	}
+	local := append([]int(nil), tr.LocalRanks()...)
+	if len(local) == 0 {
+		return nil, fmt.Errorf("mpi: transport %q hosts no local ranks", tr.Name())
+	}
+	isLocal := make([]bool, size)
+	for _, r := range local {
+		if r < 0 || r >= size {
+			return nil, fmt.Errorf("mpi: transport %q hosts rank %d outside world of size %d", tr.Name(), r, size)
+		}
+		isLocal[r] = true
+	}
 	w := &World{
 		size:      size,
+		local:     local,
+		isLocal:   isLocal,
+		hasRemote: len(local) < size,
+		transport: tr,
 		meters:    make([]meterCell, size),
-		splits:    make(map[string]*commState),
-		wins:      make(map[string]*winState),
+		comms:     make(map[string]*commState),
+		winsByID:   make(map[string]*winState),
 		faults:     cfg.Faults,
 		faultColl:  make([]atomic.Int64, size),
 		faultRMA:   make([]atomic.Int64, size),
@@ -204,10 +247,13 @@ func RunWith(cfg RunConfig, size int, fn func(c *Comm) error) (*World, error) {
 	for i := range ranks {
 		ranks[i] = i
 	}
-	st := newCommState(w, "world", ranks)
+	st := w.commStateFor("world", ranks)
 	w.mu.Lock()
 	w.root = st
 	w.mu.Unlock()
+	if err := tr.Bind(w); err != nil {
+		return nil, fmt.Errorf("mpi: binding transport %q: %w", tr.Name(), err)
+	}
 
 	stop := make(chan struct{})
 	var aux sync.WaitGroup
@@ -230,26 +276,26 @@ func RunWith(cfg RunConfig, size int, fn func(c *Comm) error) (*World, error) {
 		}()
 	}
 
-	errs := make([]error, size)
+	errs := make([]error, len(local))
 	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
+	for i, r := range local {
 		wg.Add(1)
-		go func(r int) {
+		go func(i, r int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[r] = containPanic(r, p)
+					errs[i] = containPanic(r, p)
 				}
 				// Any rank failure — returned error, contained panic,
 				// injected fault — kills the world so peers blocked in
 				// the mailbox unwind instead of leaking. Abort-derived
 				// unwindings don't re-abort (the cause is already set).
-				if errs[r] != nil && !isAbortDerived(errs[r]) {
-					w.Abort(errs[r])
+				if errs[i] != nil && !isAbortDerived(errs[i]) {
+					w.Abort(errs[i])
 				}
 			}()
-			errs[r] = fn(&Comm{st: st, member: r, worldRank: r})
-		}(r)
+			errs[i] = fn(&Comm{st: st, member: r, worldRank: r})
+		}(i, r)
 	}
 	wg.Wait()
 	close(stop)

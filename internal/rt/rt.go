@@ -1,5 +1,8 @@
 // Package rt provides the per-rank runtime context: the reusable state one
-// simulated MPI rank carries through a distributed matching computation.
+// MPI-style rank carries through a distributed matching computation —
+// whether that rank is a goroutine of the in-process backend or an OS
+// process on the TCP transport makes no difference here, since a Ctx never
+// holds cross-rank state.
 // Every MS-BFS level used to re-allocate its world — the SpMV expand
 // payload, the dense scratch-and-present pair, the fold part buffers, the
 // INVERT record buffers — thousands of short-lived slices per rank per

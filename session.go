@@ -20,10 +20,15 @@ import (
 // of the paper's Section VI-E.
 //
 // Each rank's runtime context (buffer arena, dense scratch, per-op ledger)
-// is also cached here and rebound to every solve's fresh simulated world,
+// is also cached here and rebound to every solve's fresh in-process world,
 // so repeated solves run allocation-quiet: the buffers grown by the first
 // solve serve all later ones. Like the rest of the struct this is safe for
 // sequential reuse, not for concurrent solves on one DistributedGraph.
+//
+// A DistributedGraph always solves on the in-process transport backend —
+// the cached contexts assume one address space. To span OS processes, use
+// MaximumMatchingOn with a Transport endpoint instead (every process
+// re-derives the distribution deterministically; see docs/TRANSPORT.md).
 type DistributedGraph struct {
 	g       *Graph
 	procs   int

@@ -1,0 +1,93 @@
+package mcmdist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMaximumMatchingOnLoopbackTCP drives the public transport surface end
+// to end: a 4-rank TCP world over 127.0.0.1, each endpoint solving from its
+// own goroutine, every result identical to the in-process run.
+func TestMaximumMatchingOnLoopbackTCP(t *testing.T) {
+	g, err := RMAT(G500, 7, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Procs: 4, Init: KarpSipserInit, Permute: true, Seed: 5}
+
+	oracle, oracleStats, err := MaximumMatching(g, opts)
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+	if err := g.VerifyMaximum(oracle); err != nil {
+		t.Fatalf("oracle not maximum: %v", err)
+	}
+
+	trs, err := LoopbackTCP(4)
+	if err != nil {
+		t.Fatalf("loopback bootstrap: %v", err)
+	}
+	mates := make([]*Matching, len(trs))
+	errs := make([]error, len(trs))
+	var wg sync.WaitGroup
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *Transport) {
+			defer wg.Done()
+			mates[i], _, errs[i] = MaximumMatchingOn(tr, g, opts)
+		}(i, tr)
+	}
+	wg.Wait()
+	var cwg sync.WaitGroup
+	for _, tr := range trs {
+		cwg.Add(1)
+		go func(tr *Transport) {
+			defer cwg.Done()
+			if err := tr.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}(tr)
+	}
+	cwg.Wait()
+
+	for i := range trs {
+		if errs[i] != nil {
+			t.Fatalf("endpoint %d: %v", i, errs[i])
+		}
+		if want, got := fmt.Sprint(oracle.MateR), fmt.Sprint(mates[i].MateR); want != got {
+			t.Errorf("endpoint %d MateR diverges from the in-process run", i)
+		}
+		if want, got := oracleStats.Cardinality, mates[i].Cardinality(); want != got {
+			t.Errorf("endpoint %d cardinality %d, oracle %d", i, got, want)
+		}
+	}
+}
+
+// TestMaximumMatchingOnValidation pins the world-size check and the nil
+// fallback.
+func TestMaximumMatchingOnValidation(t *testing.T) {
+	g, err := FromEdges(2, 2, [][2]int{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := MaximumMatchingOn(nil, g, Options{Procs: 1})
+	if err != nil || m.Cardinality() != 2 {
+		t.Fatalf("nil transport fallback: m=%v err=%v", m, err)
+	}
+	trs, err := LoopbackTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		var wg sync.WaitGroup
+		for _, tr := range trs {
+			wg.Add(1)
+			go func(tr *Transport) { defer wg.Done(); tr.Close() }(tr)
+		}
+		wg.Wait()
+	}()
+	if _, _, err := MaximumMatchingOn(trs[0], g, Options{Procs: 4}); err == nil {
+		t.Fatal("accepted Procs != world size")
+	}
+}
