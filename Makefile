@@ -38,14 +38,20 @@ bench:
 
 # One-iteration pass over the Table I benchmarks (the primitive chain and
 # the end-to-end solve at t=1 vs t=4) — the CI smoke that keeps the
-# threaded hot path compiling and running without paying full bench time.
+# threaded hot path compiling and running without paying full bench time —
+# plus one adaptive-direction compressed solve whose per-iteration
+# time-series CSV (direction decisions, encoded words) is validated by
+# cmd/tracelint and uploaded as a CI artifact.
 bench-smoke:
 	$(GO) test -bench TableI -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/bench -exp profile -scale 12 -procs 4 -matrix g500 -direction auto -compress on -timeseries direction-series.csv
+	$(GO) run ./cmd/tracelint direction-series.csv
 
 # Multi-process transport smoke: one solve spanning four OS processes over
 # loopback TCP (mcm coordinating, three mcmrank workers), its matching
-# byte-compared against the in-process oracle; then a traced solve on the
-# tcp backend validated by cmd/tracelint. See docs/TRANSPORT.md.
+# byte-compared against the in-process oracle — once raw, once with wire
+# compression + adaptive direction; then a traced solve on the tcp backend
+# validated by cmd/tracelint. See docs/TRANSPORT.md and docs/KERNELS.md.
 transport-smoke:
 	scripts/transport_smoke.sh
 	$(GO) run ./cmd/bench -exp profile -scale 12 -procs 4 -matrix g500 -transport tcp -trace transport-trace.json

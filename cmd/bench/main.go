@@ -6,6 +6,7 @@
 //
 //	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|recovery|profile|all
 //	      [-scale N] [-procs P] [-threads T] [-no-overlap] [-transport inproc|tcp]
+//	      [-direction push|pull|auto|default] [-compress off|on]
 //	      [-checkpoint-every K] [-fault none|crash|straggler|rma]
 //	      [-fault-rank R] [-fault-at N] [-fault-delay D] [-watchdog D]
 //	      [-json out.json] [-trace out.json] [-timeseries out.csv]
@@ -49,19 +50,22 @@ import (
 	"slices"
 	"time"
 
+	"mcmdist/internal/core"
 	"mcmdist/internal/experiments"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, gridshape, graft, quality, balance, ssms, dynamics, recovery, profile, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, dirsweep, gridshape, graft, quality, balance, ssms, dynamics, recovery, profile, all")
 	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
 	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
 	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
 	noOverlap := flag.Bool("no-overlap", false, "disable the split-phase compute/communication overlap (results are bit-identical; wall clocks and the exposed-comm ledger change)")
 	matrix := flag.String("matrix", "road_usa", "matrix for the -json measured solve profile: a Table II stand-in name or g500/er/ssca (RMAT)")
 	transport := flag.String("transport", "inproc", "transport backend for the measured solve profile: inproc, or tcp (loopback sockets, one endpoint per rank)")
+	direction := flag.String("direction", "default", "SpMV kernel policy for the measured solve profile: push, pull, auto, or default (follow the config's direction-optimized setting)")
+	compress := flag.String("compress", "off", "delta-varint wire compression for the measured solve profile: off or on (results are bit-identical; wire volume and the WordsEnc meters change)")
 	jsonPath := flag.String("json", "", "write machine-readable results (experiment rows + measured solve profile) to this path")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint stride (phases) for the recovery benchmark; 0 means every phase")
 	fault := flag.String("fault", "none", "fault injected into the recovery benchmark: none, crash, straggler, rma")
@@ -85,6 +89,20 @@ func main() {
 		os.Exit(1)
 	}
 	experiments.TransportBackend = *transport
+	dir, err := core.ParseDirection(*direction)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.DefaultDirection = dir
+	switch *compress {
+	case "off":
+	case "on":
+		experiments.Compress = true
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown -compress %q (want off or on)\n", *compress)
+		os.Exit(1)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -133,6 +151,8 @@ func main() {
 			rows = experiments.AugmentCrossover(w, 4, 16, nil)
 		case "direction":
 			rows = experiments.DirectionAblation(w, *scale, *procs, nil)
+		case "dirsweep":
+			rows = experiments.DirectionSweep(w, []int{min(*scale, 14), min(*scale+1, 15), min(*scale+2, 16)}, *procs)
 		case "gridshape":
 			rows = experiments.GridShapeAblation(w, *scale, *procs)
 		case "graft":
@@ -236,6 +256,8 @@ func main() {
 				Procs     int                          `json:"procs"`
 				Threads   int                          `json:"threads"`
 				Transport string                       `json:"transport"`
+				Direction string                       `json:"direction"`
+				Compress  bool                         `json:"compress"`
 				HostCPUs  int                          `json:"host_cpus"`
 				Results   map[string]any               `json:"results"`
 				Profile   experiments.SolveProfile     `json:"profile"`
@@ -246,6 +268,8 @@ func main() {
 				Procs:     *procs,
 				Threads:   t,
 				Transport: *transport,
+				Direction: dir.String(),
+				Compress:  experiments.Compress,
 				HostCPUs:  runtime.NumCPU(),
 				Results:   results,
 				Profile:   prof,

@@ -52,6 +52,8 @@ func main() {
 	augment := flag.String("augment", "auto", "augmentation: auto, level, path")
 	noPrune := flag.Bool("no-prune", false, "disable tree pruning (Fig. 8 ablation)")
 	dirOpt := flag.Bool("direction-optimized", false, "enable bottom-up BFS for large frontiers")
+	direction := flag.String("direction", "default", "SpMV kernel policy: push, pull, auto, or default (follow -direction-optimized)")
+	compress := flag.Bool("compress", false, "enable the delta-varint wire codec (tcp payload compression; all backends meter the encoded volume)")
 	graft := flag.Bool("graft", false, "use the tree-grafting MCM variant (distributed MS-BFS-Graft)")
 	serial := flag.String("serial", "", "also run a serial baseline for comparison: hk, pf, msbfs, graft, pr")
 	noPermute := flag.Bool("no-permute", false, "skip the load-balancing random permutation")
@@ -102,6 +104,8 @@ func main() {
 		Threads:            *threads,
 		DisablePrune:       *noPrune,
 		DirectionOptimized: *dirOpt,
+		Direction:          *direction,
+		Compress:           *compress,
 		TreeGrafting:       *graft,
 		Permute:            !*noPermute,
 		Seed:               *seed,
@@ -148,8 +152,8 @@ func main() {
 			RMAT: *rmatClass, Matrix: *matrix, Scale: *scale, Seed: *seed,
 			Procs: *procs, Threads: *threads,
 			Init: *initAlg, Semiring: *semiringFlag, Augment: *augment,
-			NoPrune: *noPrune, DirectionOptimized: *dirOpt, Graft: *graft,
-			NoPermute: *noPermute,
+			NoPrune: *noPrune, DirectionOptimized: *dirOpt, Direction: *direction,
+			Compress: *compress, Graft: *graft, NoPermute: *noPermute,
 		}
 		if *in != "" {
 			// Workers may not share our filesystem: embed the file.

@@ -1,13 +1,16 @@
-// Command tracelint validates a Chrome trace_event JSON file such as the
-// one cmd/bench -trace emits: the JSON object form with a traceEvents
+// Command tracelint validates the observability artifacts cmd/bench emits:
+// Chrome trace_event JSON files (-trace) and per-iteration time-series CSVs
+// (-series). For traces it checks the JSON object form with a traceEvents
 // array, per-event required keys by phase type, and pairing of flow
-// start/finish events. It is the CI gate behind the trace-smoke step —
-// a trace that passes loads in Perfetto (ui.perfetto.dev) and
-// chrome://tracing.
+// start/finish events — a trace that passes loads in Perfetto
+// (ui.perfetto.dev) and chrome://tracing. For CSVs (dispatched on the .csv
+// extension) it checks the exact header obs.WriteSeriesCSV writes, row
+// arity, numeric fields, and the direction column's push/pull vocabulary.
+// It is the CI gate behind the trace-smoke and bench-smoke steps.
 //
 // Usage:
 //
-//	tracelint trace.json [more.json ...]
+//	tracelint trace.json [series.csv ...]
 //
 // Exits nonzero, printing one line per problem, if any file fails.
 package main
@@ -16,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // event mirrors the trace_event fields tracelint checks. Unknown fields are
@@ -48,7 +53,11 @@ func main() {
 	}
 	bad := false
 	for _, path := range os.Args[1:] {
-		if n := lint(path); n > 0 {
+		check := lint
+		if strings.HasSuffix(path, ".csv") {
+			check = lintCSV
+		}
+		if n := check(path); n > 0 {
 			fmt.Fprintf(os.Stderr, "tracelint: %s: %d problem(s)\n", path, n)
 			bad = true
 		} else {
@@ -150,6 +159,77 @@ func lint(path string) int {
 		if st.finishes != 1 {
 			fmt.Fprintf(os.Stderr, "tracelint: %s: flow %s has %d finish events, want 1\n", path, id, st.finishes)
 			problems++
+		}
+	}
+	return problems
+}
+
+// seriesHeader is the exact header obs.WriteSeriesCSV emits; tracelint
+// fails a CSV whose header drifts so the schema stays load-bearing.
+const seriesHeader = "rank,phase,iteration,frontier,new_paths,matched,pull,direction,wall_ns,msgs,words,words_encoded,comm_ns,exposed_ns,pool_busy_ns,pool_span_ns"
+
+// lintCSV checks one time-series CSV and returns the number of problems
+// found, printing each to stderr.
+func lintCSV(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+		return 1
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != seriesHeader {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: bad or missing series header\n", path)
+		return 1
+	}
+	if len(lines) < 2 {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: header but no samples\n", path)
+		return 1
+	}
+	cols := strings.Split(seriesHeader, ",")
+	pullCol, dirCol := -1, -1
+	for i, c := range cols {
+		switch c {
+		case "pull":
+			pullCol = i
+		case "direction":
+			dirCol = i
+		}
+	}
+	problems := 0
+	bad := func(ln int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: line %d: %s\n", path, ln+1, fmt.Sprintf(format, args...))
+		problems++
+	}
+	for ln := 1; ln < len(lines); ln++ {
+		fields := strings.Split(lines[ln], ",")
+		if len(fields) != len(cols) {
+			bad(ln, "%d fields, want %d", len(fields), len(cols))
+			continue
+		}
+		for i, f := range fields {
+			if i == dirCol {
+				if f != "push" && f != "pull" {
+					bad(ln, "direction %q, want push or pull", f)
+				}
+				continue
+			}
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				bad(ln, "column %s: %q is not an integer", cols[i], f)
+				continue
+			}
+			if i == pullCol && v != 0 && v != 1 {
+				bad(ln, "pull %d, want 0 or 1", v)
+			}
+		}
+		if pullCol >= 0 && dirCol >= 0 {
+			wantDir := "push"
+			if fields[pullCol] == "1" {
+				wantDir = "pull"
+			}
+			if fields[dirCol] != wantDir && (fields[dirCol] == "push" || fields[dirCol] == "pull") {
+				bad(ln, "direction %q disagrees with pull %s", fields[dirCol], fields[pullCol])
+			}
 		}
 	}
 	return problems

@@ -94,10 +94,10 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 func (c Config) CheckpointHash(n1, n2 int) uint64 {
 	c = c.withDefaults()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "v1|%d|%d|%d|%d|%d|%v|%v|%v|%g|%v|%d|%d",
+	fmt.Fprintf(h, "v2|%d|%d|%d|%d|%d|%v|%v|%v|%g|%d|%v|%d|%d",
 		n1, n2, c.Procs, int(c.Init), int(c.Augment),
 		c.DisablePrune, c.TreeGrafting, c.DirectionOptimized,
-		c.PullThreshold, c.Permute, c.Seed, c.GridRows*1000+c.GridCols)
+		c.PullThreshold, int(c.Direction), c.Permute, c.Seed, c.GridRows*1000+c.GridCols)
 	return h.Sum64()
 }
 

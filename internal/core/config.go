@@ -78,6 +78,54 @@ func (am AugmentMode) String() string {
 	}
 }
 
+// Direction pins or frees the per-iteration SpMV kernel choice (top-down
+// spmv.Mul vs bottom-up spmv.MulPull). See docs/KERNELS.md.
+type Direction int
+
+const (
+	// DirectionDefault preserves the historical behavior: the per-iteration
+	// heuristic when DirectionOptimized is set, static push otherwise.
+	DirectionDefault Direction = iota
+	// DirectionPush pins every iteration to the top-down kernel.
+	DirectionPush
+	// DirectionPull pins every iteration to the bottom-up kernel.
+	DirectionPull
+	// DirectionAuto enables the per-iteration heuristic regardless of
+	// DirectionOptimized.
+	DirectionAuto
+)
+
+// String names the direction mode like the cmd/bench flag values.
+func (d Direction) String() string {
+	switch d {
+	case DirectionDefault:
+		return "default"
+	case DirectionPush:
+		return "push"
+	case DirectionPull:
+		return "pull"
+	case DirectionAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// ParseDirection maps the flag spellings to a Direction.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "", "default":
+		return DirectionDefault, nil
+	case "push":
+		return DirectionPush, nil
+	case "pull":
+		return DirectionPull, nil
+	case "auto":
+		return DirectionAuto, nil
+	}
+	return DirectionDefault, fmt.Errorf("core: unknown direction %q (want push, pull or auto)", s)
+}
+
 // Config controls a distributed matching run.
 type Config struct {
 	// Procs is the number of simulated MPI ranks. Unless GridRows/GridCols
@@ -114,10 +162,22 @@ type Config struct {
 	// rows scan their own adjacency with early exit.
 	DirectionOptimized bool
 	// PullThreshold is the minimum frontier fraction (of n2) for the pull
-	// direction to be considered; 0 means the default 1/4. The pull choice
+	// direction to be considered; 0 derives the threshold online from the
+	// alpha-beta cost model's push/pull crossover at the run's thread count
+	// and average degree (costmodel.PullCrossover). The pull choice
 	// additionally requires the Beamer-style edge-count condition (see
-	// mcm.go).
+	// internal/core/direction.go and docs/KERNELS.md).
 	PullThreshold float64
+	// Direction pins the SpMV kernel choice: DirectionPush or DirectionPull
+	// hold one kernel for every iteration (deterministic for tests and
+	// ablations), DirectionAuto runs the per-iteration heuristic, and the
+	// zero value DirectionDefault defers to DirectionOptimized.
+	Direction Direction
+	// Compress enables the delta-varint wire codec (internal/wire) on the
+	// communication layer: id-stream payloads are delta+varint encoded on
+	// the tcp backend and the encoded volume is metered as Meter.WordsEnc on
+	// every backend. Results are bit-identical with it on or off.
+	Compress bool
 	// Permute applies a random symmetric permutation before distributing,
 	// the load-balancing step of Section IV-A.
 	Permute bool
@@ -189,8 +249,10 @@ func (c Config) withDefaults() Config {
 	if c.Threads <= 0 {
 		c.Threads = 1
 	}
-	if c.PullThreshold <= 0 {
-		c.PullThreshold = 0.25
+	// PullThreshold 0 is meaningful (resolve from the cost model online);
+	// negative values are normalized to it.
+	if c.PullThreshold < 0 {
+		c.PullThreshold = 0
 	}
 	return c
 }

@@ -5,7 +5,6 @@ import (
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
-	"mcmdist/internal/spmv"
 )
 
 // MCMGraft runs the tree-grafting variant of MCM-DIST — the distributed
@@ -30,6 +29,10 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 	// the alternating tree owning each row (None = unowned).
 	pir := dvec.NewDense(s.RowL, semiring.None)
 	rootR := dvec.NewDense(s.RowL, semiring.None)
+	// Direction state mirrors rootR's lifetime, not the phase's: tree
+	// ownership persists across grafted phases, so the discovered-row count
+	// feeding the heuristic only resets when the trees do.
+	var dir dirState
 
 	fresh := false // true while running the full-reset verification phase
 	phase := 0     // sweeps started, fresh verification sweeps included
@@ -57,10 +60,13 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 			s.Stats.Iterations++
 			iter0 := s.obsIterBegin()
 
+			// The pull direction's visited set is rootR — exactly the set the
+			// grafting filter below drops — so rows owned by any surviving
+			// tree are skipped before the scan rather than after.
 			var fr *dvec.SparseV
+			usePull := s.chooseDirection(&dir, frontierSize)
 			s.tr.track(OpSpMV, func() {
-				fr = spmv.Mul(s.A, fc, s.Cfg.AddOp, s.RowL)
-				s.Stats.PushIterations++
+				fr = s.mulDirected(usePull, &dir, fc, rootR)
 			})
 
 			// Grafting filter: skip rows owned by ANY tree, from this phase
@@ -74,6 +80,11 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
 				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
 			})
+			if s.adaptiveDirection() {
+				s.tr.track(OpOther, func() {
+					dir.noteDiscovered(fr.Nnz() + ufr.Nnz())
+				})
+			}
 
 			var newPaths int
 			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
@@ -104,7 +115,7 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 				fc = fr.InvertParents(s.ColL)
 				fcCount = s.startFrontierCount(fc)
 			})
-			s.obsIterEnd(iter0, phase, frontierSize, newPaths, false)
+			s.obsIterEnd(iter0, phase, frontierSize, newPaths, usePull)
 		}
 
 		if pathsFound == 0 {
@@ -119,6 +130,7 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 				rootR.Fill(semiring.None)
 				s.G.World.AddWork(len(pir.Local) + len(rootR.Local))
 			})
+			dir.resetPhase()
 			s.Stats.GraftResets++
 			fresh = true
 			continue
@@ -162,7 +174,11 @@ func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
 					released++
 				}
 			}
-			s.Stats.GraftReleasedRows += int(s.G.World.Allreduce(mpi.OpSum, int64(released)))
+			globalReleased := int(s.G.World.Allreduce(mpi.OpSum, int64(released)))
+			s.Stats.GraftReleasedRows += globalReleased
+			// Released rows are unowned again: fold them back into the
+			// direction heuristic's unvisited count.
+			dir.noteDiscovered(-globalReleased)
 			s.G.World.AddWork(len(rootR.Local) + len(dead))
 		})
 		trc.End(obs.KindPhase, "phase", phase0, int64(phase))

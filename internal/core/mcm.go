@@ -5,7 +5,6 @@ import (
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
-	"mcmdist/internal/spmv"
 )
 
 // startFrontierCount begins the split-phase allreduce that sizes the next
@@ -39,15 +38,14 @@ func (s *Solver) waitFrontierCount(rq *mpi.ValueRequest, fc *dvec.SparseV) int {
 func (s *Solver) MCM(mater, matec *dvec.Dense) {
 	trc := s.G.RT.Tracer()
 	solve0 := trc.Begin()
-	// pullDisabled turns off the bottom-up direction once a pull scan
-	// proves unproductive. It is sticky across phases: unproductive scans
-	// come from frontier columns that are structurally deficient (no
-	// augmenting path will ever leave them), and that set only grows as
-	// the matching converges.
-	pullDisabled := false
+	// dir carries the adaptive direction choice (see direction.go): the
+	// sticky pull-disable, the per-phase discovery count, and the resolved
+	// switch threshold.
+	var dir dirState
 	phase := 0
 	for {
 		phase++
+		dir.resetPhase()
 		phase0 := trc.Begin()
 		// Per-phase state: parents of visited rows and endpoints of
 		// discovered augmenting paths (Algorithm 2, lines 3-5).
@@ -61,7 +59,6 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 			fcCount = s.startFrontierCount(fc)
 		})
 		pathsFound := 0
-		visitedRows := 0 // rows discovered so far in this phase
 
 		for {
 			var frontierSize int
@@ -75,39 +72,13 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 			s.Stats.Iterations++
 			iter0 := s.obsIterBegin()
 
-			// Step 1: explore neighbors of the column frontier, choosing
-			// the SpMV direction when direction optimization is on. The
-			// heuristic is Beamer-style: pull (bottom-up) when the frontier
-			// is a substantial fraction of the columns AND its outgoing
-			// edges outnumber the unvisited rows' edges by the usual factor
-			// of ~14, so rows scanning for a parent mostly hit early.
+			// Step 1: explore neighbors of the column frontier in the
+			// direction chooseDirection picks for this iteration (see
+			// direction.go and docs/KERNELS.md for the heuristic).
 			var fr *dvec.SparseV
-			unvisited := s.N1 - visitedRows
-			usePull := s.Cfg.DirectionOptimized && !pullDisabled &&
-				float64(frontierSize) > s.Cfg.PullThreshold*float64(s.N2) &&
-				14*frontierSize > unvisited
+			usePull := s.chooseDirection(&dir, frontierSize)
 			s.tr.track(OpSpMV, func() {
-				if usePull {
-					if s.rowAdj == nil {
-						s.rowAdj = spmv.RowMajor(s.A)
-					}
-					var ps spmv.PullStats
-					fr, ps = spmv.MulPull(s.A, s.rowAdj, fc, pir, s.Cfg.AddOp, s.RowL)
-					s.Stats.PullIterations++
-					// Hit-rate feedback: matching frontiers can be full of
-					// structurally deficient columns whose neighborhoods
-					// never hit; if the global scan productivity drops
-					// below 1/8, fall back to push for the rest of the
-					// phase.
-					scanned := s.G.World.Allreduce(mpi.OpSum, int64(ps.Scanned))
-					hits := s.G.World.Allreduce(mpi.OpSum, int64(ps.Hits))
-					if scanned > 0 && hits*4 < scanned {
-						pullDisabled = true
-					}
-				} else {
-					fr = spmv.Mul(s.A, fc, s.Cfg.AddOp, s.RowL)
-					s.Stats.PushIterations++
-				}
+				fr = s.mulDirected(usePull, &dir, fc, pir)
 			})
 
 			// Steps 2-4: unvisited rows; record parents; split into
@@ -119,12 +90,12 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
 				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
 			})
-			if s.Cfg.DirectionOptimized {
+			if s.adaptiveDirection() {
 				// Track discovered rows for the direction heuristic (the
 				// same frontier-size allreduce real direction-optimized
 				// BFS implementations perform each level).
 				s.tr.track(OpOther, func() {
-					visitedRows += fr.Nnz() + ufr.Nnz()
+					dir.noteDiscovered(fr.Nnz() + ufr.Nnz())
 				})
 			}
 
@@ -208,11 +179,13 @@ func (s *Solver) MCM(mater, matec *dvec.Dense) {
 func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 	trc := s.G.RT.Tracer()
 	solve0 := trc.Begin()
+	var dir dirState
 	// retired marks columns proven unmatchable: once no augmenting path
 	// leaves a vertex, none ever will again (augmentations only grow the
 	// reachable matching), so retirement is permanent.
 	retired := dvec.NewDense(s.ColL, 0)
 	for {
+		dir.resetPhase()
 		pir := dvec.NewDense(s.RowL, semiring.None)
 		pathc := dvec.NewDense(s.ColL, semiring.None)
 
@@ -250,9 +223,9 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 			iter0 := s.obsIterBegin()
 
 			var fr *dvec.SparseV
+			usePull := s.chooseDirection(&dir, frontierSize)
 			s.tr.track(OpSpMV, func() {
-				fr = spmv.Mul(s.A, fc, s.Cfg.AddOp, s.RowL)
-				s.Stats.PushIterations++
+				fr = s.mulDirected(usePull, &dir, fc, pir)
 			})
 			var ufr *dvec.SparseV
 			s.tr.track(OpSelect, func() {
@@ -261,6 +234,11 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
 				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
 			})
+			if s.adaptiveDirection() {
+				s.tr.track(OpOther, func() {
+					dir.noteDiscovered(fr.Nnz() + ufr.Nnz())
+				})
+			}
 			var newPaths int
 			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
 			if newPaths > 0 {
@@ -268,12 +246,12 @@ func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
 				s.tr.track(OpInvert, func() { tc = ufr.InvertRoots(s.ColL) })
 				s.tr.track(OpSelect, func() { pathc.ScatterParents(tc) })
 				s.tr.track(OpOther, func() { pathsFound += tc.Nnz() })
-				s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, false)
+				s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, usePull)
 				break // single source: the first augmenting path ends the phase
 			}
 			s.tr.track(OpSelect, func() { fr.SetParentsFrom(mater) })
 			s.tr.track(OpInvert, func() { fc = fr.InvertParents(s.ColL) })
-			s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, false)
+			s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, usePull)
 		}
 
 		if pathsFound == 0 {

@@ -48,19 +48,25 @@ func (s *Solver) obsIterEnd(t0 int64, phase, frontier, newPaths int, pull bool) 
 	meter := s.G.World.MeterSnapshot().Sub(s.iterBase.meter)
 	comm := s.G.World.CommTimes().Sub(s.iterBase.comm)
 	pool := s.G.RT.ThreadStats().Sub(s.iterBase.pool)
+	direction := "push"
+	if pull {
+		direction = "pull"
+	}
 	s.rec.Record(obs.IterSample{
-		Phase:      phase,
-		Iteration:  s.Stats.Iterations,
-		Frontier:   frontier,
-		NewPaths:   newPaths,
-		Matched:    s.Stats.InitCardinality + s.Stats.AugmentedPaths,
-		Pull:       pull,
-		WallNs:     obs.Now() - s.iterBase.wall,
-		Msgs:       meter.Msgs,
-		Words:      meter.Words,
-		CommNs:     int64(comm.Total),
-		ExposedNs:  int64(comm.Exposed),
-		PoolBusyNs: int64(pool.Busy),
-		PoolSpanNs: int64(pool.Span),
+		Phase:        phase,
+		Iteration:    s.Stats.Iterations,
+		Frontier:     frontier,
+		NewPaths:     newPaths,
+		Matched:      s.Stats.InitCardinality + s.Stats.AugmentedPaths,
+		Pull:         pull,
+		Direction:    direction,
+		WallNs:       obs.Now() - s.iterBase.wall,
+		Msgs:         meter.Msgs,
+		Words:        meter.Words,
+		WordsEncoded: meter.WordsEnc,
+		CommNs:       int64(comm.Total),
+		ExposedNs:    int64(comm.Exposed),
+		PoolBusyNs:   int64(pool.Busy),
+		PoolSpanNs:   int64(pool.Span),
 	})
 }

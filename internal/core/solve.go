@@ -127,7 +127,7 @@ func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*s
 	perRankComm := make([]mpi.CommTimes, cfg.Procs)
 	var mateR, mateC []int64
 
-	w, err := mpi.RunTransport(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+	w, err := mpi.RunTransport(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout, Compress: cfg.Compress},
 		tr, func(c *mpi.Comm) error {
 			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
 			if ctxs == nil {
@@ -245,7 +245,7 @@ func RunDistributedGrid(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatr
 // nil ctxs builds fresh contexts, honoring cfg.DisableReuse.
 func RunDistributedGridCtx(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, ctxs []*rt.Ctx, fn func(*Solver) error) error {
-	w, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout},
+	w, err := mpi.RunWith(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout, Compress: cfg.Compress},
 		pr*pc, func(c *mpi.Comm) error {
 			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
 			if ctxs == nil {

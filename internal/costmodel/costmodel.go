@@ -95,6 +95,39 @@ func (m Machine) String() string {
 	return fmt.Sprintf("%s(t_op=%.2gs, alpha=%.2gs, beta=%.2gs)", m.Name, m.TOp, m.Alpha, m.Beta)
 }
 
+// PullCrossover returns the frontier fraction (of the column count) at which
+// the alpha-beta model predicts a bottom-up ("pull") SpMV iteration becomes
+// cheaper than the top-down ("push") one, used online as the initial switch
+// threshold of the direction-optimizing BFS (docs/KERNELS.md). Per frontier
+// column, push traverses avgDeg edges and folds ~avgDeg candidate triples
+// (three words each); per column of the slab, pull pays one early-exit scan
+// step plus roughly one word of visited-set replication. Equating the two
+// per-column costs at frontier fraction x:
+//
+//	x·avgDeg·(TOp/threads + 3β) = TOp/threads + β
+//
+// and solving for x. The result is clamped to [1/64, 1/2]: below the floor
+// the switch would thrash on noise; above the ceiling pull could never
+// engage on the frontier shapes MS-BFS produces. Callers pass the machine
+// being modeled (the host for real timing, Edison for modeled figures).
+func PullCrossover(m Machine, threads int, avgDeg float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	op := m.TOp / float64(threads)
+	x := (op + m.Beta) / (avgDeg * (op + 3*m.Beta))
+	if x < 1.0/64 {
+		x = 1.0 / 64
+	}
+	if x > 0.5 {
+		x = 0.5
+	}
+	return x
+}
+
 // EdisonMini is Edison rescaled for the miniature inputs this repository
 // runs in-process. The stand-in matrices are three to five orders of
 // magnitude smaller than the paper's (10^4 vertices instead of 10^7..10^9),

@@ -90,6 +90,12 @@ type Spec struct {
 	NoPrune bool `json:"no_prune,omitempty"`
 	// DirectionOptimized enables the bottom-up BFS direction.
 	DirectionOptimized bool `json:"direction_optimized,omitempty"`
+	// Direction pins or frees the per-iteration SpMV kernel: "push", "pull",
+	// "auto", or "" for the DirectionOptimized-derived default.
+	Direction string `json:"direction,omitempty"`
+	// Compress enables the delta-varint wire codec on the solve's
+	// communication layer.
+	Compress bool `json:"compress,omitempty"`
 	// Graft selects the tree-grafting MCM variant.
 	Graft bool `json:"graft,omitempty"`
 	// NoPermute skips the load-balancing random permutation.
@@ -147,6 +153,9 @@ func (s *Spec) validate() error {
 		return err
 	}
 	if _, err := augmentByName(s.Augment); err != nil {
+		return err
+	}
+	if _, err := core.ParseDirection(s.Direction); err != nil {
 		return err
 	}
 	return nil
@@ -241,6 +250,7 @@ func (s *Spec) CoreConfig() (core.Config, error) {
 		DisablePrune:       s.NoPrune,
 		DirectionOptimized: s.DirectionOptimized,
 		TreeGrafting:       s.Graft,
+		Compress:           s.Compress,
 		Permute:            !s.NoPermute,
 		Seed:               s.Seed,
 	}
@@ -252,6 +262,9 @@ func (s *Spec) CoreConfig() (core.Config, error) {
 		return core.Config{}, err
 	}
 	if cfg.Augment, err = augmentByName(s.Augment); err != nil {
+		return core.Config{}, err
+	}
+	if cfg.Direction, err = core.ParseDirection(s.Direction); err != nil {
 		return core.Config{}, err
 	}
 	return cfg, nil

@@ -44,6 +44,17 @@ var DisableOverlap = false
 // answers.
 var TransportBackend = "inproc"
 
+// DefaultDirection pins the measured profile solve's SpMV kernel choice
+// (cmd/bench -direction): DirectionPush, DirectionPull, DirectionAuto, or
+// the zero value to defer to the configuration's historical default.
+var DefaultDirection core.Direction
+
+// Compress runs the measured profile solve with the delta-varint wire
+// codec (cmd/bench -compress): serializing backends encode payloads on the
+// wire and every backend meters the encoded volume as Meter.WordsEnc.
+// Results are bit-identical with it on or off.
+var Compress = false
+
 // Run solves the matrix on p ranks with the given options and returns the
 // result; it panics on configuration errors (experiment code paths use
 // known-good configurations).

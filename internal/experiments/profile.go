@@ -20,6 +20,9 @@ type CommProfile struct {
 	Msgs  int64 `json:"msgs"`
 	Words int64 `json:"words"`
 	Work  int64 `json:"work"`
+	// WordsEnc is the delta-varint encoded counterpart of Words, metered
+	// when the solve runs with compression; zero otherwise.
+	WordsEnc int64 `json:"words_enc,omitempty"`
 }
 
 // SolveProfile is the machine-readable summary of one measured solve — the
@@ -32,15 +35,27 @@ type SolveProfile struct {
 	// Transport names the backend the measured solve ran on: "inproc"
 	// (every rank a goroutine of one world) or "tcp" (loopback sockets,
 	// one endpoint per rank, all hosted by this process).
-	Transport       string  `json:"transport"`
-	Procs           int     `json:"procs"`
-	Threads         int     `json:"threads"`
-	Cardinality     int     `json:"cardinality"`
-	InitCardinality int     `json:"init_cardinality"`
-	Phases          int     `json:"phases"`
-	Iterations      int     `json:"iterations"`
-	WallSeconds     float64 `json:"wall_seconds"`
-	ModeledSeconds  float64 `json:"modeled_seconds"`
+	Transport       string `json:"transport"`
+	Procs           int    `json:"procs"`
+	Threads         int    `json:"threads"`
+	Cardinality     int    `json:"cardinality"`
+	InitCardinality int    `json:"init_cardinality"`
+	Phases          int    `json:"phases"`
+	Iterations      int    `json:"iterations"`
+	// Direction is the SpMV kernel policy the solve ran under ("default",
+	// "push", "pull", "auto") and PushIterations/PullIterations how the
+	// iterations actually split; Compress whether the wire codec was on.
+	Direction      string `json:"direction"`
+	PushIterations int    `json:"push_iterations"`
+	PullIterations int    `json:"pull_iterations"`
+	Compress       bool   `json:"compress"`
+	// WordsOnWire is the raw collective volume summed over ranks and
+	// WordsOnWireEncoded its delta-varint encoded counterpart (zero with
+	// compression off) — the raw-vs-encoded wire ledger.
+	WordsOnWire        int64   `json:"words_on_wire"`
+	WordsOnWireEncoded int64   `json:"words_on_wire_encoded"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	ModeledSeconds     float64 `json:"modeled_seconds"`
 	// CommWallSeconds is the total request-in-flight communication time
 	// summed over ranks; CommExposedSeconds is the part the ranks actually
 	// spent blocked in Wait. Their gap, expressed as CommHiddenFraction
@@ -89,7 +104,8 @@ func Profile(name string, scale, procs, threads int) SolveProfile {
 // time-series. A nil collector reduces to Profile.
 func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector) SolveProfile {
 	a := suiteMatrix(name, scale)
-	cfg := core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9, Obs: col}
+	cfg := core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9,
+		Direction: DefaultDirection, Compress: Compress, Obs: col}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -107,6 +123,10 @@ func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector)
 		InitCardinality: res.Stats.InitCardinality,
 		Phases:          res.Stats.Phases,
 		Iterations:      res.Stats.Iterations,
+		Direction:       DefaultDirection.String(),
+		PushIterations:  res.Stats.PushIterations,
+		PullIterations:  res.Stats.PullIterations,
+		Compress:        Compress,
 		WallSeconds:     wall,
 		ModeledSeconds:  modeledTime(res, threads),
 		OpWallSeconds:   make(map[string]float64, len(res.Stats.Wall)),
@@ -122,10 +142,12 @@ func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector)
 		p.OpWallSeconds[string(op)] = d.Seconds()
 	}
 	for op, m := range res.Stats.Meter {
-		p.OpComm[string(op)] = CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work}
+		p.OpComm[string(op)] = CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work, WordsEnc: m.WordsEnc}
 	}
 	for _, m := range res.PerRank {
-		p.PerRank = append(p.PerRank, CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work})
+		p.PerRank = append(p.PerRank, CommProfile{Msgs: m.Msgs, Words: m.Words, Work: m.Work, WordsEnc: m.WordsEnc})
+		p.WordsOnWire += m.Words
+		p.WordsOnWireEncoded += m.WordsEnc
 	}
 	var total, exposed time.Duration
 	for _, ct := range res.PerRankComm {

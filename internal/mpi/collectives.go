@@ -76,11 +76,11 @@ func (c *Comm) Gatherv(root int, data []int64) [][]int64 {
 	var out [][]int64
 	c.start("gatherv", parts, true, func(got []any) {
 		if c.member != root {
-			c.addComm(KindGather, 1, int64(len(data)))
+			c.addComm(KindGather, 1, int64(len(data)), c.encWords(data))
 			return
 		}
 		out = make([][]int64, size)
-		var words int64
+		var words, wordsEnc int64
 		for s := 0; s < size; s++ {
 			in := asInts(got[s])
 			if s == root {
@@ -88,9 +88,10 @@ func (c *Comm) Gatherv(root int, data []int64) [][]int64 {
 				continue
 			}
 			words += int64(len(in))
+			wordsEnc += c.encWords(in)
 			out[s] = append([]int64(nil), in...)
 		}
-		c.addComm(KindGather, int64(size-1), words)
+		c.addComm(KindGather, int64(size-1), words, wordsEnc)
 	}).Wait()
 	return out
 }
@@ -112,17 +113,18 @@ func (c *Comm) Scatterv(root int, parts [][]int64) []int64 {
 	c.start("scatterv", anyParts, true, func(got []any) {
 		in := asInts(got[root])
 		if c.member == root {
-			var words int64
+			var words, wordsEnc int64
 			for d := 0; d < size; d++ {
 				if d != root {
 					words += int64(len(parts[d]))
+					wordsEnc += c.encWords(parts[d])
 				}
 			}
-			c.addComm(KindScatter, int64(size-1), words)
+			c.addComm(KindScatter, int64(size-1), words, wordsEnc)
 			out = in
 			return
 		}
-		c.addComm(KindScatter, 1, int64(len(in)))
+		c.addComm(KindScatter, 1, int64(len(in)), c.encWords(in))
 		out = append([]int64(nil), in...)
 	}).Wait()
 	return out

@@ -49,6 +49,16 @@
 // Wait or successful Test), with the same counts as its blocking
 // counterpart — the request layer never double-counts.
 //
+// When the world runs with wire compression (RunConfig.Compress), every
+// metering site additionally records Meter.WordsEnc: the delta-varint
+// encoded size (internal/wire, rounded up to 8-byte words) of the same
+// payloads Words counts raw. The encoded size is computed here at the
+// collective layer — the codec is deterministic, so sender and receiver
+// agree and the count is bit-identical on every backend, whether or not the
+// backend's fabric actually encodes (tcpnet does, inproc moves pointers).
+// Payloads that cross the wire unencoded — scalar reduction trees, RMA
+// frames — count their raw size. With compression off WordsEnc stays zero.
+//
 // Each copying collective has a buffer-lending variant for hot paths
 // (AllgathervInto, AlltoallvInto, AlltoallvFlat): the caller lends a
 // destination buffer (typically from an rt arena), received payloads are
@@ -66,6 +76,7 @@ import (
 	"time"
 
 	"mcmdist/internal/obs"
+	"mcmdist/internal/wire"
 )
 
 // CommKind labels the collective family a transfer belongs to, for the
@@ -112,16 +123,22 @@ type Meter struct {
 	Msgs  int64 // messages sent or received (latency units, α)
 	Words int64 // 8-byte words moved (bandwidth units, β)
 	Work  int64 // local operations recorded via AddWork (compute units, F)
+	// WordsEnc is the wire-compressed counterpart of Words: the delta-varint
+	// encoded volume in 8-byte words when the world runs with compression
+	// (see the package metering conventions). Zero when compression is off.
+	WordsEnc int64
 }
 
 // Add returns the element-wise sum of two meters.
 func (m Meter) Add(o Meter) Meter {
-	return Meter{Msgs: m.Msgs + o.Msgs, Words: m.Words + o.Words, Work: m.Work + o.Work}
+	return Meter{Msgs: m.Msgs + o.Msgs, Words: m.Words + o.Words,
+		Work: m.Work + o.Work, WordsEnc: m.WordsEnc + o.WordsEnc}
 }
 
 // Sub returns the element-wise difference m - o.
 func (m Meter) Sub(o Meter) Meter {
-	return Meter{Msgs: m.Msgs - o.Msgs, Words: m.Words - o.Words, Work: m.Work - o.Work}
+	return Meter{Msgs: m.Msgs - o.Msgs, Words: m.Words - o.Words,
+		Work: m.Work - o.Work, WordsEnc: m.WordsEnc - o.WordsEnc}
 }
 
 // Max returns the element-wise maximum of two meters.
@@ -135,6 +152,9 @@ func (m Meter) Max(o Meter) Meter {
 	}
 	if o.Work > out.Work {
 		out.Work = o.Work
+	}
+	if o.WordsEnc > out.WordsEnc {
+		out.WordsEnc = o.WordsEnc
 	}
 	return out
 }
@@ -191,6 +211,7 @@ type World struct {
 	isLocal   []bool // indexed by world rank
 	hasRemote bool   // some ranks live in other processes
 	transport Transport
+	compress  bool        // wire compression: meter WordsEnc, tcp encodes POST payloads
 	meters    []meterCell // indexed by world rank; only local cells ever move
 
 	mu         sync.Mutex
@@ -217,12 +238,13 @@ type World struct {
 
 type meterCell struct {
 	msgs, words, work atomic.Int64
+	wordsEnc          atomic.Int64
 	commNs, exposedNs atomic.Int64 // split-phase time ledger (CommTimes)
 	kinds             [numKinds]kindCell
 }
 
 type kindCell struct {
-	msgs, words atomic.Int64
+	msgs, words, wordsEnc atomic.Int64
 }
 
 // commState is the shared half of a communicator: a non-rendezvous mailbox
@@ -484,13 +506,45 @@ func (c *Comm) AddWork(n int) {
 	c.st.world.meters[c.worldRank].work.Add(int64(n))
 }
 
-func (c *Comm) addComm(kind CommKind, msgs, words int64) {
+func (c *Comm) addComm(kind CommKind, msgs, words, wordsEnc int64) {
 	cell := &c.st.world.meters[c.worldRank]
 	cell.msgs.Add(msgs)
 	cell.words.Add(words)
+	cell.wordsEnc.Add(wordsEnc)
 	cell.kinds[kind].msgs.Add(msgs)
 	cell.kinds[kind].words.Add(words)
+	cell.kinds[kind].wordsEnc.Add(wordsEnc)
 }
+
+// encWords returns the delta-varint encoded size of the payloads (in 8-byte
+// words) when this world runs with wire compression, and 0 otherwise — the
+// encoded-accounting input to addComm. Computed identically on every
+// backend: the codec is deterministic, so recomputing on a received payload
+// yields exactly the size the sender shipped.
+func (c *Comm) encWords(payloads ...[]int64) int64 {
+	if !c.st.world.compress {
+		return 0
+	}
+	var n int64
+	for _, p := range payloads {
+		n += wire.EncodedWords(p)
+	}
+	return n
+}
+
+// rawEnc is encWords for payloads that cross the wire unencoded (scalar
+// reduction trees, RMA frames): words when compression is on, 0 otherwise.
+func (c *Comm) rawEnc(words int64) int64 {
+	if !c.st.world.compress {
+		return 0
+	}
+	return words
+}
+
+// Compress reports whether this world runs with wire compression: the tcp
+// backend consults it when framing POST payloads, and the collective layer
+// when metering WordsEnc.
+func (w *World) Compress() bool { return w.compress }
 
 func (c *Comm) addCommTimes(total, exposed time.Duration) {
 	cell := &c.st.world.meters[c.worldRank]
@@ -501,7 +555,8 @@ func (c *Comm) addCommTimes(total, exposed time.Duration) {
 // MeterSnapshot returns this rank's cumulative meter.
 func (c *Comm) MeterSnapshot() Meter {
 	cell := &c.st.world.meters[c.worldRank]
-	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(), Work: cell.work.Load()}
+	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(),
+		Work: cell.work.Load(), WordsEnc: cell.wordsEnc.Load()}
 }
 
 // CommTimes returns this rank's cumulative communication-time ledger.
@@ -523,20 +578,23 @@ func (w *World) RankCommTimes(rank int) CommTimes {
 // (Work is always zero: local work has no kind).
 func (c *Comm) KindMeter(kind CommKind) Meter {
 	cell := &c.st.world.meters[c.worldRank]
-	return Meter{Msgs: cell.kinds[kind].msgs.Load(), Words: cell.kinds[kind].words.Load()}
+	return Meter{Msgs: cell.kinds[kind].msgs.Load(), Words: cell.kinds[kind].words.Load(),
+		WordsEnc: cell.kinds[kind].wordsEnc.Load()}
 }
 
 // RankKindMeter returns the given world rank's meter for one collective
 // family.
 func (w *World) RankKindMeter(rank int, kind CommKind) Meter {
 	cell := &w.meters[rank]
-	return Meter{Msgs: cell.kinds[kind].msgs.Load(), Words: cell.kinds[kind].words.Load()}
+	return Meter{Msgs: cell.kinds[kind].msgs.Load(), Words: cell.kinds[kind].words.Load(),
+		WordsEnc: cell.kinds[kind].wordsEnc.Load()}
 }
 
 // RankMeter returns the cumulative meter of the given world rank.
 func (w *World) RankMeter(rank int) Meter {
 	cell := &w.meters[rank]
-	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(), Work: cell.work.Load()}
+	return Meter{Msgs: cell.msgs.Load(), Words: cell.words.Load(),
+		Work: cell.work.Load(), WordsEnc: cell.wordsEnc.Load()}
 }
 
 // MaxMeter returns the element-wise maximum meter over all ranks, an

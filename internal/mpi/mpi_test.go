@@ -432,15 +432,15 @@ func TestMeterWork(t *testing.T) {
 }
 
 func TestMeterArithmetic(t *testing.T) {
-	a := Meter{Msgs: 1, Words: 10, Work: 100}
-	b := Meter{Msgs: 2, Words: 5, Work: 200}
-	if got := a.Add(b); got != (Meter{3, 15, 300}) {
+	a := Meter{Msgs: 1, Words: 10, Work: 100, WordsEnc: 4}
+	b := Meter{Msgs: 2, Words: 5, Work: 200, WordsEnc: 3}
+	if got := a.Add(b); got != (Meter{3, 15, 300, 7}) {
 		t.Errorf("Add = %+v", got)
 	}
-	if got := b.Sub(a); got != (Meter{1, -5, 100}) {
+	if got := b.Sub(a); got != (Meter{1, -5, 100, -1}) {
 		t.Errorf("Sub = %+v", got)
 	}
-	if got := a.Max(b); got != (Meter{2, 10, 200}) {
+	if got := a.Max(b); got != (Meter{2, 10, 200, 4}) {
 		t.Errorf("Max = %+v", got)
 	}
 }

@@ -192,7 +192,7 @@ func (c *Comm) IBcast(root int, data []int64) *IntsRequest {
 		payload := asInts(got[root])
 		if len(payload) > 0 {
 			depth := logTreeDepth(size)
-			c.addComm(KindBcast, depth, depth*int64(len(payload)))
+			c.addComm(KindBcast, depth, depth*int64(len(payload)), depth*c.encWords(payload))
 		}
 		if c.member == root {
 			q.out = data
@@ -214,7 +214,7 @@ func (c *Comm) IAllgatherv(data []int64) *SlicesRequest {
 	q := &SlicesRequest{}
 	q.r = c.start("allgatherv", parts, true, func(got []any) {
 		out := make([][]int64, size)
-		var words int64
+		var words, wordsEnc int64
 		for s := 0; s < size; s++ {
 			in := asInts(got[s])
 			if s == c.member {
@@ -222,9 +222,10 @@ func (c *Comm) IAllgatherv(data []int64) *SlicesRequest {
 				continue
 			}
 			words += int64(len(in))
+			wordsEnc += c.encWords(in)
 			out[s] = append([]int64(nil), in...)
 		}
-		c.addComm(KindAllgather, int64(size-1), words)
+		c.addComm(KindAllgather, int64(size-1), words, wordsEnc)
 		q.out = out
 	})
 	return q
@@ -241,15 +242,16 @@ func (c *Comm) IAllgathervInto(data []int64, buf []int64) *IntsRequest {
 	}
 	q := &IntsRequest{}
 	q.r = c.start("allgatherv", parts, true, func(got []any) {
-		var words int64
+		var words, wordsEnc int64
 		for s := 0; s < size; s++ {
 			in := asInts(got[s])
 			if s != c.member {
 				words += int64(len(in))
+				wordsEnc += c.encWords(in)
 			}
 			buf = append(buf, in...)
 		}
-		c.addComm(KindAllgather, int64(size-1), words)
+		c.addComm(KindAllgather, int64(size-1), words, wordsEnc)
 		q.out = buf
 	})
 	return q
@@ -259,7 +261,7 @@ func (c *Comm) IAllgathervInto(data []int64, buf []int64) *IntsRequest {
 // metering as Alltoallv. The caller must not mutate parts before
 // completion.
 func (c *Comm) IAlltoallv(parts [][]int64) *SlicesRequest {
-	anyParts, words := c.checkParts("Alltoallv", parts)
+	anyParts, words, wordsEnc := c.checkParts("Alltoallv", parts)
 	size := c.Size()
 	q := &SlicesRequest{}
 	q.r = c.start("alltoallv", anyParts, true, func(got []any) {
@@ -272,7 +274,7 @@ func (c *Comm) IAlltoallv(parts [][]int64) *SlicesRequest {
 			}
 			out[s] = append([]int64(nil), in...)
 		}
-		c.addComm(KindAlltoall, int64(size-1), words)
+		c.addComm(KindAlltoall, int64(size-1), words, wordsEnc)
 		q.out = out
 	})
 	return q
@@ -282,7 +284,7 @@ func (c *Comm) IAlltoallv(parts [][]int64) *SlicesRequest {
 // all-to-all; result and metering as AlltoallvInto. On completion every
 // peer has finished reading parts, so parts and the buffer may be recycled.
 func (c *Comm) IAlltoallvInto(parts [][]int64, buf []int64) *IntoRequest {
-	anyParts, words := c.checkParts("AlltoallvInto", parts)
+	anyParts, words, wordsEnc := c.checkParts("AlltoallvInto", parts)
 	size := c.Size()
 	q := &IntoRequest{}
 	q.r = c.start("alltoallv", anyParts, true, func(got []any) {
@@ -301,7 +303,7 @@ func (c *Comm) IAlltoallvInto(parts [][]int64, buf []int64) *IntoRequest {
 			buf = append(buf, asInts(got[s])...)
 			out[s] = buf[start:len(buf):len(buf)]
 		}
-		c.addComm(KindAlltoall, int64(size-1), words)
+		c.addComm(KindAlltoall, int64(size-1), words, wordsEnc)
 		q.out, q.buf = out, buf
 	})
 	return q
@@ -311,14 +313,14 @@ func (c *Comm) IAlltoallvInto(parts [][]int64, buf []int64) *IntoRequest {
 // and metering as AlltoallvFlat. On completion parts and the buffer may be
 // recycled.
 func (c *Comm) IAlltoallvFlat(parts [][]int64, buf []int64) *IntsRequest {
-	anyParts, words := c.checkParts("AlltoallvFlat", parts)
+	anyParts, words, wordsEnc := c.checkParts("AlltoallvFlat", parts)
 	size := c.Size()
 	q := &IntsRequest{}
 	q.r = c.start("alltoallv", anyParts, true, func(got []any) {
 		for s := 0; s < size; s++ {
 			buf = append(buf, asInts(got[s])...)
 		}
-		c.addComm(KindAlltoall, int64(size-1), words)
+		c.addComm(KindAlltoall, int64(size-1), words, wordsEnc)
 		q.out = buf
 	})
 	return q
@@ -341,7 +343,7 @@ func (c *Comm) IAllreduce(op ReduceOp, val int64) *ValueRequest {
 			acc = op.Apply(acc, asInts(got[s])[0])
 		}
 		depth := logTreeDepth(size)
-		c.addComm(KindReduce, 2*depth, 2*depth)
+		c.addComm(KindReduce, 2*depth, 2*depth, c.rawEnc(2*depth))
 		q.out = acc
 	})
 	return q
@@ -349,22 +351,23 @@ func (c *Comm) IAllreduce(op ReduceOp, val int64) *ValueRequest {
 
 // checkParts validates a personalized-all-to-all parts slice before
 // anything is posted (so a malformed call panics without corrupting the
-// collective stream) and returns the boxed parts plus the words sent to
-// other ranks.
-func (c *Comm) checkParts(name string, parts [][]int64) ([]any, int64) {
+// collective stream) and returns the boxed parts plus the raw and encoded
+// words sent to other ranks.
+func (c *Comm) checkParts(name string, parts [][]int64) ([]any, int64, int64) {
 	size := c.Size()
 	if len(parts) != size {
 		panic(fmt.Sprintf("mpi: %s with %d parts on %d ranks", name, len(parts), size))
 	}
 	anyParts := make([]any, size)
-	var words int64
+	var words, wordsEnc int64
 	for d := 0; d < size; d++ {
 		anyParts[d] = parts[d]
 		if d != c.member {
 			words += int64(len(parts[d]))
+			wordsEnc += c.encWords(parts[d])
 		}
 	}
-	return anyParts, words
+	return anyParts, words, wordsEnc
 }
 
 // PartsRequest is a progressive split-phase collective: instead of waiting
@@ -386,6 +389,7 @@ type PartsRequest struct {
 	kind      CommKind
 	msgs      int64
 	words     int64 // alltoall: fixed at start; allgather: grows per arrival
+	wordsEnc  int64 // encoded counterpart of words, same accrual rule
 	recvWords bool  // words counted from received payloads (allgather rule)
 	started   time.Time
 	exposed   time.Duration
@@ -420,7 +424,7 @@ func (c *Comm) IAllgathervParts(data []int64) *PartsRequest {
 // source's part is surfaced by Next as it arrives. Metering (at Finish) is
 // identical to Alltoallv.
 func (c *Comm) IAlltoallvParts(parts [][]int64) *PartsRequest {
-	anyParts, words := c.checkParts("AlltoallvParts", parts)
+	anyParts, words, wordsEnc := c.checkParts("AlltoallvParts", parts)
 	size := c.Size()
 	c.enterCollective("alltoallv")
 	gen := c.nextGen
@@ -431,6 +435,7 @@ func (c *Comm) IAlltoallvParts(parts [][]int64) *PartsRequest {
 		kind:      KindAlltoall,
 		msgs:      int64(size - 1),
 		words:     words,
+		wordsEnc:  wordsEnc,
 		started:   time.Now(),
 	}
 	c.st.post(c.member, gen, anyParts, "alltoallv")
@@ -461,6 +466,7 @@ func (pr *PartsRequest) next() (int, []int64, bool) {
 	in := asInts(part)
 	if pr.recvWords && src != pr.c.member {
 		pr.words += int64(len(in))
+		pr.wordsEnc += pr.c.encWords(in)
 	}
 	return src, in, true
 }
@@ -530,7 +536,7 @@ func (pr *PartsRequest) Finish() {
 	pr.c.st.finishRead(pr.c.member, pr.gen)
 	pr.c.st.waitConsumed(pr.gen)
 	pr.exposed += time.Since(begin)
-	pr.c.addComm(pr.kind, pr.msgs, pr.words)
+	pr.c.addComm(pr.kind, pr.msgs, pr.words, pr.wordsEnc)
 	pr.c.addCommTimes(time.Since(pr.started), pr.exposed)
 	if tr := pr.c.tracer(); tr != nil {
 		tr.EndFlow(obs.KindCollective, pr.op, obs.At(pr.started), pr.gen, obs.FlowID(pr.c.st.id, pr.gen))

@@ -109,6 +109,75 @@ func TestRequestMeterConservation(t *testing.T) {
 	}
 }
 
+// TestCompressedMeterConservation: with wire compression on, WordsEnc obeys
+// the same conservation laws as Words — per-kind sums equal the rank total,
+// rank totals sum to TotalMeter, blocking and split-phase schedules agree —
+// and is strictly positive for every kind that moved payload. Turning
+// compression on must not perturb the raw ledger: Msgs/Words/Work are
+// bit-identical to the uncompressed run, where WordsEnc is exactly zero.
+func TestCompressedMeterConservation(t *testing.T) {
+	const p = 4
+	type key struct{ split, compress bool }
+	worlds := make(map[key]*World)
+	for _, split := range []bool{false, true} {
+		for _, compress := range []bool{false, true} {
+			w, err := RunWith(RunConfig{Compress: compress}, p, func(c *Comm) error {
+				driveCollectives(c, split)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			worlds[key{split, compress}] = w
+		}
+	}
+	for _, split := range []bool{false, true} {
+		w := worlds[key{split, true}]
+		var sum Meter
+		for r := 0; r < p; r++ {
+			total := w.RankMeter(r)
+			sum = sum.Add(total)
+			var kEnc int64
+			for k := CommKind(0); k < numKinds; k++ {
+				km := w.RankKindMeter(r, k)
+				kEnc += km.WordsEnc
+				if km.Words > 0 && km.WordsEnc <= 0 {
+					t.Fatalf("split=%v rank %d kind %v: Words %d but WordsEnc %d",
+						split, r, k, km.Words, km.WordsEnc)
+				}
+			}
+			if kEnc != total.WordsEnc {
+				t.Fatalf("split=%v rank %d: kinds WordsEnc sum %d != rank total %d",
+					split, r, kEnc, total.WordsEnc)
+			}
+		}
+		if got := w.TotalMeter(); got != sum {
+			t.Fatalf("split=%v: rank sum %+v != TotalMeter %+v", split, sum, got)
+		}
+		// Blocking and split-phase schedules leave identical encoded ledgers.
+		b, s := worlds[key{false, true}], worlds[key{true, true}]
+		for r := 0; r < p; r++ {
+			if bm, sm := b.RankMeter(r), s.RankMeter(r); bm != sm {
+				t.Fatalf("rank %d: blocking %+v != split-phase %+v", r, bm, sm)
+			}
+		}
+		// Compression only adds the WordsEnc column: the raw ledger matches
+		// the uncompressed run, which itself carries WordsEnc == 0.
+		off := worlds[key{split, false}]
+		for r := 0; r < p; r++ {
+			om, cm := off.RankMeter(r), w.RankMeter(r)
+			if om.WordsEnc != 0 {
+				t.Fatalf("split=%v rank %d: WordsEnc %d with compression off", split, r, om.WordsEnc)
+			}
+			om.WordsEnc = cm.WordsEnc
+			if om != cm {
+				t.Fatalf("split=%v rank %d: raw ledger changed under compression: off %+v on %+v",
+					split, r, off.RankMeter(r), cm)
+			}
+		}
+	}
+}
+
 // TestRequestWaitTestConcurrent hammers shared requests from multiple
 // goroutines per rank — one Test-spinning, one calling Wait, plus the rank
 // goroutine's own Wait — across many rounds. Run under -race this is the

@@ -164,7 +164,7 @@ func (w *Win) Get(rank, off, n int) []int64 {
 		w.unlock(rank)
 	}
 	if rank != w.comm.Rank() {
-		w.comm.addComm(KindRMA, 1, int64(n))
+		w.comm.addComm(KindRMA, 1, int64(n), w.comm.rawEnc(int64(n)))
 	}
 	tr.End(obs.KindRMA, "rma-get", t0, int64(n))
 	return out
@@ -188,7 +188,7 @@ func (w *Win) Put(rank, off int, data []int64) {
 		w.unlock(rank)
 	}
 	if rank != w.comm.Rank() {
-		w.comm.addComm(KindRMA, 1, int64(len(data)))
+		w.comm.addComm(KindRMA, 1, int64(len(data)), w.comm.rawEnc(int64(len(data))))
 	}
 	tr.End(obs.KindRMA, "rma-put", t0, int64(len(data)))
 }
@@ -221,7 +221,7 @@ func (w *Win) FetchAndOp(rank, off int, op ReduceOp, operand int64) int64 {
 		w.unlock(rank)
 	}
 	if rank != w.comm.Rank() {
-		w.comm.addComm(KindRMA, 1, 2)
+		w.comm.addComm(KindRMA, 1, 2, w.comm.rawEnc(2))
 	}
 	tr.End(obs.KindRMA, "rma-fetch-and-op", t0, 2)
 	return old
@@ -250,7 +250,7 @@ func (w *Win) CompareAndSwap(rank, off int, expect, next int64) int64 {
 		w.unlock(rank)
 	}
 	if rank != w.comm.Rank() {
-		w.comm.addComm(KindRMA, 1, 2)
+		w.comm.addComm(KindRMA, 1, 2, w.comm.rawEnc(2))
 	}
 	tr.End(obs.KindRMA, "rma-compare-and-swap", t0, 2)
 	return old

@@ -14,6 +14,7 @@
 package tcpnet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -54,12 +55,28 @@ func (o Options) withDefaults() Options {
 // peer is one mesh connection. Writers serialize on wmu and build each frame
 // as a single Write, so frames never interleave; the reader goroutine owns
 // the receive side exclusively.
+//
+// Mailbox frames (POST, FINISH) do not write the socket directly: they are
+// framed into a per-peer pending buffer and a flusher goroutine drains it,
+// so frames queued while a write is in flight coalesce into one Write — the
+// small-message aggregation of the wire layer. The queue is FIFO, which
+// preserves the POST-before-FINISH order the mailbox relies on; bootstrap,
+// RMA, ABORT and BYE frames keep writing directly under wmu (RMA never
+// overtakes a fence, because a fence only completes after the remote side
+// acknowledged reading its posts).
 type peer struct {
 	rank int
 	conn net.Conn
 	wmu  sync.Mutex
 	bye  chan struct{} // closed when the peer's BYE arrives
 	byeO sync.Once
+
+	qmu   sync.Mutex
+	qcv   *sync.Cond
+	qbuf  []byte // framed mailbox bytes awaiting the flusher
+	qbusy bool   // a flusher Write is in flight
+	qstop bool   // no further enqueues; flusher exits once drained
+	qerr  error  // first write error; poisons subsequent enqueues
 }
 
 // Net is one process's TCP endpoint of a world: it hosts exactly one rank
@@ -77,8 +94,32 @@ type Net struct {
 	callID  atomic.Uint64
 	pending sync.Map // callID → chan rmaReply
 
-	closed  atomic.Bool
-	readers sync.WaitGroup
+	closed   atomic.Bool
+	readers  sync.WaitGroup
+	flushers sync.WaitGroup
+
+	frames atomic.Int64 // frames handed to the write plane
+	writes atomic.Int64 // socket Write calls that carried them
+	bytes  atomic.Int64 // bytes written
+}
+
+// WireStats counts this endpoint's outbound wire activity. Frames is the
+// number of frames sent, Writes the number of socket writes that carried
+// them — aggregation shows up as Writes < Frames — and Bytes the total
+// bytes written, which with compression on is smaller than the same
+// solve writes raw.
+type WireStats struct {
+	// Frames counts frames handed to the write plane.
+	Frames int64
+	// Writes counts the socket Write calls that carried them.
+	Writes int64
+	// Bytes counts bytes written, header included.
+	Bytes int64
+}
+
+// WireStats returns a snapshot of the endpoint's outbound counters.
+func (n *Net) WireStats() WireStats {
+	return WireStats{Frames: n.frames.Load(), Writes: n.writes.Load(), Bytes: n.bytes.Load()}
 }
 
 type rmaReply struct {
@@ -297,7 +338,9 @@ func newPeer(rank int, conn net.Conn) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &peer{rank: rank, conn: conn, bye: make(chan struct{})}
+	p := &peer{rank: rank, conn: conn, bye: make(chan struct{})}
+	p.qcv = sync.NewCond(&p.qmu)
+	return p
 }
 
 func writeHello(conn net.Conn, rank int, listenAddr string, opts Options) error {
@@ -379,25 +422,124 @@ func (n *Net) Bind(w *mpi.World) error {
 		}
 		n.readers.Add(1)
 		go n.readLoop(p)
+		n.flushers.Add(1)
+		go n.flushLoop(p)
 	}
 	return nil
 }
 
-// send writes one frame to a peer under its write lock and deadline.
+// send writes one frame to a peer under its write lock and deadline —
+// the direct path for bootstrap, RMA, ABORT and BYE traffic.
 func (n *Net) send(p *peer, typ byte, body []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	p.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
 	err := writeFrame(p.conn, typ, body)
 	p.conn.SetWriteDeadline(time.Time{})
+	if err == nil {
+		n.frames.Add(1)
+		n.writes.Add(1)
+		n.bytes.Add(int64(5 + len(body)))
+	}
 	return err
+}
+
+// enqueue frames one mailbox message into the peer's pending buffer and
+// wakes the flusher; it fails fast once the peer's write plane has errored
+// or stopped.
+func (n *Net) enqueue(p *peer, typ byte, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("tcpnet: %s frame body %d bytes exceeds cap %d", frameName(typ), len(body), maxFrame)
+	}
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	if p.qerr != nil {
+		return p.qerr
+	}
+	if p.qstop {
+		return fmt.Errorf("tcpnet: writer to rank %d stopped", p.rank)
+	}
+	p.qbuf = binary.LittleEndian.AppendUint32(p.qbuf, uint32(len(body)))
+	p.qbuf = append(p.qbuf, typ)
+	p.qbuf = append(p.qbuf, body...)
+	n.frames.Add(1)
+	p.qcv.Signal()
+	return nil
+}
+
+// flushLoop drains a peer's pending buffer: everything queued since the
+// last Write goes out as one Write. A write error poisons the queue and
+// aborts the world (unless the endpoint is already closing).
+func (n *Net) flushLoop(p *peer) {
+	defer n.flushers.Done()
+	p.qmu.Lock()
+	for {
+		for len(p.qbuf) == 0 && !p.qstop {
+			p.qcv.Wait()
+		}
+		if len(p.qbuf) == 0 {
+			p.qmu.Unlock()
+			return
+		}
+		buf := p.qbuf
+		p.qbuf = nil
+		p.qbusy = true
+		p.qmu.Unlock()
+
+		p.wmu.Lock()
+		p.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+		_, err := p.conn.Write(buf)
+		p.conn.SetWriteDeadline(time.Time{})
+		p.wmu.Unlock()
+		if err == nil {
+			n.writes.Add(1)
+			n.bytes.Add(int64(len(buf)))
+		}
+
+		p.qmu.Lock()
+		p.qbusy = false
+		if err != nil {
+			if p.qerr == nil {
+				p.qerr = err
+			}
+			p.qcv.Broadcast()
+			p.qmu.Unlock()
+			if !n.closed.Load() {
+				if w := n.world.Load(); w != nil {
+					w.Abort(&mpi.TransportError{Backend: "tcp", Op: "write",
+						Err: fmt.Errorf("tcpnet: connection to rank %d: %w", p.rank, err)})
+				}
+			}
+			return
+		}
+		p.qcv.Broadcast()
+	}
+}
+
+// drainWrites blocks until the peer's pending buffer is flushed (or its
+// write plane has errored), then stops the flusher. Close uses it so BYE —
+// a direct send — cannot overtake queued mailbox frames.
+func (p *peer) drainWrites() {
+	p.qmu.Lock()
+	for (len(p.qbuf) > 0 || p.qbusy) && p.qerr == nil {
+		p.qcv.Wait()
+	}
+	p.qstop = true
+	p.qcv.Broadcast()
+	p.qmu.Unlock()
 }
 
 // Post ships msg's parts to each remote member's process. Every remote
 // member gets exactly one POST frame carrying only its own part (plus the
 // envelope), so the receiving mailbox counts exactly one arrival per
 // (source, generation) and wire volume matches the addressed payloads.
+// Frames ride the per-peer write queue; when the bound world runs with
+// compression the part payload travels delta-varint encoded.
 func (n *Net) Post(msg *mpi.PostMsg) error {
+	compress := false
+	if w := n.world.Load(); w != nil {
+		compress = w.Compress()
+	}
 	for i, dst := range msg.Ranks {
 		if dst == n.rank {
 			continue
@@ -416,13 +558,13 @@ func (n *Net) Post(msg *mpi.PostMsg) error {
 		for j := range msg.Ranks {
 			if j == i && j < len(msg.Present) && msg.Present[j] {
 				b.u8(1)
-				b.ints(msg.Parts[j])
+				b.part(msg.Parts[j], compress)
 			} else {
 				b.u8(0)
-				b.u32(0)
+				b.part(nil, false)
 			}
 		}
-		if err := n.send(p, framePost, b.b); err != nil {
+		if err := n.enqueue(p, framePost, b.b); err != nil {
 			return fmt.Errorf("tcpnet: posting %s gen %d to rank %d: %w", msg.Op, msg.Gen, dst, err)
 		}
 	}
@@ -445,7 +587,7 @@ func (n *Net) FinishRead(comm string, ranks []int, m int, gen int64) error {
 		if p == nil {
 			return fmt.Errorf("tcpnet: no connection to rank %d", dst)
 		}
-		if err := n.send(p, frameFinish, b.b); err != nil {
+		if err := n.enqueue(p, frameFinish, b.b); err != nil {
 			return fmt.Errorf("tcpnet: finish notice gen %d to rank %d: %w", gen, dst, err)
 		}
 	}
@@ -509,6 +651,7 @@ func (n *Net) Close() error {
 	}
 	for _, p := range n.peers {
 		if p != nil {
+			p.drainWrites()
 			n.send(p, frameBye, nil)
 		}
 	}
@@ -536,6 +679,7 @@ func (n *Net) Close() error {
 	}
 	n.failPending(fmt.Errorf("tcpnet: endpoint closed"))
 	n.readers.Wait()
+	n.flushers.Wait()
 	return nil
 }
 
@@ -613,7 +757,7 @@ func (n *Net) handle(p *peer, typ byte, body []byte) error {
 		msg.Present = make([]bool, nparts)
 		for i := 0; i < nparts; i++ {
 			msg.Present[i] = rb.u8() != 0
-			msg.Parts[i] = rb.ints()
+			msg.Parts[i] = rb.part()
 		}
 		if err := rb.err(typ); err != nil {
 			return err

@@ -4,27 +4,39 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"mcmdist/internal/wire"
 )
 
-// Wire format (version 1, magic "MCMNET1"):
+// Wire format (version 2, magic "MCMNET1"):
 //
 //	frame   := u32 bodyLen | u8 type | body
 //	u32/u64 := little-endian; int64 values travel as their two's-complement u64
 //	str     := u32 len | bytes (UTF-8, no terminator)
 //	ints    := u32 count | count × u64
+//	part    := u8 enc | enc 0: ints
+//	                  | enc 1: u32 count | u32 nbytes | delta-varint bytes
 //
 // Frame bodies:
 //
 //	HELLO    := magic "MCMNET1" | u8 version | u32 rank | str listenAddr
 //	ROSTER   := u32 size | size × str addr | str config
 //	POST     := str comm | u32 n | n × u32 rank | u32 src | u64 gen |
-//	            str op | u32 n | n × (u8 present | ints part)
+//	            str op | u32 n | n × (u8 present | part)
 //	FINISH   := str comm | u32 n | n × u32 rank | u32 member | u64 gen
 //	RMA_REQ  := u64 callID | str win | u32 member | u8 op | u64 off |
 //	            u64 n | ints data | u8 code | u64 operand | u64 expect | u64 next
 //	RMA_RESP := u64 callID | u8 ok | ok: (ints data | u64 old) / !ok: str error
 //	ABORT    := u32 from | str msg
 //	BYE      := (empty)
+//
+// Version 2 adds the per-part encoding byte on POST: encoding 1 carries the
+// payload through the delta-varint codec of internal/wire (the compression
+// the metering layer accounts as Meter.WordsEnc). Senders pick the encoding
+// per world — raw unless the world runs with mpi.RunConfig.Compress — and
+// receivers accept either, so the choice is a sender-local matter; the
+// version byte still fences off v1 binaries, which cannot parse the part
+// header at all.
 //
 // The HELLO magic and version open every connection (both the rendezvous
 // dial and the mesh dials), so a version-skewed or foreign peer is rejected
@@ -34,12 +46,18 @@ import (
 // wireMagic and wireVersion identify the protocol on every new connection.
 const (
 	wireMagic   = "MCMNET1"
-	wireVersion = 1
+	wireVersion = 2
 )
 
 // maxFrame caps one frame body (1 GiB), a guard against corrupted length
 // prefixes rather than a practical limit.
 const maxFrame = 1 << 30
+
+// The POST part payload encodings.
+const (
+	encRaw   byte = 0 // ints: u32 count | count × u64
+	encDelta byte = 1 // delta-varint: u32 count | u32 nbytes | bytes
+)
 
 // The frame types.
 const (
@@ -80,7 +98,7 @@ func frameName(t byte) string {
 // wbuf builds a frame body.
 type wbuf struct{ b []byte }
 
-func (w *wbuf) u8(v byte)   { w.b = append(w.b, v) }
+func (w *wbuf) u8(v byte)    { w.b = append(w.b, v) }
 func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
 func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
 func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
@@ -100,6 +118,21 @@ func (w *wbuf) ints(v []int64) {
 	for _, x := range v {
 		w.i64(x)
 	}
+}
+
+// part writes one POST part payload under the chosen encoding.
+func (w *wbuf) part(v []int64, compress bool) {
+	if !compress {
+		w.u8(encRaw)
+		w.ints(v)
+		return
+	}
+	w.u8(encDelta)
+	w.u32(uint32(len(v)))
+	lenOff := len(w.b)
+	w.u32(0) // nbytes backpatched below
+	w.b = wire.AppendEncoded(w.b, v)
+	binary.LittleEndian.PutUint32(w.b[lenOff:], uint32(len(w.b)-lenOff-4))
 }
 
 func (w *wbuf) ranks(rs []int) {
@@ -189,6 +222,31 @@ func (r *rbuf) ints() []int64 {
 		v[i] = r.i64()
 	}
 	return v
+}
+
+// part reads one POST part payload, dispatching on its encoding byte.
+func (r *rbuf) part() []int64 {
+	switch r.u8() {
+	case encRaw:
+		return r.ints()
+	case encDelta:
+		count := int(r.u32())
+		nb := int(r.u32())
+		if r.bad || count < 0 || nb < 0 || r.off+nb > len(r.b) {
+			r.fail()
+			return nil
+		}
+		v, err := wire.Decode(make([]int64, 0, count), count, r.b[r.off:r.off+nb])
+		if err != nil {
+			r.fail()
+			return nil
+		}
+		r.off += nb
+		return v
+	default:
+		r.fail()
+		return nil
+	}
 }
 
 func (r *rbuf) ranks() []int {

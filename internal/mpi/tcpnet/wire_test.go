@@ -1,0 +1,71 @@
+package tcpnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPartRoundtrip: every payload survives wbuf.part → rbuf.part under both
+// encodings, and the delta encoding is the smaller one on the sorted-run
+// payloads POST actually carries (id streams from fold/expand exchanges).
+func TestPartRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sorted := make([]int64, 2048)
+	for i := range sorted {
+		sorted[i] = int64(i)*3 + rng.Int63n(3)
+	}
+	hostile := make([]int64, 257)
+	for i := range hostile {
+		hostile[i] = rng.Int63() - rng.Int63()
+	}
+	payloads := [][]int64{
+		nil,
+		{},
+		{0},
+		{-1, 1 << 62, -(1 << 62), 0},
+		sorted,
+		hostile,
+	}
+	for pi, v := range payloads {
+		for _, compress := range []bool{false, true} {
+			var w wbuf
+			w.part(v, compress)
+			r := &rbuf{b: w.b}
+			got := r.part()
+			if err := r.err(framePost); err != nil {
+				t.Fatalf("payload %d compress=%v: decode error: %v", pi, compress, err)
+			}
+			if r.off != len(r.b) {
+				t.Fatalf("payload %d compress=%v: %d trailing bytes", pi, compress, len(r.b)-r.off)
+			}
+			if want, have := fmt.Sprint(v), fmt.Sprint(got); len(v) > 0 && want != have {
+				t.Fatalf("payload %d compress=%v: roundtrip %s != %s", pi, compress, have, want)
+			}
+			if len(v) == 0 && len(got) != 0 {
+				t.Fatalf("payload %d compress=%v: empty payload decoded as %v", pi, compress, got)
+			}
+		}
+	}
+	var raw, enc wbuf
+	raw.part(sorted, false)
+	enc.part(sorted, true)
+	if len(enc.b)*2 >= len(raw.b) {
+		t.Fatalf("delta encoding of a sorted run is not at least 2x smaller: %d vs %d bytes", len(enc.b), len(raw.b))
+	}
+}
+
+// TestPartDecodeRejectsTruncation: a delta part whose nbytes runs past the
+// buffer, or whose varint stream decodes to fewer values than count, must
+// poison the rbuf instead of panicking or returning garbage.
+func TestPartDecodeRejectsTruncation(t *testing.T) {
+	var w wbuf
+	w.part([]int64{5, 9, 12, 40, 41}, true)
+	for cut := 1; cut < len(w.b); cut++ {
+		r := &rbuf{b: w.b[:cut]}
+		r.part()
+		if err := r.err(framePost); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(w.b))
+		}
+	}
+}

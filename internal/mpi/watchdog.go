@@ -174,6 +174,11 @@ type RunConfig struct {
 	// WatchdogPoll overrides how often the watchdog samples the progress
 	// counter (default WatchdogTimeout/8, at least 1ms).
 	WatchdogPoll time.Duration
+	// Compress enables the delta-varint wire codec for this world: backends
+	// that serialize payloads (tcpnet) encode them on the wire, and every
+	// backend meters the encoded volume as Meter.WordsEnc (see the package
+	// metering conventions). Results are bit-identical with it on or off.
+	Compress bool
 }
 
 // Run launches fn on size ranks and waits for all of them. It returns the
@@ -230,13 +235,14 @@ func RunTransport(cfg RunConfig, tr Transport, fn func(c *Comm) error) (*World, 
 		isLocal[r] = true
 	}
 	w := &World{
-		size:      size,
-		local:     local,
-		isLocal:   isLocal,
-		hasRemote: len(local) < size,
-		transport: tr,
-		meters:    make([]meterCell, size),
-		comms:     make(map[string]*commState),
+		size:       size,
+		local:      local,
+		isLocal:    isLocal,
+		hasRemote:  len(local) < size,
+		transport:  tr,
+		compress:   cfg.Compress,
+		meters:     make([]meterCell, size),
+		comms:      make(map[string]*commState),
 		winsByID:   make(map[string]*winState),
 		faults:     cfg.Faults,
 		faultColl:  make([]atomic.Int64, size),

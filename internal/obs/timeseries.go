@@ -31,12 +31,19 @@ type IterSample struct {
 	// Pull reports whether the direction-optimized solver ran this
 	// iteration in pull mode.
 	Pull bool `json:"pull"`
+	// Direction is the SpMV kernel the iteration ran: "push" or "pull"
+	// (the string form of Pull, kept explicit so CSV consumers need no
+	// boolean decoding convention).
+	Direction string `json:"direction"`
 	// WallNs is the iteration wall time in nanoseconds.
 	WallNs int64 `json:"wall_ns"`
 	// Msgs and Words are the communication meter deltas (α messages,
 	// β words) this rank moved during the iteration.
 	Msgs  int64 `json:"msgs"`
 	Words int64 `json:"words"`
+	// WordsEncoded is the delta-varint encoded counterpart of Words (the
+	// Meter.WordsEnc delta); zero when the run does not compress.
+	WordsEncoded int64 `json:"words_encoded"`
 	// CommNs is the total request-in-flight time; ExposedNs the part the
 	// rank actually spent blocked (the rest was hidden behind compute).
 	CommNs    int64 `json:"comm_ns"`
@@ -160,6 +167,7 @@ func (c *Collector) Series() []IterSample {
 			}
 			m.Msgs += s.Msgs
 			m.Words += s.Words
+			m.WordsEncoded += s.WordsEncoded
 			m.PoolBusyNs += s.PoolBusyNs
 			m.PoolSpanNs += s.PoolSpanNs
 		}
@@ -179,15 +187,23 @@ func (c *Collector) WriteSeriesCSV(w io.Writer) error {
 		return fmt.Errorf("obs: no collector (time-series was not enabled)")
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "rank,phase,iteration,frontier,new_paths,matched,pull,wall_ns,msgs,words,comm_ns,exposed_ns,pool_busy_ns,pool_span_ns")
+	fmt.Fprintln(bw, "rank,phase,iteration,frontier,new_paths,matched,pull,direction,wall_ns,msgs,words,words_encoded,comm_ns,exposed_ns,pool_busy_ns,pool_span_ns")
 	row := func(s IterSample) {
 		pull := 0
 		if s.Pull {
 			pull = 1
 		}
-		fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-			s.Rank, s.Phase, s.Iteration, s.Frontier, s.NewPaths, s.Matched, pull,
-			s.WallNs, s.Msgs, s.Words, s.CommNs, s.ExposedNs, s.PoolBusyNs, s.PoolSpanNs)
+		dir := s.Direction
+		if dir == "" {
+			if s.Pull {
+				dir = "pull"
+			} else {
+				dir = "push"
+			}
+		}
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Rank, s.Phase, s.Iteration, s.Frontier, s.NewPaths, s.Matched, pull, dir,
+			s.WallNs, s.Msgs, s.Words, s.WordsEncoded, s.CommNs, s.ExposedNs, s.PoolBusyNs, s.PoolSpanNs)
 	}
 	for _, s := range c.PerRankSeries() {
 		row(s)

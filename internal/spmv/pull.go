@@ -24,10 +24,15 @@ import (
 //
 // The result is semantically interchangeable with Mul's: every reachable
 // unvisited row appears exactly once with a parent that is one of its
-// frontier neighbors and that parent's root. The specific parent may
-// differ from Mul's (pull stops at the first local hit; the fold still
-// combines cross-rank candidates with op), which is harmless for MS-BFS:
-// any discovering neighbor yields a valid alternating tree. Collective.
+// frontier neighbors and that parent's root. Under the default MinParent
+// semiring the output is bit-identical to Mul's: RowMajor's counting-sort
+// transpose lists each row's neighbors in ascending column order, so the
+// early-exit first hit IS the minimum local frontier parent, and the fold
+// combines cross-rank candidates with the same min — see docs/KERNELS.md.
+// Under the randomized semirings (RandRoot, RandParent) the winner is
+// hash-keyed rather than positional and the specific parent may differ,
+// which is still harmless for MS-BFS: any discovering neighbor yields a
+// valid alternating tree. Collective.
 //
 // The returned PullStats carry this rank's local scan counts so callers can
 // adapt the push/pull decision: in matching (unlike plain BFS) a large
@@ -54,15 +59,19 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 	expand0 := tr.Begin()
 
 	// Expand the frontier along my grid column (same as the push direction)
-	// into a dense lookup over my column slab. The lookup lives in the
-	// rank's persistent scratch: epoch stamps stand in for the per-call
-	// inFrontier bitmap.
+	// into a dense lookup over my column slab: a bitmap answers the hot
+	// membership test with one word load + mask (64 columns per cache-resident
+	// word), and the rank's persistent scratch holds the per-column Vertex
+	// values read only on a hit. The visited-row set is a second bitmap.
 	payload := ctx.GetInts(3 * len(x.Idx))
 	for k, gi := range x.Idx {
 		payload = append(payload, int64(gi), x.Val[k].Parent, x.Val[k].Root)
 	}
 	frontier := ctx.Scratch("pull.cols", a.Cols.Len())
-	skip := ctx.Scratch("pull.rows", a.Rows.Len())
+	fbmBuf := ctx.GetInts(dvec.BitmapWords(a.Cols.Len()))
+	fbm := dvec.AsBitmap(fbmBuf, a.Cols.Len())
+	skipBuf := ctx.GetInts(dvec.BitmapWords(a.Rows.Len()))
+	skip := dvec.AsBitmap(skipBuf, a.Rows.Len())
 	var nvis int
 	if ctx.Overlap() {
 		// Split-phase: start the frontier expand, build the local visited
@@ -87,6 +96,7 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 			for off := 0; off < len(piece); off += 3 {
 				lcol := int(piece[off]) - a.Cols.Lo
 				frontier.Set(lcol, semiring.Vertex{Parent: piece[off+1], Root: piece[off+2]})
+				fbm.Set(lcol)
 			}
 		}
 		rqF.Finish()
@@ -96,9 +106,7 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 			if !ok {
 				break
 			}
-			for _, gr := range piece {
-				skip.Mark(int(gr) - a.Rows.Lo)
-			}
+			skip.SetIndices(piece, a.Rows.Lo)
 			nvis += len(piece)
 		}
 		rqV.Finish()
@@ -109,6 +117,7 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 		for off := 0; off < len(slab); off += 3 {
 			lcol := int(slab[off]) - a.Cols.Lo
 			frontier.Set(lcol, semiring.Vertex{Parent: slab[off+1], Root: slab[off+2]})
+			fbm.Set(lcol)
 		}
 		ctx.PutInts(slab)
 
@@ -123,15 +132,13 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 		}
 		vis := g.Row.AllgathervInto(mine, ctx.GetInts(len(mine)*g.PC))
 		ctx.PutInts(mine)
-		for _, gr := range vis {
-			skip.Mark(int(gr) - a.Rows.Lo)
-		}
+		skip.SetIndices(vis, a.Rows.Lo)
 		nvis = len(vis)
 		ctx.PutInts(vis)
 	}
 	// The dense visited/frontier bitmaps are scanned with packed bitwise
-	// operations in real bottom-up implementations: 64 entries per word.
-	g.World.AddWork(len(visited.Local)/64 + skip.Len()/64 + nvis + 1)
+	// operations: 64 entries per word.
+	g.World.AddWork(len(visited.Local)/64 + len(skip.Words) + nvis + 1)
 	tr.End(obs.KindOp, "spmv.pull.expand", expand0, int64(len(x.Idx)))
 	scan0 := tr.Begin()
 
@@ -157,7 +164,7 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 			}
 			for _, lc := range rowAdj.Col(r) {
 				wk++
-				if frontier.Has(lc) {
+				if fbm.Has(lc) {
 					gcol := int64(a.Cols.Lo + lc)
 					cand := semiring.Multiply(gcol, frontier.Val[lc])
 					buf = append(buf, int64(a.Rows.Lo+r), cand.Parent, cand.Root)
@@ -168,12 +175,14 @@ func MulPull(a *spmat.LocalMatrix, rowAdj *spmat.CSC, x *dvec.SparseV,
 		hitsW[w] = buf
 		workW[w] = wk
 	})
-	work := skip.Len() / 64 // packed scan over the skip bitmap
+	work := len(skip.Words) // packed scan over the skip bitmap
 	for _, wk := range workW {
 		work += int(wk)
 	}
 	g.World.AddWork(work)
 	tr.End(obs.KindOp, "spmv.pull.scan", scan0, int64(work))
+	ctx.PutInts(fbmBuf)
+	ctx.PutInts(skipBuf)
 	fold0 := tr.Begin()
 
 	// Fold: identical to the push direction.

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func roundtrip(t *testing.T, v []int64) {
+	t.Helper()
+	enc := AppendEncoded(nil, v)
+	if want := EncodedLen(v); len(enc) != want {
+		t.Fatalf("EncodedLen = %d, encoding produced %d bytes", want, len(enc))
+	}
+	got, err := Decode(nil, len(v), enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(v))
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("value %d: got %d, want %d", i, got[i], v[i])
+		}
+	}
+}
+
+func TestRoundtripFixed(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{},
+		{0},
+		{-1},
+		{math.MaxInt64},
+		{math.MinInt64},
+		{math.MinInt64, math.MaxInt64},           // max-gap delta wraps uint64
+		{math.MaxInt64, math.MinInt64},           // max negative gap
+		{0, 1, 2, 3, 4, 5, 6, 7},                 // adversarially dense run
+		{5, 5, 5, 5},                             // zero deltas
+		{-1, 0, 1 << 40, 1<<40 + 1},              // mixed signs and magnitudes
+		{3, 1, 4, 1, 5, 9, 2, 6},                 // unsorted still roundtrips
+		{math.MinInt64, -1, 0, 1, math.MaxInt64}, // full range sorted
+	}
+	for _, v := range cases {
+		roundtrip(t, v)
+	}
+}
+
+// TestRoundtripPropertySorted is the property test the wire format is built
+// for: arbitrary sorted id streams, covering empty, single, dense runs,
+// huge gaps, duplicates, and negative sentinels like semiring.None.
+func TestRoundtripPropertySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		v := make([]int64, n)
+		for i := range v {
+			switch rng.Intn(4) {
+			case 0: // dense small ids
+				v[i] = int64(rng.Intn(64))
+			case 1: // typical vertex ids
+				v[i] = int64(rng.Intn(1 << 20))
+			case 2: // huge ids, huge gaps
+				v[i] = rng.Int63()
+			default: // negatives (None sentinels, adversarial)
+				v[i] = -rng.Int63()
+			}
+		}
+		sort.Slice(v, func(a, b int) bool { return v[a] < v[b] })
+		roundtrip(t, v)
+	}
+}
+
+func TestRoundtripPropertyUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		v := make([]int64, rng.Intn(100))
+		for i := range v {
+			v[i] = int64(uint64(rng.Int63())<<1 | uint64(rng.Intn(2))) // all 64 bits exercised
+		}
+		roundtrip(t, v)
+	}
+}
+
+func TestSortedStreamsCompress(t *testing.T) {
+	v := make([]int64, 4096)
+	for i := range v {
+		v[i] = int64(i) * 3 // sorted, small gaps: ~1 byte per value
+	}
+	raw := int64(len(v)) // words
+	if enc := EncodedWords(v); enc*2 > raw {
+		t.Fatalf("sorted stream encoded to %d words, want <= half of %d raw", enc, raw)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	enc := AppendEncoded(nil, []int64{1, 2, 3})
+	if _, err := Decode(nil, 3, enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if _, err := Decode(nil, 2, enc); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+	if _, err := Decode(nil, 4, enc); err == nil {
+		t.Fatal("over-count decoded without error")
+	}
+	// A varint longer than 10 bytes is malformed.
+	bad := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, err := Decode(nil, 1, bad); err == nil {
+		t.Fatal("malformed varint decoded without error")
+	}
+}
+
+func TestDecodeAppends(t *testing.T) {
+	enc := AppendEncoded(nil, []int64{10, 20})
+	got, err := Decode([]int64{7}, 2, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("append decode got %v", got)
+	}
+}

@@ -119,6 +119,15 @@ type Options struct {
 	// DirectionOptimized enables the bottom-up ("pull") BFS direction for
 	// large frontiers, the optimization the paper lists as future work.
 	DirectionOptimized bool
+	// Direction pins or frees the per-iteration SpMV kernel choice:
+	// "push", "pull", "auto", or "" to defer to DirectionOptimized.
+	// See docs/KERNELS.md.
+	Direction string
+	// Compress enables the delta-varint wire codec on the communication
+	// layer (internal/wire): multi-process solves encode id-stream
+	// payloads on the wire and every backend meters the encoded volume.
+	// Results are bit-identical with it on or off.
+	Compress bool
 	// TreeGrafting selects the tree-grafting MCM variant (distributed
 	// MS-BFS-Graft, also listed as future work): alternating trees persist
 	// across phases and only augmented trees release their vertices,
@@ -155,6 +164,7 @@ func (o Options) toConfig() core.Config {
 		DisablePrune:       o.DisablePrune,
 		DirectionOptimized: o.DirectionOptimized,
 		TreeGrafting:       o.TreeGrafting,
+		Compress:           o.Compress,
 		DisableOverlap:     o.DisableOverlap,
 		Permute:            o.Permute,
 		Seed:               o.Seed,
@@ -185,6 +195,7 @@ func (o Options) toConfig() core.Config {
 	default:
 		cfg.Augment = core.AugmentAuto
 	}
+	cfg.Direction, _ = core.ParseDirection(o.Direction)
 	if o.Trace != nil {
 		trace := o.Trace
 		cfg.OnIteration = func(ii core.IterInfo) {
@@ -321,6 +332,9 @@ func (st *Stats) ModeledBreakdown(mm MachineModel) map[string]float64 {
 // distributed MCM-DIST algorithm on opts.Procs simulated ranks.
 func MaximumMatching(g *Graph, opts Options) (m *Matching, st *Stats, err error) {
 	defer guard(&err)
+	if _, perr := core.ParseDirection(opts.Direction); perr != nil {
+		return nil, nil, perr
+	}
 	cfg := opts.toConfig()
 	procs := opts.Procs
 	if opts.GridRows > 0 && opts.GridCols > 0 {

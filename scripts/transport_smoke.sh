@@ -41,3 +41,27 @@ wait
 cmp "$work/oracle.txt" "$work/rank0.txt"
 cmp "$work/oracle.txt" "$work/rank3.txt"
 echo "transport-smoke: 4-process tcp matching is byte-identical to the in-process oracle (scale $scale, $addr)"
+
+# Second pass: same solve with delta-varint wire compression and the
+# adaptive direction heuristic on. The spec ships both knobs to the workers
+# through the rendezvous config blob; the output must still be byte-identical
+# to the uncompressed oracle (compression is a transport encoding, direction
+# is bit-identical under MinParent — docs/KERNELS.md).
+addr2="127.0.0.1:${SMOKE_PORT2:-$((9912 + RANDOM % 88))}"
+"$work/mcm" "${graph[@]}" -transport tcp -addr "$addr2" \
+  -compress -direction auto \
+  -out "$work/rank0c.txt" >"$work/coordc.log" 2>&1 &
+coord=$!
+"$work/mcmrank" -addr "$addr2" -rank 1 -quiet &
+"$work/mcmrank" -addr "$addr2" -rank 2 -quiet &
+"$work/mcmrank" -addr "$addr2" -rank 3 -quiet -out "$work/rank3c.txt"
+if ! wait "$coord"; then
+  echo "transport-smoke: compressed coordinator failed:" >&2
+  cat "$work/coordc.log" >&2
+  exit 1
+fi
+wait
+
+cmp "$work/oracle.txt" "$work/rank0c.txt"
+cmp "$work/oracle.txt" "$work/rank3c.txt"
+echo "transport-smoke: compressed+auto 4-process matching is byte-identical to the oracle (scale $scale, $addr2)"
