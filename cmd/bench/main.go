@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|recovery|profile|all
+//	bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|augment|enginesweep|recovery|profile|all
 //	      [-scale N] [-procs P] [-threads T] [-no-overlap] [-transport inproc|tcp]
 //	      [-direction push|pull|auto|default] [-compress off|on]
 //	      [-checkpoint-every K] [-fault none|crash|straggler|rma]
@@ -57,7 +57,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, dirsweep, gridshape, graft, quality, balance, ssms, dynamics, recovery, profile, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3..fig9, augment, direction, dirsweep, enginesweep, gridshape, graft, quality, balance, ssms, dynamics, recovery, profile, all")
 	scale := flag.Int("scale", 12, "matrix scale (~2^scale vertices per side)")
 	procs := flag.Int("procs", 16, "simulated ranks for single-p experiments (perfect square)")
 	threads := flag.Int("threads", 0, "threads per rank for hybrid configurations (0 = paper default of 12)")
@@ -65,6 +65,7 @@ func main() {
 	matrix := flag.String("matrix", "road_usa", "matrix for the -json measured solve profile: a Table II stand-in name or g500/er/ssca (RMAT)")
 	transport := flag.String("transport", "inproc", "transport backend for the measured solve profile: inproc, or tcp (loopback sockets, one endpoint per rank)")
 	direction := flag.String("direction", "default", "SpMV kernel policy for the measured solve profile: push, pull, auto, or default (follow the config's direction-optimized setting)")
+	engine := flag.String("engine", "", "matching engine for the measured solve profile: bfs, bfs-ss, bfs-graft, auction, auto (cost-model selection), or empty for the default (bfs); graft is a deprecated alias for bfs-graft")
 	compress := flag.String("compress", "off", "delta-varint wire compression for the measured solve profile: off or on (results are bit-identical; wire volume and the WordsEnc meters change)")
 	jsonPath := flag.String("json", "", "write machine-readable results (experiment rows + measured solve profile) to this path")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint stride (phases) for the recovery benchmark; 0 means every phase")
@@ -95,6 +96,12 @@ func main() {
 		os.Exit(1)
 	}
 	experiments.DefaultDirection = dir
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.Engine = eng
 	switch *compress {
 	case "off":
 	case "on":
@@ -153,6 +160,8 @@ func main() {
 			rows = experiments.DirectionAblation(w, *scale, *procs, nil)
 		case "dirsweep":
 			rows = experiments.DirectionSweep(w, []int{min(*scale, 14), min(*scale+1, 15), min(*scale+2, 16)}, *procs)
+		case "enginesweep":
+			rows = experiments.EngineSweep(w, *matrix, *scale, *procs)
 		case "gridshape":
 			rows = experiments.GridShapeAblation(w, *scale, *procs)
 		case "graft":
@@ -257,6 +266,7 @@ func main() {
 				Threads   int                          `json:"threads"`
 				Transport string                       `json:"transport"`
 				Direction string                       `json:"direction"`
+				Engine    string                       `json:"engine"`
 				Compress  bool                         `json:"compress"`
 				HostCPUs  int                          `json:"host_cpus"`
 				Results   map[string]any               `json:"results"`
@@ -269,6 +279,7 @@ func main() {
 				Threads:   t,
 				Transport: *transport,
 				Direction: dir.String(),
+				Engine:    prof.Engine,
 				Compress:  experiments.Compress,
 				HostCPUs:  runtime.NumCPU(),
 				Results:   results,

@@ -54,7 +54,8 @@ func main() {
 	dirOpt := flag.Bool("direction-optimized", false, "enable bottom-up BFS for large frontiers")
 	direction := flag.String("direction", "default", "SpMV kernel policy: push, pull, auto, or default (follow -direction-optimized)")
 	compress := flag.Bool("compress", false, "enable the delta-varint wire codec (tcp payload compression; all backends meter the encoded volume)")
-	graft := flag.Bool("graft", false, "use the tree-grafting MCM variant (distributed MS-BFS-Graft)")
+	engine := flag.String("engine", "", "matching engine: bfs, bfs-ss, bfs-graft, auction, or auto (cost-model selection); empty follows -graft")
+	graft := flag.Bool("graft", false, "use the tree-grafting MCM variant (deprecated alias for -engine bfs-graft)")
 	serial := flag.String("serial", "", "also run a serial baseline for comparison: hk, pf, msbfs, graft, pr")
 	noPermute := flag.Bool("no-permute", false, "skip the load-balancing random permutation")
 	verify := flag.Bool("verify", false, "certify the result with the König vertex-cover certificate")
@@ -106,6 +107,7 @@ func main() {
 		DirectionOptimized: *dirOpt,
 		Direction:          *direction,
 		Compress:           *compress,
+		Engine:             *engine,
 		TreeGrafting:       *graft,
 		Permute:            !*noPermute,
 		Seed:               *seed,
@@ -153,7 +155,7 @@ func main() {
 			Procs: *procs, Threads: *threads,
 			Init: *initAlg, Semiring: *semiringFlag, Augment: *augment,
 			NoPrune: *noPrune, DirectionOptimized: *dirOpt, Direction: *direction,
-			Compress: *compress, Graft: *graft, NoPermute: *noPermute,
+			Compress: *compress, Engine: *engine, Graft: *graft, NoPermute: *noPermute,
 		}
 		if *in != "" {
 			// Workers may not share our filesystem: embed the file.
@@ -179,8 +181,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("|M| = %d (initializer found %d), deficiency %d\n",
-		st.Cardinality, st.InitCardinality, g.Cols()-st.Cardinality)
+	fmt.Printf("|M| = %d (initializer found %d), deficiency %d, engine %s\n",
+		st.Cardinality, st.InitCardinality, g.Cols()-st.Cardinality, st.Engine)
 	fmt.Printf("phases %d, iterations %d (push %d / pull %d), augmenting paths %d (level-parallel %d, path-parallel %d)\n",
 		st.Phases, st.Iterations, st.PushIterations, st.PullIterations,
 		st.AugmentedPaths, st.LevelParallelAugments, st.PathParallelAugments)

@@ -17,8 +17,9 @@ import (
 )
 
 func TestAllExportedSymbolsDocumented(t *testing.T) {
-	// The public package plus the packages added by the transport layer.
-	dirs := []string{".", "internal/mpi/tcpnet", "internal/distjob", "cmd/mcmrank"}
+	// The public package plus the packages added by the transport layer and
+	// the engine registry, whose exported surface plug-in engines implement.
+	dirs := []string{".", "internal/mpi/tcpnet", "internal/distjob", "cmd/mcmrank", "internal/engine"}
 	fset := token.NewFileSet()
 	var undocumented []string
 	var files []string

@@ -8,52 +8,91 @@ import (
 
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/semiring"
+	"mcmdist/internal/wire"
 )
 
-// checkpointMagic opens every encoded checkpoint (format version 1).
-const checkpointMagic = "MCMCKPT1"
+// checkpointMagic opens every encoded checkpoint. Format version 2: the
+// header gained the engine id (recovery refuses cross-engine resumes) and
+// the mate vectors are stored delta-varint compressed (internal/wire, the
+// same codec the tcp transport applies to id streams) instead of as raw
+// 8-byte words — mate vectors are mostly sorted-ish small integers with
+// long None runs, so the payload typically shrinks 4-6x. Version 1 blobs
+// ("MCMCKPT1") are rejected loudly by DecodeCheckpoint.
+const checkpointMagic = "MCMCKPT2"
+
+// checkpointMagicV1 is recognized only to produce a clear version error.
+const checkpointMagicV1 = "MCMCKPT1"
 
 // Checkpoint is a phase-boundary snapshot of a distributed matching run.
 // MCM-DIST's invariant (the observation this subsystem exploits) is that
 // between augmentation phases the mate vectors always encode a valid
 // matching — the same property that lets the paper seed MCM from any
 // maximal matching — so a solve killed mid-phase can restart from the last
-// snapshot and lose at most one phase of work. The vectors are stored in
-// the solver's (possibly permuted) global index space.
+// snapshot and lose at most one phase of work. The auction engine keeps the
+// same invariant at bidding-round boundaries (prices reset to zero on
+// restore, which any matching satisfies). The vectors are stored in the
+// solver's (possibly permuted) global index space.
 type Checkpoint struct {
-	Phase       int    // augmentation phases completed when taken (0 = just initialized)
+	Phase       int    // augmentation phases (or auction rounds) completed when taken (0 = just initialized)
 	Cardinality int    // matching cardinality at the snapshot
 	ConfigHash  uint64 // hash binding the snapshot to its Config and problem shape
+	Engine      string // registry name of the engine that produced the snapshot
 	N1, N2      int    // global rows and columns
 	MateR       []int64
 	MateC       []int64
 }
 
-// EncodedSize returns the byte length Encode will produce for an n1 x n2
-// problem: magic, five uint64 header words, then the two mate vectors.
-func EncodedSize(n1, n2 int) int {
-	return len(checkpointMagic) + 5*8 + 8*(n1+n2)
+// EncodedSize returns the exact byte length Encode produces for this
+// checkpoint: magic, five uint64 header words, the engine id, then the two
+// delta-varint mate payloads, each with a uvarint byte-length prefix.
+// Unlike the fixed v1 size it depends on the vector contents, which is the
+// point of the compression.
+func (ck *Checkpoint) EncodedSize() int {
+	rlen := wire.EncodedLen(ck.MateR)
+	clen := wire.EncodedLen(ck.MateC)
+	return len(checkpointMagic) + 5*8 +
+		uvarintSize(uint64(len(ck.Engine))) + len(ck.Engine) +
+		uvarintSize(uint64(rlen)) + rlen +
+		uvarintSize(uint64(clen)) + clen
 }
 
-// Encode serializes the checkpoint into the fixed little-endian format
-// (magic, header, MateR, MateC) — suitable for a file or an object store.
+// uvarintSize is the encoded size of one uvarint, without writing it.
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Encode serializes the checkpoint into the little-endian v2 format
+// (magic, header, engine id, compressed MateR, compressed MateC) —
+// suitable for a file or an object store.
 func (ck *Checkpoint) Encode() []byte {
-	buf := make([]byte, 0, EncodedSize(ck.N1, ck.N2))
+	buf := make([]byte, 0, ck.EncodedSize())
 	buf = append(buf, checkpointMagic...)
 	for _, v := range []uint64{ck.ConfigHash, uint64(ck.Phase), uint64(ck.Cardinality), uint64(ck.N1), uint64(ck.N2)} {
 		buf = binary.LittleEndian.AppendUint64(buf, v)
 	}
-	for _, v := range ck.MateR {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
-	}
-	for _, v := range ck.MateC {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Engine)))
+	buf = append(buf, ck.Engine...)
+	for _, mate := range [][]int64{ck.MateR, ck.MateC} {
+		buf = binary.AppendUvarint(buf, uint64(wire.EncodedLen(mate)))
+		buf = wire.AppendEncoded(buf, mate)
 	}
 	return buf
 }
 
-// DecodeCheckpoint parses an Encode result, validating magic and length.
+// DecodeCheckpoint parses an Encode result, validating the magic, every
+// length prefix, and exact consumption: a blob that is truncated, padded,
+// or bit-flipped inside a varint decodes to an error, never to a silently
+// wrong matching (the recovery driver additionally verifies restored
+// matchings against the matrix).
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) >= len(checkpointMagicV1) && string(data[:len(checkpointMagicV1)]) == checkpointMagicV1 {
+		return nil, fmt.Errorf("core: checkpoint is format version 1 (%q), which this version no longer reads; re-take the checkpoint", checkpointMagicV1)
+	}
 	if len(data) < len(checkpointMagic)+5*8 {
 		return nil, fmt.Errorf("core: checkpoint too short (%d bytes)", len(data))
 	}
@@ -72,31 +111,52 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	ck.Cardinality = int(word())
 	ck.N1 = int(word())
 	ck.N2 = int(word())
-	if want := EncodedSize(ck.N1, ck.N2); len(data) != want {
-		return nil, fmt.Errorf("core: checkpoint length %d, want %d for %dx%d", len(data), want, ck.N1, ck.N2)
+	if ck.N1 < 0 || ck.N2 < 0 {
+		return nil, fmt.Errorf("core: checkpoint header claims negative shape %dx%d", ck.N1, ck.N2)
 	}
-	ck.MateR = make([]int64, ck.N1)
-	for i := range ck.MateR {
-		ck.MateR[i] = int64(word())
+	rest := data[off:]
+	elen, n := binary.Uvarint(rest)
+	if n <= 0 || elen > uint64(len(rest)-n) {
+		return nil, fmt.Errorf("core: checkpoint engine id truncated")
 	}
-	ck.MateC = make([]int64, ck.N2)
-	for i := range ck.MateC {
-		ck.MateC[i] = int64(word())
+	ck.Engine = string(rest[n : n+int(elen)])
+	rest = rest[n+int(elen):]
+
+	for i, want := range []int{ck.N1, ck.N2} {
+		blen, n := binary.Uvarint(rest)
+		if n <= 0 || blen > uint64(len(rest)-n) {
+			return nil, fmt.Errorf("core: checkpoint mate vector %d length prefix truncated", i)
+		}
+		vals, err := wire.Decode(make([]int64, 0, want), want, rest[n:n+int(blen)])
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint mate vector %d corrupt: %w", i, err)
+		}
+		if i == 0 {
+			ck.MateR = vals
+		} else {
+			ck.MateC = vals
+		}
+		rest = rest[n+int(blen):]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after checkpoint payload", len(rest))
 	}
 	return ck, nil
 }
 
 // CheckpointHash fingerprints the parts of the configuration that determine
 // the solve trajectory for an n1 x n2 problem, so a restore onto a changed
-// configuration is rejected instead of silently diverging. AddOp is a
+// configuration is rejected instead of silently diverging. The engine name
+// (resolved from the legacy TreeGrafting knob when Engine is unset)
+// replaces the v2 TreeGrafting boolean, which it subsumes. AddOp is a
 // function value and deliberately excluded; callers that vary the semiring
 // across restarts must carry that discipline themselves.
 func (c Config) CheckpointHash(n1, n2 int) uint64 {
 	c = c.withDefaults()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "v2|%d|%d|%d|%d|%d|%v|%v|%v|%g|%d|%v|%d|%d",
-		n1, n2, c.Procs, int(c.Init), int(c.Augment),
-		c.DisablePrune, c.TreeGrafting, c.DirectionOptimized,
+	fmt.Fprintf(h, "v3|%s|%d|%d|%d|%d|%d|%v|%v|%g|%d|%v|%d|%d",
+		c.engineOrDefault(), n1, n2, c.Procs, int(c.Init), int(c.Augment),
+		c.DisablePrune, c.DirectionOptimized,
 		c.PullThreshold, int(c.Direction), c.Permute, c.Seed, c.GridRows*1000+c.GridCols)
 	return h.Sum64()
 }
@@ -106,7 +166,9 @@ func (c Config) CheckpointHash(n1, n2 int) uint64 {
 // CheckpointEvery-th augmentation phase. Collective — the gate is
 // SPMD-replicated, every rank joins the gathers, and rank 0 packages the
 // snapshot and delivers it to OnCheckpoint. All ranks account the overhead
-// in Stats (Checkpoints, CheckpointBytes, CheckpointWall).
+// in Stats (Checkpoints, CheckpointBytes, CheckpointWall); the gathered
+// vectors are full on every rank, so the compressed encoded size is exact
+// everywhere.
 func (s *Solver) maybeCheckpoint(phase int, mater, matec *dvec.Dense) {
 	if s.Cfg.CheckpointEvery <= 0 || s.Cfg.OnCheckpoint == nil {
 		return
@@ -119,28 +181,33 @@ func (s *Solver) maybeCheckpoint(phase int, mater, matec *dvec.Dense) {
 		card := s.N2 - s.countUnmatched(matec)
 		fullR := mater.Gather()
 		fullC := matec.Gather()
+		ck := &Checkpoint{
+			Phase:       phase,
+			Cardinality: card,
+			ConfigHash:  s.Cfg.CheckpointHash(s.N1, s.N2),
+			Engine:      s.Cfg.engineOrDefault(),
+			N1:          s.N1,
+			N2:          s.N2,
+			MateR:       fullR,
+			MateC:       fullC,
+		}
+		s.Stats.CheckpointBytes += int64(ck.EncodedSize())
 		if s.G.World.Rank() == 0 {
-			s.Cfg.OnCheckpoint(&Checkpoint{
-				Phase:       phase,
-				Cardinality: card,
-				ConfigHash:  s.Cfg.CheckpointHash(s.N1, s.N2),
-				N1:          s.N1,
-				N2:          s.N2,
-				MateR:       fullR,
-				MateC:       fullC,
-			})
+			s.Cfg.OnCheckpoint(ck)
 		}
 	})
 	s.Stats.Checkpoints++
-	s.Stats.CheckpointBytes += int64(EncodedSize(s.N1, s.N2))
 	s.Stats.CheckpointWall += time.Since(begin)
 	s.G.RT.Tracer().Instant("checkpoint", int64(phase))
 }
 
 // RestoreMates rebuilds this rank's mate-vector pieces from a checkpoint,
-// the restart half of the phase-boundary protocol. The snapshot's shape and
-// config hash must match; the restored cardinality becomes this attempt's
-// InitCardinality (the checkpoint plays the role of the initializer).
+// the restart half of the phase-boundary protocol. The snapshot's shape,
+// engine and config hash must match — a checkpoint taken by one engine is
+// never resumed by another, even when both could continue from the matching
+// (their Stats and trajectories would silently diverge). The restored
+// cardinality becomes this attempt's InitCardinality (the checkpoint plays
+// the role of the initializer).
 func (s *Solver) RestoreMates(ck *Checkpoint) (mater, matec *dvec.Dense, err error) {
 	if ck.N1 != s.N1 || ck.N2 != s.N2 {
 		return nil, nil, fmt.Errorf("core: checkpoint is %dx%d, solver is %dx%d", ck.N1, ck.N2, s.N1, s.N2)
@@ -148,6 +215,9 @@ func (s *Solver) RestoreMates(ck *Checkpoint) (mater, matec *dvec.Dense, err err
 	if len(ck.MateR) != ck.N1 || len(ck.MateC) != ck.N2 {
 		return nil, nil, fmt.Errorf("core: checkpoint mate vectors are %dx%d, header says %dx%d",
 			len(ck.MateR), len(ck.MateC), ck.N1, ck.N2)
+	}
+	if want := s.Cfg.engineOrDefault(); ck.Engine != "" && ck.Engine != want {
+		return nil, nil, fmt.Errorf("core: checkpoint was taken by engine %q, refusing cross-engine resume with %q", ck.Engine, want)
 	}
 	if want := s.Cfg.CheckpointHash(s.N1, s.N2); ck.ConfigHash != want {
 		return nil, nil, fmt.Errorf("core: checkpoint config hash %#x does not match current config %#x", ck.ConfigHash, want)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -14,21 +15,23 @@ func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
 		Phase:       3,
 		Cardinality: 2,
 		ConfigHash:  0xdeadbeefcafef00d,
+		Engine:      EngineBFS,
 		N1:          4,
 		N2:          3,
 		MateR:       []int64{1, semiring.None, 0, 2},
 		MateC:       []int64{2, 0, 3},
 	}
 	data := ck.Encode()
-	if len(data) != EncodedSize(ck.N1, ck.N2) {
-		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), EncodedSize(ck.N1, ck.N2))
+	if len(data) != ck.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), ck.EncodedSize())
 	}
 	got, err := DecodeCheckpoint(data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Phase != ck.Phase || got.Cardinality != ck.Cardinality ||
-		got.ConfigHash != ck.ConfigHash || got.N1 != ck.N1 || got.N2 != ck.N2 {
+		got.ConfigHash != ck.ConfigHash || got.Engine != ck.Engine ||
+		got.N1 != ck.N1 || got.N2 != ck.N2 {
 		t.Fatalf("header mismatch: %+v vs %+v", got, ck)
 	}
 	for i := range ck.MateR {
@@ -44,7 +47,7 @@ func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
-	ck := &Checkpoint{N1: 2, N2: 2, MateR: []int64{0, 1}, MateC: []int64{0, 1}}
+	ck := &Checkpoint{Engine: EngineBFS, N1: 2, N2: 2, MateR: []int64{0, 1}, MateC: []int64{0, 1}}
 	good := ck.Encode()
 
 	if _, err := DecodeCheckpoint(good[:10]); err == nil {
@@ -55,8 +58,86 @@ func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
 	if _, err := DecodeCheckpoint(bad); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if _, err := DecodeCheckpoint(good[:len(good)-8]); err == nil {
+	if _, err := DecodeCheckpoint(good[:len(good)-2]); err == nil {
 		t.Fatal("short mate vectors accepted")
+	}
+	if _, err := DecodeCheckpoint(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A version-1 blob must be rejected with a version error, not
+	// misdecoded: fake one by splicing the old magic in.
+	v1 := append([]byte(nil), good...)
+	copy(v1, "MCMCKPT1")
+	if _, err := DecodeCheckpoint(v1); err == nil {
+		t.Fatal("format version 1 blob accepted")
+	}
+}
+
+// TestCheckpointRoundtripShapes mirrors the tcpnet TestPartRoundtrip: the
+// delta-varint mate payloads must survive arbitrary vector contents —
+// mostly-None runs, sorted runs, hostile random values — and the encoding
+// must actually be smaller than the 8-bytes-per-entry v1 layout on the
+// mostly-matched vectors real checkpoints hold.
+func TestCheckpointRoundtripShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sortedish := make([]int64, 2048)
+	for i := range sortedish {
+		sortedish[i] = int64(i)*3 + rng.Int63n(3)
+	}
+	hostile := make([]int64, 257)
+	for i := range hostile {
+		hostile[i] = rng.Int63() - rng.Int63()
+	}
+	allNone := make([]int64, 512)
+	for i := range allNone {
+		allNone[i] = semiring.None
+	}
+	vectors := [][]int64{nil, {}, {0}, {semiring.None}, sortedish, hostile, allNone}
+	for vi, v := range vectors {
+		ck := &Checkpoint{
+			Engine: EngineBFSGraft,
+			N1:     len(v), N2: len(v),
+			MateR: v, MateC: append([]int64(nil), v...),
+		}
+		data := ck.Encode()
+		if len(data) != ck.EncodedSize() {
+			t.Fatalf("vector %d: encoded %d bytes, EncodedSize says %d", vi, len(data), ck.EncodedSize())
+		}
+		got, err := DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("vector %d: %v", vi, err)
+		}
+		if fmt.Sprint(got.MateR) != fmt.Sprint([]int64(v)) && len(v) > 0 {
+			t.Fatalf("vector %d: roundtrip %v != %v", vi, got.MateR, v)
+		}
+	}
+	// The v1 format spent 8*(n1+n2) bytes on the vectors; the identity-run
+	// and all-None vectors must compress at least 4x below that.
+	run := &Checkpoint{Engine: EngineBFS, N1: 2048, N2: 2048, MateR: sortedish, MateC: allNone[:0:0]}
+	run.MateC = make([]int64, 2048)
+	for i := range run.MateC {
+		run.MateC[i] = semiring.None
+	}
+	if raw := 8 * (run.N1 + run.N2); run.EncodedSize()*4 >= raw {
+		t.Fatalf("compressed checkpoint is %d bytes, want <1/4 of the raw %d", run.EncodedSize(), raw)
+	}
+}
+
+// TestCheckpointRejectsEveryTruncation mirrors the tcpnet
+// TestPartDecodeRejectsTruncation: a checkpoint cut at ANY byte boundary
+// must decode to an error, never to garbage mate vectors.
+func TestCheckpointRejectsEveryTruncation(t *testing.T) {
+	ck := &Checkpoint{
+		Phase: 2, Cardinality: 3, ConfigHash: 0xabcd, Engine: EngineAuction,
+		N1: 5, N2: 5,
+		MateR: []int64{5, 9, semiring.None, 12, 40},
+		MateC: []int64{41, semiring.None, 0, 2, 1},
+	}
+	data := ck.Encode()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(data))
+		}
 	}
 }
 
@@ -133,8 +214,17 @@ func TestSolveEmitsValidCheckpoints(t *testing.T) {
 	if res.Stats.Checkpoints != len(cks) {
 		t.Fatalf("Stats.Checkpoints = %d, observed %d", res.Stats.Checkpoints, len(cks))
 	}
-	if res.Stats.CheckpointBytes != int64(len(cks)*EncodedSize(50, 50)) {
-		t.Fatalf("Stats.CheckpointBytes = %d", res.Stats.CheckpointBytes)
+	var wantBytes int64
+	for _, ck := range cks {
+		wantBytes += int64(ck.EncodedSize())
+	}
+	if res.Stats.CheckpointBytes != wantBytes {
+		t.Fatalf("Stats.CheckpointBytes = %d, encodings total %d", res.Stats.CheckpointBytes, wantBytes)
+	}
+	for _, ck := range cks {
+		if ck.Engine != EngineBFS {
+			t.Fatalf("checkpoint carries engine %q, want %q", ck.Engine, EngineBFS)
+		}
 	}
 }
 

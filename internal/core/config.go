@@ -128,6 +128,13 @@ func ParseDirection(s string) (Direction, error) {
 
 // Config controls a distributed matching run.
 type Config struct {
+	// Engine names the matching engine to run: a registered engine name
+	// ("bfs", "bfs-ss", "bfs-graft", "auction" — see EngineNames), "auto"
+	// to let ResolveEngineConfig pick per instance via the cost model, or
+	// "" to defer to the legacy TreeGrafting knob (the historical default,
+	// so existing configurations behave identically). Parse user input
+	// with ParseEngine.
+	Engine string
 	// Procs is the number of simulated MPI ranks. Unless GridRows/GridCols
 	// are set it must be a perfect square (the configuration the paper
 	// evaluates; its CombBLAS build "does not support rectangular grids" —

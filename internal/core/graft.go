@@ -2,188 +2,16 @@ package core
 
 import (
 	"mcmdist/internal/dvec"
-	"mcmdist/internal/mpi"
-	"mcmdist/internal/obs"
-	"mcmdist/internal/semiring"
 )
 
 // MCMGraft runs the tree-grafting variant of MCM-DIST — the distributed
 // form of MS-BFS-Graft [Azad, Buluç, Pothen], which the paper names as
 // future work ("implementing the tree grafting technique ... in distributed
-// memory"). The difference from MCM (Algorithm 2): the parent and
-// tree-ownership vectors persist across phases, so alternating trees that
-// found no augmenting path keep their traversal; only the trees that were
-// augmented release their vertices, and released rows are grafted onto
-// surviving trees when rediscovered. This eliminates most redundant edge
-// re-traversals across phases.
+// memory"). Collective.
 //
-// Rendition note (same as the serial matching.MSBFSGraft): when a grafted
-// phase discovers nothing, all state is reset and one plain MS-BFS phase
-// runs; only if that fresh sweep also finds nothing is the matching
-// declared maximum, which keeps the termination condition identical to
-// Algorithm 2's. Collective.
+// Deprecated: MCMGraft is a thin alias for the "bfs-graft" engine
+// (engine_bfs.go); new callers should route through the engine registry
+// (Config.Engine, Solver.RunEngineByName) so the solve path stays pluggable.
 func (s *Solver) MCMGraft(mater, matec *dvec.Dense) {
-	trc := s.G.RT.Tracer()
-	solve0 := trc.Begin()
-	// Persistent across phases: parents of visited rows and the root of
-	// the alternating tree owning each row (None = unowned).
-	pir := dvec.NewDense(s.RowL, semiring.None)
-	rootR := dvec.NewDense(s.RowL, semiring.None)
-	// Direction state mirrors rootR's lifetime, not the phase's: tree
-	// ownership persists across grafted phases, so the discovered-row count
-	// feeding the heuristic only resets when the trees do.
-	var dir dirState
-
-	fresh := false // true while running the full-reset verification phase
-	phase := 0     // sweeps started, fresh verification sweeps included
-	for {
-		phase++
-		phase0 := trc.Begin()
-		pathc := dvec.NewDense(s.ColL, semiring.None)
-		var fc *dvec.SparseV
-		var fcCount *mpi.ValueRequest
-		s.tr.track(OpOther, func() {
-			fc = s.unmatchedColFrontier(matec)
-			fcCount = s.startFrontierCount(fc)
-		})
-		pathsFound := 0
-
-		for {
-			var frontierSize int
-			s.tr.track(OpOther, func() {
-				frontierSize = s.waitFrontierCount(fcCount, fc)
-				fcCount = nil
-			})
-			if frontierSize == 0 {
-				break
-			}
-			s.Stats.Iterations++
-			iter0 := s.obsIterBegin()
-
-			// The pull direction's visited set is rootR — exactly the set the
-			// grafting filter below drops — so rows owned by any surviving
-			// tree are skipped before the scan rather than after.
-			var fr *dvec.SparseV
-			usePull := s.chooseDirection(&dir, frontierSize)
-			s.tr.track(OpSpMV, func() {
-				fr = s.mulDirected(usePull, &dir, fc, rootR)
-			})
-
-			// Grafting filter: skip rows owned by ANY tree, from this phase
-			// or an earlier one. Fresh rows are claimed for the discovering
-			// tree (ownership recorded in rootR, parents in pi_r).
-			var ufr *dvec.SparseV
-			s.tr.track(OpSelect, func() {
-				fr = fr.Select(rootR, func(v int64) bool { return v == semiring.None })
-				pir.ScatterParents(fr)
-				rootR.ScatterRoots(fr)
-				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
-				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
-			})
-			if s.adaptiveDirection() {
-				s.tr.track(OpOther, func() {
-					dir.noteDiscovered(fr.Nnz() + ufr.Nnz())
-				})
-			}
-
-			var newPaths int
-			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
-			if newPaths > 0 {
-				var tc *dvec.SparseV
-				s.tr.track(OpInvert, func() {
-					tc = ufr.InvertRoots(s.ColL)
-				})
-				s.tr.track(OpSelect, func() {
-					pathc.ScatterParents(tc)
-				})
-				s.tr.track(OpOther, func() {
-					pathsFound += tc.Nnz()
-				})
-				if !s.Cfg.DisablePrune {
-					s.tr.track(OpPrune, func() {
-						roots := ufr.RootVals(s.G.RT.GetInts(ufr.LocalNnz()))
-						fr = fr.PruneRoots(roots)
-						s.G.RT.PutInts(roots)
-					})
-				}
-			}
-
-			s.tr.track(OpSelect, func() {
-				fr.SetParentsFrom(mater)
-			})
-			s.tr.track(OpInvert, func() {
-				fc = fr.InvertParents(s.ColL)
-				fcCount = s.startFrontierCount(fc)
-			})
-			s.obsIterEnd(iter0, phase, frontierSize, newPaths, usePull)
-		}
-
-		if pathsFound == 0 {
-			trc.End(obs.KindPhase, "phase", phase0, int64(phase))
-			if fresh {
-				break // a full fresh sweep found nothing: maximum reached
-			}
-			// Grafted state may be blocking paths; reset and verify with
-			// one plain phase.
-			s.tr.track(OpOther, func() {
-				pir.Fill(semiring.None)
-				rootR.Fill(semiring.None)
-				s.G.World.AddWork(len(pir.Local) + len(rootR.Local))
-			})
-			dir.resetPhase()
-			s.Stats.GraftResets++
-			fresh = true
-			continue
-		}
-		fresh = false
-		s.Stats.Phases++
-		s.Stats.AugmentedPaths += pathsFound
-
-		s.tr.track(OpAugment, func() {
-			s.augment(pathc, pir, mater, matec, pathsFound)
-		})
-		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
-
-		// Release the augmented (dead) trees: their vertices become
-		// graftable. Dead roots are the pathc entries; every rank gathers
-		// the full set (the same allgather pattern as PRUNE) and scans its
-		// local pieces.
-		s.tr.track(OpOther, func() {
-			var local []int64
-			lo := s.ColL.MyRange().Lo
-			for i, end := range pathc.Local {
-				if end != semiring.None {
-					local = append(local, int64(lo+i))
-				}
-			}
-			parts := s.G.World.Allgatherv(local)
-			dead := make(map[int64]struct{})
-			for _, p := range parts {
-				for _, r := range p {
-					dead[r] = struct{}{}
-				}
-			}
-			released := 0
-			for i, root := range rootR.Local {
-				if root == semiring.None {
-					continue
-				}
-				if _, ok := dead[root]; ok {
-					rootR.Local[i] = semiring.None
-					pir.Local[i] = semiring.None
-					released++
-				}
-			}
-			globalReleased := int(s.G.World.Allreduce(mpi.OpSum, int64(released)))
-			s.Stats.GraftReleasedRows += globalReleased
-			// Released rows are unowned again: fold them back into the
-			// direction heuristic's unvisited count.
-			dir.noteDiscovered(-globalReleased)
-			s.G.World.AddWork(len(rootR.Local) + len(dead))
-		})
-		trc.End(obs.KindPhase, "phase", phase0, int64(phase))
-	}
-	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
-	s.captureThreadStats()
-	trc.End(obs.KindSolve, "mcm-graft", solve0, int64(s.Stats.Cardinality))
+	s.mustRunEngine(EngineBFSGraft, mater, matec)
 }

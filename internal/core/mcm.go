@@ -3,8 +3,6 @@ package core
 import (
 	"mcmdist/internal/dvec"
 	"mcmdist/internal/mpi"
-	"mcmdist/internal/obs"
-	"mcmdist/internal/semiring"
 )
 
 // startFrontierCount begins the split-phase allreduce that sizes the next
@@ -35,240 +33,20 @@ func (s *Solver) waitFrontierCount(rq *mpi.ValueRequest, fc *dvec.SparseV) int {
 // MCM runs Algorithm 2 (MCM-DIST) on the given mate vectors, updating them
 // in place to a maximum cardinality matching. Collective: every rank of the
 // grid calls it together with its own mate vector pieces.
+//
+// Deprecated: MCM is a thin alias for the "bfs" engine (engine_bfs.go);
+// new callers should route through the engine registry (Config.Engine,
+// Solver.RunEngineByName) so the solve path stays pluggable.
 func (s *Solver) MCM(mater, matec *dvec.Dense) {
-	trc := s.G.RT.Tracer()
-	solve0 := trc.Begin()
-	// dir carries the adaptive direction choice (see direction.go): the
-	// sticky pull-disable, the per-phase discovery count, and the resolved
-	// switch threshold.
-	var dir dirState
-	phase := 0
-	for {
-		phase++
-		dir.resetPhase()
-		phase0 := trc.Begin()
-		// Per-phase state: parents of visited rows and endpoints of
-		// discovered augmenting paths (Algorithm 2, lines 3-5).
-		pir := dvec.NewDense(s.RowL, semiring.None)
-		pathc := dvec.NewDense(s.ColL, semiring.None)
-
-		var fc *dvec.SparseV
-		var fcCount *mpi.ValueRequest
-		s.tr.track(OpOther, func() {
-			fc = s.unmatchedColFrontier(matec)
-			fcCount = s.startFrontierCount(fc)
-		})
-		pathsFound := 0
-
-		for {
-			var frontierSize int
-			s.tr.track(OpOther, func() {
-				frontierSize = s.waitFrontierCount(fcCount, fc)
-				fcCount = nil
-			})
-			if frontierSize == 0 {
-				break
-			}
-			s.Stats.Iterations++
-			iter0 := s.obsIterBegin()
-
-			// Step 1: explore neighbors of the column frontier in the
-			// direction chooseDirection picks for this iteration (see
-			// direction.go and docs/KERNELS.md for the heuristic).
-			var fr *dvec.SparseV
-			usePull := s.chooseDirection(&dir, frontierSize)
-			s.tr.track(OpSpMV, func() {
-				fr = s.mulDirected(usePull, &dir, fc, pir)
-			})
-
-			// Steps 2-4: unvisited rows; record parents; split into
-			// unmatched (path endpoints) and matched rows.
-			var ufr *dvec.SparseV
-			s.tr.track(OpSelect, func() {
-				fr = fr.Select(pir, func(v int64) bool { return v == semiring.None })
-				pir.ScatterParents(fr)
-				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
-				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
-			})
-			if s.adaptiveDirection() {
-				// Track discovered rows for the direction heuristic (the
-				// same frontier-size allreduce real direction-optimized
-				// BFS implementations perform each level).
-				s.tr.track(OpOther, func() {
-					dir.noteDiscovered(fr.Nnz() + ufr.Nnz())
-				})
-			}
-
-			var newPaths int
-			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
-			if newPaths > 0 {
-				// Step 5: store endpoints of newly discovered augmenting
-				// paths, one per alternating tree (INVERT keeps one).
-				var tc *dvec.SparseV
-				s.tr.track(OpInvert, func() {
-					tc = ufr.InvertRoots(s.ColL)
-				})
-				s.tr.track(OpSelect, func() {
-					pathc.ScatterParents(tc)
-				})
-				s.tr.track(OpOther, func() {
-					pathsFound += tc.Nnz()
-				})
-
-				// Step 6: prune vertices in trees that already yielded a
-				// path (the Fig. 8 ablation switch).
-				if !s.Cfg.DisablePrune {
-					s.tr.track(OpPrune, func() {
-						roots := ufr.RootVals(s.G.RT.GetInts(ufr.LocalNnz()))
-						fr = fr.PruneRoots(roots)
-						s.G.RT.PutInts(roots)
-					})
-				}
-			}
-
-			// Step 7: next column frontier from the mates of the matched
-			// rows that remain.
-			s.tr.track(OpSelect, func() {
-				fr.SetParentsFrom(mater)
-			})
-			s.tr.track(OpInvert, func() {
-				fc = fr.InvertParents(s.ColL)
-				fcCount = s.startFrontierCount(fc)
-			})
-
-			s.obsIterEnd(iter0, phase, frontierSize, newPaths, usePull)
-			if s.Cfg.OnIteration != nil && s.G.World.Rank() == 0 {
-				s.Cfg.OnIteration(IterInfo{
-					Phase:        phase,
-					Iteration:    s.Stats.Iterations,
-					FrontierSize: frontierSize,
-					NewPaths:     newPaths,
-					Pull:         usePull,
-				})
-			}
-		}
-
-		if pathsFound == 0 {
-			trc.End(obs.KindPhase, "phase", phase0, int64(phase))
-			break // no augmenting path in this phase: matching is maximum
-		}
-		s.Stats.Phases++
-		s.Stats.AugmentedPaths += pathsFound
-
-		// Step 8: augment by all paths found in this phase. The mate
-		// vectors re-enter the "valid matching" invariant here, making the
-		// phase boundary a restart point for checkpoint/restart.
-		s.tr.track(OpAugment, func() {
-			s.augment(pathc, pir, mater, matec, pathsFound)
-		})
-		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
-		trc.End(obs.KindPhase, "phase", phase0, int64(phase))
-	}
-	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
-	s.captureThreadStats()
-	trc.End(obs.KindSolve, "mcm", solve0, int64(s.Stats.Cardinality))
+	s.mustRunEngine(EngineBFS, mater, matec)
 }
 
 // MCMSingleSource runs the single-source (SS-BFS) variant the paper's
 // Section III-A dismisses: each phase searches from ONE unmatched column
-// instead of all of them. It exists to quantify that argument — the
-// level-synchronous machinery is identical, but the algorithm needs ~|C|
-// phases of ~diameter iterations each, so its synchronization count (and
-// hence its latency term) explodes while every SpMV does trivial work.
-// Collective.
+// instead of all of them. Collective.
+//
+// Deprecated: MCMSingleSource is a thin alias for the "bfs-ss" engine
+// (engine_bfs.go); new callers should route through the engine registry.
 func (s *Solver) MCMSingleSource(mater, matec *dvec.Dense) {
-	trc := s.G.RT.Tracer()
-	solve0 := trc.Begin()
-	var dir dirState
-	// retired marks columns proven unmatchable: once no augmenting path
-	// leaves a vertex, none ever will again (augmentations only grow the
-	// reachable matching), so retirement is permanent.
-	retired := dvec.NewDense(s.ColL, 0)
-	for {
-		dir.resetPhase()
-		pir := dvec.NewDense(s.RowL, semiring.None)
-		pathc := dvec.NewDense(s.ColL, semiring.None)
-
-		// Frontier: the single globally-smallest unmatched, unretired column.
-		var fc *dvec.SparseV
-		var src int64
-		s.tr.track(OpOther, func() {
-			lo := s.ColL.MyRange().Lo
-			local := int64(s.N2)
-			for i, v := range matec.Local {
-				if v == semiring.None && retired.Local[i] == 0 {
-					local = int64(lo + i)
-					break
-				}
-			}
-			src = s.G.World.Allreduce(mpi.OpMin, local)
-			fc = dvec.NewSparseV(s.ColL)
-			if src < int64(s.N2) && s.ColL.MyRange().Contains(int(src)) {
-				fc.Append(int(src), semiring.Self(src))
-			}
-			s.G.World.AddWork(len(matec.Local))
-		})
-		if src >= int64(s.N2) {
-			break // every unmatched column is retired: maximum reached
-		}
-		pathsFound := 0
-
-		for {
-			var frontierSize int
-			s.tr.track(OpOther, func() { frontierSize = fc.Nnz() })
-			if frontierSize == 0 {
-				break
-			}
-			s.Stats.Iterations++
-			iter0 := s.obsIterBegin()
-
-			var fr *dvec.SparseV
-			usePull := s.chooseDirection(&dir, frontierSize)
-			s.tr.track(OpSpMV, func() {
-				fr = s.mulDirected(usePull, &dir, fc, pir)
-			})
-			var ufr *dvec.SparseV
-			s.tr.track(OpSelect, func() {
-				fr = fr.Select(pir, func(v int64) bool { return v == semiring.None })
-				pir.ScatterParents(fr)
-				ufr = fr.Select(mater, func(v int64) bool { return v == semiring.None })
-				fr = fr.Select(mater, func(v int64) bool { return v != semiring.None })
-			})
-			if s.adaptiveDirection() {
-				s.tr.track(OpOther, func() {
-					dir.noteDiscovered(fr.Nnz() + ufr.Nnz())
-				})
-			}
-			var newPaths int
-			s.tr.track(OpOther, func() { newPaths = ufr.Nnz() })
-			if newPaths > 0 {
-				var tc *dvec.SparseV
-				s.tr.track(OpInvert, func() { tc = ufr.InvertRoots(s.ColL) })
-				s.tr.track(OpSelect, func() { pathc.ScatterParents(tc) })
-				s.tr.track(OpOther, func() { pathsFound += tc.Nnz() })
-				s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, usePull)
-				break // single source: the first augmenting path ends the phase
-			}
-			s.tr.track(OpSelect, func() { fr.SetParentsFrom(mater) })
-			s.tr.track(OpInvert, func() { fc = fr.InvertParents(s.ColL) })
-			s.obsIterEnd(iter0, s.Stats.Phases+1, frontierSize, newPaths, usePull)
-		}
-
-		if pathsFound == 0 {
-			// The source is unmatchable now, hence forever: retire it.
-			if s.ColL.MyRange().Contains(int(src)) {
-				retired.SetAt(int(src), 1)
-			}
-			continue
-		}
-		s.Stats.Phases++
-		s.Stats.AugmentedPaths += pathsFound
-		s.tr.track(OpAugment, func() {
-			s.augment(pathc, pir, mater, matec, pathsFound)
-		})
-		s.maybeCheckpoint(s.Stats.Phases, mater, matec)
-	}
-	s.Stats.Cardinality = s.N2 - s.countUnmatched(matec)
-	s.captureThreadStats()
-	trc.End(obs.KindSolve, "mcm-ss", solve0, int64(s.Stats.Cardinality))
+	s.mustRunEngine(EngineBFSSingleSource, mater, matec)
 }

@@ -103,6 +103,13 @@ func SolveRecoverableGrid(a *spmat.CSC, pr, pc, n1, n2 int, blocks, blocksT [][]
 	cfg Config, ctxs []*rt.Ctx, pol RecoveryPolicy) (*Result, *RecoveryStats, error) {
 	cfg = cfg.withDefaults()
 	cfg.Procs = pr * pc
+	// Resolve the engine once, up front, so validateCheckpoint compares
+	// hashes against the same concrete engine every attempt runs (an "auto"
+	// choice must not drift between attempts of one recoverable solve).
+	cfg, err := ResolveEngineConfig(cfg, n1, n2, blocks)
+	if err != nil {
+		return nil, nil, err
+	}
 	pol = pol.withDefaults()
 	rec := &RecoveryStats{}
 
@@ -118,7 +125,7 @@ func SolveRecoverableGrid(a *spmat.CSC, pr, pc, n1, n2 int, blocks, blocksT [][]
 		cfg.OnCheckpoint = func(ck *Checkpoint) {
 			last = ck
 			rec.Checkpoints++
-			rec.CheckpointBytes += int64(EncodedSize(ck.N1, ck.N2))
+			rec.CheckpointBytes += int64(ck.EncodedSize())
 			userCB(ck)
 		}
 	}
@@ -165,6 +172,9 @@ func validateCheckpoint(a *spmat.CSC, cfg Config, n1, n2 int, ck *Checkpoint, po
 	}
 	if len(ck.MateR) != n1 || len(ck.MateC) != n2 {
 		return fmt.Errorf("checkpoint mate vectors are %dx%d, want %dx%d", len(ck.MateR), len(ck.MateC), n1, n2)
+	}
+	if want := cfg.engineOrDefault(); ck.Engine != "" && ck.Engine != want {
+		return fmt.Errorf("checkpoint was taken by engine %q, refusing cross-engine resume with %q", ck.Engine, want)
 	}
 	if want := cfg.CheckpointHash(n1, n2); ck.ConfigHash != want {
 		return fmt.Errorf("checkpoint config hash %#x does not match current config %#x", ck.ConfigHash, want)

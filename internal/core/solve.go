@@ -115,6 +115,17 @@ func SolveEndpoints(eps []mpi.Transport, a *spmat.CSC, cfg Config) ([]*Result, e
 // allgathered, so every rank holds the full vectors).
 func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
 	cfg Config, ctxs []*rt.Ctx) (*Result, error) {
+	// Pin the engine before anything else: the resolution is deterministic
+	// from SPMD-replicated inputs, so every process of a multi-process solve
+	// derives the same choice, and checkpoint hashes see the concrete name.
+	cfg, err := ResolveEngineConfig(cfg, n1, n2, blocks)
+	if err != nil {
+		return nil, err
+	}
+	eng, ok := EngineByName(cfg.Engine)
+	if !ok {
+		return nil, fmt.Errorf("core: engine %q is not registered (have %v)", cfg.Engine, EngineNames())
+	}
 	if tr == nil {
 		tr = mpi.NewInproc(cfg.Procs)
 	}
@@ -142,10 +153,8 @@ func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*s
 			if err != nil {
 				return err
 			}
-			if cfg.TreeGrafting {
-				s.MCMGraft(mater, matec)
-			} else {
-				s.MCM(mater, matec)
+			if err := s.RunEngine(eng, mater, matec); err != nil {
+				return err
 			}
 
 			fullR := mater.Gather()

@@ -28,6 +28,9 @@ var Ops = []Op{OpInit, OpSpMV, OpSelect, OpInvert, OpPrune, OpAugment, OpOther}
 // Stats aggregates one rank's (and after merging, the whole run's)
 // measurements.
 type Stats struct {
+	// Engine is the registry name of the engine that ran the solve
+	// (SPMD-replicated; set by RunEngine).
+	Engine     string
 	Phases     int // MS-BFS phases executed (repeat-until rounds)
 	Iterations int // level-synchronous frontier iterations, all phases
 	// PushIterations and PullIterations split the iterations by SpMV
@@ -106,6 +109,9 @@ func (s *Stats) TotalMeter() mpi.Meter {
 // wall time and meters (critical-path approximation) and verifying the
 // SPMD-replicated counters agree.
 func (s *Stats) MergeMax(o *Stats) {
+	if s.Engine == "" {
+		s.Engine = o.Engine
+	}
 	s.Threading = s.Threading.Max(o.Threading)
 	if o.Checkpoints > s.Checkpoints {
 		s.Checkpoints = o.Checkpoints

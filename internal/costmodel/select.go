@@ -1,0 +1,112 @@
+package costmodel
+
+import "math"
+
+// GraphFeatures summarizes a distributed matching instance for online
+// engine selection: global shape and density, the column-degree coefficient
+// of variation (stddev/mean — 0 for regular graphs, >1 for power-law), and
+// the run's parallel configuration.
+type GraphFeatures struct {
+	N1, N2  int     // global rows and columns
+	NNZ     int     // global edges
+	DegCV   float64 // column-degree coefficient of variation
+	Procs   int     // MPI ranks
+	Threads int     // compute threads per rank
+}
+
+// EngineChoice is SelectEngine's verdict with the modeled seconds that
+// produced it, so callers (and EXPERIMENTS.md tables) can show their work.
+type EngineChoice struct {
+	Engine         string
+	BFSSeconds     float64
+	AuctionSeconds float64
+}
+
+// SelectEngine picks a matching engine for an instance on machine m using a
+// first-order alpha-beta model of the two families. It is deliberately a
+// heuristic — deterministic, monotone in each feature, and documented —
+// not a fitted predictor (docs/ENGINES.md derives the terms):
+//
+// MS-BFS (MCM-DIST): with a maximal-matching initializer the number of
+// augmentation phases grows like the path-length bound, L ≈ log2(minDim)+1,
+// and each phase runs ≈L level-synchronous iterations, each issuing ~6
+// collectives of ~√p messages on the 2D grid. Each phase traverses at most
+// all nnz edges (pruning makes later phases cheaper; the bound is what the
+// model charges) and moves ~nnz/√p words per rank:
+//
+//	T_bfs = L·(nnz/p)·t_op/t + 6·L²·√p·α + L·(nnz/(p·√p))·β
+//
+// Auction: Jacobi bidding rounds. On a degree-regular graph most columns
+// win a row within ~avgDeg+1 rounds of local price competition, and degree
+// skew multiplies that contention, modeled as the (1+2·CV) factor. But the
+// dominant term on large-diameter instances is the price war: an eviction
+// re-activates the loser, whose next bid can evict a third column, so
+// price increments propagate along alternating chains. Chain length is
+// bounded by the price range (the price-out bound, ≈minDim ε-units) and
+// shrinks when columns have fallback rows (avgDeg+1) or when hubs absorb
+// contention quickly — power-law skew collapses the diameter, damped as
+// (1+CV)². Road-network meshes (low degree, low CV, huge diameter) land
+// squarely in the war regime: measured rounds exceed minDim, against a
+// single-digit local estimate. Each round rescans active columns'
+// adjacency (charged at half nnz for the decaying active set), issues 4
+// collectives, and replicates the price slab (~n1/√p words) plus bids
+// (~n2/p words):
+//
+//	R       = (avgDeg+1)·(1+2·CV) + minDim/((avgDeg+1)·(1+CV)²)
+//	T_auc   = R·(nnz/(2p))·t_op/t + 4·R·√p·α + R·(n1/√p + n2/p)/2·β
+//
+// The cheaper engine wins; ties go to BFS (the paper's algorithm and the
+// better-characterized resident). When BFS wins on a skewed instance
+// (CV ≥ 0.5) the grafting variant is chosen — cross-phase tree reuse pays
+// off exactly when hub-heavy trees are expensive to rebuild — matching the
+// EXPERIMENTS.md graft ablation.
+func SelectEngine(m Machine, f GraphFeatures) EngineChoice {
+	p := float64(maxInt(f.Procs, 1))
+	t := maxInt(f.Threads, 1)
+	sqrtP := math.Sqrt(p)
+	minDim := maxInt(minInt(f.N1, f.N2), 2)
+	nnz := float64(maxInt(f.NNZ, 1))
+	avgDeg := nnz / float64(maxInt(f.N2, 1))
+
+	L := math.Log2(float64(minDim)) + 1
+	bfs := m.Time2(L*nnz/p, 6*L*L*sqrtP, L*nnz/(p*sqrtP), t)
+
+	rounds := (avgDeg+1)*(1+2*f.DegCV) +
+		float64(minDim)/((avgDeg+1)*(1+f.DegCV)*(1+f.DegCV))
+	aucWords := rounds * (float64(f.N1)/sqrtP + float64(f.N2)/p) / 2
+	auction := m.Time2(rounds*nnz/(2*p), 4*rounds*sqrtP, aucWords, t)
+
+	choice := EngineChoice{BFSSeconds: bfs, AuctionSeconds: auction}
+	if auction < bfs {
+		choice.Engine = "auction"
+		return choice
+	}
+	choice.Engine = "bfs"
+	if f.DegCV >= 0.5 {
+		choice.Engine = "bfs-graft"
+	}
+	return choice
+}
+
+// Time2 is Time over raw (work, msgs, words) floats instead of an mpi.Meter,
+// for modeled quantities that were never metered.
+func (m Machine) Time2(work, msgs, words float64, threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	return work*m.TOp/float64(threads) + msgs*m.Alpha + words*m.Beta
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

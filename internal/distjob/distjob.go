@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"mcmdist/internal/core"
+	_ "mcmdist/internal/engine" // register the out-of-core engines for worker solves
 	"mcmdist/internal/gen"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/mtx"
@@ -48,8 +49,11 @@ func Run(tr mpi.Transport, blob []byte) (*core.Result, error) {
 	return core.SolveOn(tr, a, cfg)
 }
 
-// Version is the current Spec codec version.
-const Version = 1
+// Version is the current Spec codec version. Version 2 added the engine
+// field; the bump is deliberate even though the field is optional, because a
+// worker that silently dropped an unknown engine would solve with a
+// different algorithm than the coordinator asked for.
+const Version = 2
 
 // Spec describes one distributed solve: the graph source (exactly one of
 // RMAT, Matrix or MTX) and the solver options, mirroring cmd/mcm's flags.
@@ -96,7 +100,14 @@ type Spec struct {
 	// Compress enables the delta-varint wire codec on the solve's
 	// communication layer.
 	Compress bool `json:"compress,omitempty"`
+	// Engine names the matching engine ("bfs", "bfs-ss", "bfs-graft",
+	// "auction", "auto", or "" for the Graft-derived legacy default). Every
+	// process resolves it identically from the spec.
+	Engine string `json:"engine,omitempty"`
 	// Graft selects the tree-grafting MCM variant.
+	//
+	// Deprecated: set Engine to "bfs-graft"; Graft remains as an alias and
+	// is ignored when Engine is non-empty.
 	Graft bool `json:"graft,omitempty"`
 	// NoPermute skips the load-balancing random permutation.
 	NoPermute bool `json:"no_permute,omitempty"`
@@ -153,6 +164,9 @@ func (s *Spec) validate() error {
 		return err
 	}
 	if _, err := augmentByName(s.Augment); err != nil {
+		return err
+	}
+	if _, err := core.ParseEngine(s.Engine); err != nil {
 		return err
 	}
 	if _, err := core.ParseDirection(s.Direction); err != nil {
@@ -245,6 +259,7 @@ func (s *Spec) BuildMatrix() (*spmat.CSC, error) {
 // must derive its config from the same spec so the solve stays SPMD.
 func (s *Spec) CoreConfig() (core.Config, error) {
 	cfg := core.Config{
+		Engine:             s.Engine,
 		Procs:              s.Procs,
 		Threads:            s.Threads,
 		DisablePrune:       s.NoPrune,

@@ -16,6 +16,7 @@ func TestRoundTrip(t *testing.T) {
 		RMAT: "ssca", Scale: 9, EdgeFactor: 8, Seed: 42,
 		Procs: 4, Threads: 6,
 		Init: "karpsipser", Semiring: "randroot", Augment: "level",
+		Engine:  "auction",
 		NoPrune: true, DirectionOptimized: true, Graft: true, NoPermute: true,
 	}
 	blob, err := s.Encode()
@@ -46,13 +47,14 @@ func TestDecodeRejects(t *testing.T) {
 		t.Error("accepted unknown version")
 	}
 	bad := []string{
-		fmt.Sprintf(`{"v":%d,"procs":4}`, Version),                                  // no source
+		fmt.Sprintf(`{"v":%d,"procs":4}`, Version),                                   // no source
 		fmt.Sprintf(`{"v":%d,"rmat":"g500","matrix":"road_usa","procs":4}`, Version), // two sources
-		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":0}`, Version),                    // bad procs
-		fmt.Sprintf(`{"v":%d,"rmat":"bogus","procs":4}`, Version),                   // bad class
-		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"init":"x"}`, Version),         // bad init
-		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"semiring":"x"}`, Version),     // bad semiring
-		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"augment":"x"}`, Version),      // bad augment
+		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":0}`, Version),                     // bad procs
+		fmt.Sprintf(`{"v":%d,"rmat":"bogus","procs":4}`, Version),                    // bad class
+		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"init":"x"}`, Version),          // bad init
+		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"semiring":"x"}`, Version),      // bad semiring
+		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"augment":"x"}`, Version),       // bad augment
+		fmt.Sprintf(`{"v":%d,"rmat":"g500","procs":4,"engine":"x"}`, Version),        // bad engine
 	}
 	for _, blob := range bad {
 		if _, err := Decode([]byte(blob)); err == nil {
@@ -117,5 +119,15 @@ func TestCoreConfig(t *testing.T) {
 	}
 	if cfg.Init != core.InitDynMinDegree || cfg.AddOp != semiring.MinParent || cfg.Augment != core.AugmentAuto || !cfg.Permute {
 		t.Fatalf("defaults: %+v", cfg)
+	}
+
+	// The engine name flows through verbatim (resolution happens in core,
+	// identically on every process).
+	cfg, err = (&Spec{RMAT: "g500", Procs: 4, Engine: "auction"}).CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Engine != core.EngineAuction {
+		t.Fatalf("engine not forwarded: %+v", cfg)
 	}
 }

@@ -1,0 +1,219 @@
+package engine
+
+// The engine conformance suite: every engine registered in this binary must
+// produce a valid MAXIMUM matching on both transports at every thread count,
+// survive the fault plans under checkpoint/restart (in-process only — the
+// retry driver cannot restart OS processes, see docs/TRANSPORT.md), and the
+// BFS engines must stay bit-identical to the legacy Config entry points they
+// replaced.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcmdist/internal/core"
+	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi"
+	_ "mcmdist/internal/mpi/tcpnet" // register the "tcp" backend
+	"mcmdist/internal/rmat"
+	"mcmdist/internal/spmat"
+	"mcmdist/internal/verify"
+)
+
+func mustMaximum(t *testing.T, a *spmat.CSC, m *matching.Matching, label string) {
+	t.Helper()
+	if err := verify.Valid(a, m); err != nil {
+		t.Fatalf("%s: invalid matching: %v", label, err)
+	}
+	if err := verify.Maximum(a, m); err != nil {
+		t.Fatalf("%s: not maximum: %v", label, err)
+	}
+}
+
+// TestEngineConformance sweeps every registered engine over both transports
+// and threads 1..4 on one RMAT instance. The in-process result is the oracle
+// for the tcp run of the same configuration, which must match bit-for-bit —
+// mate vectors and the per-rank meter ledgers.
+func TestEngineConformance(t *testing.T) {
+	a := rmat.MustGenerate(rmat.G500, 6, 4, 21)
+	for _, name := range Names() {
+		for threads := 1; threads <= 4; threads++ {
+			t.Run(fmt.Sprintf("%s/t%d", name, threads), func(t *testing.T) {
+				cfg := core.Config{Engine: name, Procs: 4, Threads: threads, Seed: 5}
+				oracle, err := core.Solve(a, cfg)
+				if err != nil {
+					t.Fatalf("inproc solve: %v", err)
+				}
+				mustMaximum(t, a, oracle.Matching, "inproc")
+				if oracle.Stats.Engine != name {
+					t.Fatalf("Stats.Engine = %q, want %q", oracle.Stats.Engine, name)
+				}
+
+				eps, err := mpi.NewTransportSet("tcp", cfg.Procs)
+				if err != nil {
+					t.Fatalf("building tcp endpoints: %v", err)
+				}
+				results, err := core.SolveEndpoints(eps, a, cfg)
+				if cerr := mpi.CloseAll(eps); cerr != nil {
+					t.Errorf("closing endpoints: %v", cerr)
+				}
+				if err != nil {
+					t.Fatalf("tcp solve: %v", err)
+				}
+				for i, res := range results {
+					if want, got := fmt.Sprint(oracle.Matching.MateR), fmt.Sprint(res.Matching.MateR); want != got {
+						t.Errorf("endpoint %d MateR diverges:\n  inproc: %s\n  tcp:    %s", i, want, got)
+					}
+					if want, got := fmt.Sprint(oracle.Matching.MateC), fmt.Sprint(res.Matching.MateC); want != got {
+						t.Errorf("endpoint %d MateC diverges", i)
+					}
+					r := eps[i].LocalRanks()[0]
+					if want, got := oracle.PerRank[r], res.PerRank[r]; want != got {
+						t.Errorf("rank %d meter: inproc %+v, tcp %+v", r, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineConformanceUnderFaults runs every engine under every fault plan
+// with checkpoint/restart and requires a maximum matching after recovery.
+func TestEngineConformanceUnderFaults(t *testing.T) {
+	a := rmat.MustGenerate(rmat.ER, 6, 4, 9)
+	plans := map[string]func() *mpi.FaultPlan{
+		"crash": func() *mpi.FaultPlan {
+			return &mpi.FaultPlan{CrashRank: 1, CrashAtCollective: 25}
+		},
+		"crash-late": func() *mpi.FaultPlan {
+			return &mpi.FaultPlan{CrashRank: 3, CrashAtCollective: 60}
+		},
+	}
+	for _, name := range Names() {
+		for pname, plan := range plans {
+			t.Run(name+"/"+pname, func(t *testing.T) {
+				cfg := core.Config{
+					Engine: name, Procs: 4, Seed: 7,
+					CheckpointEvery: 1, OnCheckpoint: func(*core.Checkpoint) {},
+					Fault: plan(),
+				}
+				res, rec, err := core.SolveRecoverable(a, cfg, core.RecoveryPolicy{})
+				if err != nil {
+					t.Fatalf("recoverable solve: %v", err)
+				}
+				if rec.Attempts < 2 {
+					t.Fatalf("fault plan never fired: %+v", rec)
+				}
+				mustMaximum(t, a, res.Matching, "recovered")
+			})
+		}
+	}
+}
+
+// TestBFSEnginesBitIdenticalToLegacyConfig pins the seam refactor: routing a
+// solve through Config.Engine must reproduce the legacy boolean-knob entry
+// points bit for bit — mate vectors, cardinality and iteration counts.
+func TestBFSEnginesBitIdenticalToLegacyConfig(t *testing.T) {
+	a := rmat.MustGenerate(rmat.G500, 7, 4, 3)
+	for _, tc := range []struct {
+		name    string
+		legacy  core.Config
+		engined core.Config
+	}{
+		{"bfs", core.Config{Procs: 4, Seed: 2}, core.Config{Engine: core.EngineBFS, Procs: 4, Seed: 2}},
+		{"bfs-do", core.Config{Procs: 4, DirectionOptimized: true, Seed: 2},
+			core.Config{Engine: core.EngineBFS, Procs: 4, DirectionOptimized: true, Seed: 2}},
+		{"bfs-graft", core.Config{Procs: 4, TreeGrafting: true, Seed: 2},
+			core.Config{Engine: core.EngineBFSGraft, Procs: 4, Seed: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := core.Solve(a, tc.legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Solve(a, tc.engined)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(want.Matching.MateR) != fmt.Sprint(got.Matching.MateR) ||
+				fmt.Sprint(want.Matching.MateC) != fmt.Sprint(got.Matching.MateC) {
+				t.Fatal("engine route diverges from legacy route")
+			}
+			if want.Stats.Iterations != got.Stats.Iterations || want.Stats.Phases != got.Stats.Phases {
+				t.Fatalf("trajectory diverges: legacy %d/%d iters/phases, engine %d/%d",
+					want.Stats.Iterations, want.Stats.Phases, got.Stats.Iterations, got.Stats.Phases)
+			}
+		})
+	}
+}
+
+// TestCrossEngineResumeRefused takes a checkpoint under bfs and asserts the
+// auction engine refuses to resume from it (and vice versa).
+func TestCrossEngineResumeRefused(t *testing.T) {
+	a := rmat.MustGenerate(rmat.G500, 6, 4, 11)
+	var cks []*core.Checkpoint
+	cfg := core.Config{Engine: core.EngineBFS, Procs: 4, Seed: 1,
+		CheckpointEvery: 1, OnCheckpoint: func(ck *core.Checkpoint) { cks = append(cks, ck) }}
+	if _, err := core.Solve(a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	_, err := core.Solve(a, core.Config{Engine: core.EngineAuction, Procs: 4, Seed: 1, Resume: cks[len(cks)-1]})
+	if err == nil || !strings.Contains(err.Error(), "refusing cross-engine resume") {
+		t.Fatalf("cross-engine resume not refused: %v", err)
+	}
+}
+
+// TestAutoEngineResolvesAndSolves pins the online selection path: "auto"
+// must resolve to some registered engine and still produce a maximum
+// matching, with Stats.Engine reporting the concrete choice.
+func TestAutoEngineResolvesAndSolves(t *testing.T) {
+	a := rmat.MustGenerate(rmat.G500, 6, 4, 13)
+	res, err := core.Solve(a, core.Config{Engine: core.EngineAuto, Procs: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMaximum(t, a, res.Matching, "auto")
+	found := false
+	for _, n := range Names() {
+		if res.Stats.Engine == n {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Stats.Engine = %q, not a registered engine %v", res.Stats.Engine, Names())
+	}
+}
+
+// TestFacade covers the registry façade: the canonical names are present,
+// aliases parse, and capability flags are visible.
+func TestFacade(t *testing.T) {
+	names := Names()
+	for _, want := range []string{core.EngineBFS, core.EngineBFSSingleSource, core.EngineBFSGraft, core.EngineAuction} {
+		ok := false
+		for _, n := range names {
+			if n == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("engine %q not registered (have %v)", want, names)
+		}
+	}
+	if got, err := Parse("graft"); err != nil || got != core.EngineBFSGraft {
+		t.Fatalf("Parse(graft) = %q, %v", got, err)
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Fatal("Parse accepted an unknown engine")
+	}
+	caps, ok := Caps(core.EngineAuction)
+	if !ok || !caps.Checkpointable || caps.Augmenting {
+		t.Fatalf("auction caps wrong: %+v ok=%v", caps, ok)
+	}
+	if _, ok := Caps("nope"); ok {
+		t.Fatal("Caps found an unregistered engine")
+	}
+}

@@ -55,6 +55,11 @@ var DefaultDirection core.Direction
 // Results are bit-identical with it on or off.
 var Compress = false
 
+// Engine pins the measured profile solve's matching engine (cmd/bench
+// -engine): a registry name, "auto" for the cost model's per-instance
+// choice, or "" for the historical default (bfs). See docs/ENGINES.md.
+var Engine string
+
 // Run solves the matrix on p ranks with the given options and returns the
 // result; it panics on configuration errors (experiment code paths use
 // known-good configurations).

@@ -35,9 +35,12 @@ type SolveProfile struct {
 	// Transport names the backend the measured solve ran on: "inproc"
 	// (every rank a goroutine of one world) or "tcp" (loopback sockets,
 	// one endpoint per rank, all hosted by this process).
-	Transport       string `json:"transport"`
-	Procs           int    `json:"procs"`
-	Threads         int    `json:"threads"`
+	Transport string `json:"transport"`
+	Procs     int    `json:"procs"`
+	Threads   int    `json:"threads"`
+	// Engine is the concrete matching engine the solve ran (the resolved
+	// choice even when the Engine knob asked for "auto"; docs/ENGINES.md).
+	Engine          string `json:"engine"`
 	Cardinality     int    `json:"cardinality"`
 	InitCardinality int    `json:"init_cardinality"`
 	Phases          int    `json:"phases"`
@@ -105,7 +108,7 @@ func Profile(name string, scale, procs, threads int) SolveProfile {
 func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector) SolveProfile {
 	a := suiteMatrix(name, scale)
 	cfg := core.Config{Procs: procs, Threads: threads, Init: core.InitDynMinDegree, Permute: true, Seed: 9,
-		Direction: DefaultDirection, Compress: Compress, Obs: col}
+		Engine: Engine, Direction: DefaultDirection, Compress: Compress, Obs: col}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -119,6 +122,7 @@ func ProfileObserved(name string, scale, procs, threads int, col *obs.Collector)
 		Transport:       transportName(),
 		Procs:           res.Procs,
 		Threads:         res.Threads,
+		Engine:          res.Stats.Engine,
 		Cardinality:     res.Stats.Cardinality,
 		InitCardinality: res.Stats.InitCardinality,
 		Phases:          res.Stats.Phases,

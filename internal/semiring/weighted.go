@@ -1,0 +1,107 @@
+package semiring
+
+import "fmt"
+
+// WVertex is the weighted counterpart of Vertex: a (value, id) pair. The
+// auction engine folds candidate rows as WVertex{Val: price, Id: row} and
+// candidate bids as WVertex{Val: bid, Id: column}; the weighted solvers the
+// engine seam leaves room for (maximum-weight matching over a (min, +) or
+// (max, +) semiring) use the same carrier.
+type WVertex struct {
+	Val int64
+	Id  int64
+}
+
+// WNone is the identity WVertex for folds that may see no candidates: None
+// in both fields. Callers test Id against None to detect "no candidate".
+var WNone = WVertex{Val: None, Id: None}
+
+// WString formats the pair like Vertex.String: "(val, id)".
+func (v WVertex) String() string { return fmt.Sprintf("(%d, %d)", v.Val, v.Id) }
+
+// WOp selects the weighted semiring "addition": which of two (value, id)
+// candidates survives a fold. Both orders break value ties toward the
+// smaller id, making every fold deterministic regardless of operand order —
+// the same SPMD requirement AddOp.Combine satisfies for the BFS semirings.
+type WOp int
+
+const (
+	// MinVal keeps the candidate with the smaller value (auction: the
+	// cheapest row). Ties go to the smaller id.
+	MinVal WOp = iota
+	// MaxVal keeps the candidate with the larger value (auction: the
+	// highest bid). Ties go to the smaller id.
+	MaxVal
+)
+
+// String names the operation.
+func (op WOp) String() string {
+	switch op {
+	case MinVal:
+		return "minVal"
+	case MaxVal:
+		return "maxVal"
+	default:
+		return fmt.Sprintf("WOp(%d)", int(op))
+	}
+}
+
+// Combine returns the surviving candidate of a and b. A WNone operand loses
+// to any real candidate (and ties with another WNone). Combine is
+// associative and commutative, which the auction's distributed partial-bid
+// merges rely on: folding per-rank partials in any grouping yields the same
+// winner.
+func (op WOp) Combine(a, b WVertex) WVertex {
+	if a.Id == None {
+		return b
+	}
+	if b.Id == None {
+		return a
+	}
+	var bWins bool
+	switch op {
+	case MinVal:
+		bWins = b.Val < a.Val || (b.Val == a.Val && b.Id < a.Id)
+	case MaxVal:
+		bWins = b.Val > a.Val || (b.Val == a.Val && b.Id < a.Id)
+	default:
+		panic(fmt.Sprintf("semiring: unknown WOp %d", int(op)))
+	}
+	if bWins {
+		return b
+	}
+	return a
+}
+
+// Best2 is a running (best, second-best) pair under a WOp — the fold the
+// auction's bid computation needs, since a bidder prices against the
+// second-cheapest neighbor. The zero value is not ready; use NewBest2.
+type Best2 struct {
+	Op     WOp
+	First  WVertex
+	Second WVertex
+}
+
+// NewBest2 returns an empty fold (both slots WNone) under op.
+func NewBest2(op WOp) Best2 { return Best2{Op: op, First: WNone, Second: WNone} }
+
+// Add folds one candidate into the pair.
+func (b *Best2) Add(v WVertex) {
+	if v.Id == None {
+		return
+	}
+	if b.Op.Combine(b.First, v) == v && v.Id != b.First.Id {
+		b.First, b.Second = v, b.First
+	} else if b.Op.Combine(b.Second, v) == v && v.Id != b.Second.Id {
+		b.Second = v
+	}
+}
+
+// Merge folds another partial pair into this one — the associative merge the
+// auction uses to combine per-rank top-2 partials into a global top-2. Two
+// partials over disjoint candidate sets merge to the pair a single fold over
+// the union would produce.
+func (b *Best2) Merge(o Best2) {
+	b.Add(o.First)
+	b.Add(o.Second)
+}

@@ -1,0 +1,110 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWOpCombineDeterministicTieBreak(t *testing.T) {
+	a := WVertex{Val: 5, Id: 2}
+	b := WVertex{Val: 5, Id: 7}
+	for _, op := range []WOp{MinVal, MaxVal} {
+		if got := op.Combine(a, b); got != a {
+			t.Fatalf("%v.Combine tie: got %v, want smaller id %v", op, got, a)
+		}
+		if got := op.Combine(b, a); got != a {
+			t.Fatalf("%v.Combine tie (swapped): got %v, want %v", op, got, a)
+		}
+	}
+	if got := MinVal.Combine(WVertex{Val: 1, Id: 9}, b); got.Val != 1 {
+		t.Fatalf("MinVal kept %v", got)
+	}
+	if got := MaxVal.Combine(WVertex{Val: 1, Id: 9}, b); got.Val != 5 {
+		t.Fatalf("MaxVal kept %v", got)
+	}
+}
+
+func TestWOpCombineIdentity(t *testing.T) {
+	v := WVertex{Val: 3, Id: 4}
+	for _, op := range []WOp{MinVal, MaxVal} {
+		if op.Combine(WNone, v) != v || op.Combine(v, WNone) != v {
+			t.Fatalf("%v: WNone is not an identity", op)
+		}
+		if op.Combine(WNone, WNone) != WNone {
+			t.Fatalf("%v: WNone fold changed", op)
+		}
+	}
+}
+
+// Combine must be associative and commutative for the distributed partial
+// merges to be grouping-independent; exercise it on random triples.
+func TestWOpCombineAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, op := range []WOp{MinVal, MaxVal} {
+		for trial := 0; trial < 2000; trial++ {
+			v := make([]WVertex, 3)
+			for i := range v {
+				v[i] = WVertex{Val: rng.Int63n(5), Id: rng.Int63n(5)}
+			}
+			if op.Combine(v[0], v[1]) != op.Combine(v[1], v[0]) {
+				t.Fatalf("%v not commutative on %v", op, v)
+			}
+			l := op.Combine(op.Combine(v[0], v[1]), v[2])
+			r := op.Combine(v[0], op.Combine(v[1], v[2]))
+			if l != r {
+				t.Fatalf("%v not associative on %v: %v vs %v", op, v, l, r)
+			}
+		}
+	}
+}
+
+// Best2 partials over disjoint candidate sets must merge to the same pair a
+// single sequential fold produces, in any split and order — the property the
+// auction's per-rank top-2 reduction depends on.
+func TestBest2MergeMatchesSequentialFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, op := range []WOp{MinVal, MaxVal} {
+		for trial := 0; trial < 500; trial++ {
+			n := 1 + rng.Intn(12)
+			cands := make([]WVertex, n)
+			for i := range cands {
+				cands[i] = WVertex{Val: rng.Int63n(6), Id: int64(i)}
+			}
+
+			seq := NewBest2(op)
+			for _, c := range cands {
+				seq.Add(c)
+			}
+
+			cut := rng.Intn(n + 1)
+			left, right := NewBest2(op), NewBest2(op)
+			for _, c := range cands[:cut] {
+				left.Add(c)
+			}
+			for _, c := range cands[cut:] {
+				right.Add(c)
+			}
+			merged := left
+			merged.Merge(right)
+			if merged.First != seq.First || merged.Second != seq.Second {
+				t.Fatalf("%v split at %d of %v: merged (%v,%v) vs sequential (%v,%v)",
+					op, cut, cands, merged.First, merged.Second, seq.First, seq.Second)
+			}
+		}
+	}
+}
+
+func TestBest2SingleAndEmpty(t *testing.T) {
+	b := NewBest2(MinVal)
+	if b.First != WNone || b.Second != WNone {
+		t.Fatalf("empty fold: %+v", b)
+	}
+	b.Add(WVertex{Val: 9, Id: 1})
+	if b.First != (WVertex{Val: 9, Id: 1}) || b.Second != WNone {
+		t.Fatalf("single fold: %+v", b)
+	}
+	b.Add(WNone) // identity must not displace anything
+	if b.Second != WNone {
+		t.Fatalf("WNone displaced second: %+v", b)
+	}
+}

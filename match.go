@@ -7,6 +7,7 @@ import (
 
 	"mcmdist/internal/core"
 	"mcmdist/internal/costmodel"
+	_ "mcmdist/internal/engine" // register the out-of-core engines (auction)
 	"mcmdist/internal/matching"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/semiring"
@@ -105,6 +106,14 @@ type Options struct {
 	// Threads models intra-rank compute threads (the paper uses 12 per
 	// socket); it scales the local-work term of the cost model. 0 means 1.
 	Threads int
+	// Engine names the matching engine: "bfs" (the paper's MCM-DIST),
+	// "bfs-ss" (single-source ablation), "bfs-graft" (tree grafting),
+	// "auction" (the distributed auction solver), or "auto" to let the
+	// online cost model pick per instance from the graph's degree
+	// distribution, density and the run's grid and thread shape. "" defers
+	// to the deprecated TreeGrafting knob, preserving existing behavior.
+	// Stats.Engine reports the engine that actually ran.
+	Engine string
 	// Init selects the maximal-matching initializer. The zero value is
 	// NoInit; the paper's recommended setting is DynamicMindegreeInit.
 	Init Initializer
@@ -132,6 +141,9 @@ type Options struct {
 	// MS-BFS-Graft, also listed as future work): alternating trees persist
 	// across phases and only augmented trees release their vertices,
 	// eliminating redundant edge re-traversals.
+	//
+	// Deprecated: set Engine to "bfs-graft" instead; TreeGrafting remains
+	// as an alias and is ignored when Engine is non-empty.
 	TreeGrafting bool
 	// DisableOverlap turns off the split-phase compute/communication
 	// overlap: every collective runs in blocking form and the solver's
@@ -157,6 +169,7 @@ type Options struct {
 
 func (o Options) toConfig() core.Config {
 	cfg := core.Config{
+		Engine:             o.Engine,
 		Procs:              o.Procs,
 		GridRows:           o.GridRows,
 		GridCols:           o.GridCols,
@@ -233,6 +246,9 @@ func (ct CommTime) Hidden() time.Duration { return ct.Total - ct.Exposed }
 
 // Stats reports a distributed run.
 type Stats struct {
+	// Engine is the registry name of the engine that ran the solve — the
+	// concrete choice even when Options.Engine was "auto" or empty.
+	Engine string
 	// Cardinality is |M| of the returned matching; InitCardinality is the
 	// size after the maximal-matching initializer.
 	Cardinality, InitCardinality int
@@ -333,6 +349,9 @@ func (st *Stats) ModeledBreakdown(mm MachineModel) map[string]float64 {
 func MaximumMatching(g *Graph, opts Options) (m *Matching, st *Stats, err error) {
 	defer guard(&err)
 	if _, perr := core.ParseDirection(opts.Direction); perr != nil {
+		return nil, nil, perr
+	}
+	if _, perr := core.ParseEngine(opts.Engine); perr != nil {
 		return nil, nil, perr
 	}
 	cfg := opts.toConfig()

@@ -89,6 +89,13 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (m *Matching, st *Stat
 	defer guard(&err)
 	opts.Procs = dg.procs
 	cfg := opts.toConfig()
+	// Resolve the engine (legacy knobs, "auto" via the cost model) once,
+	// against the cached distribution, so every rank runs the same concrete
+	// engine and Stats/checkpoints name it.
+	cfg, err = core.ResolveEngineConfig(cfg, dg.g.Rows(), dg.g.Cols(), dg.blocks)
+	if err != nil {
+		return nil, nil, err
+	}
 	col := opts.Observe.collector(dg.procs)
 	cfg.Obs = col
 
@@ -98,10 +105,8 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (m *Matching, st *Stat
 	err = core.RunDistributedGridCtx(dg.side, dg.side, dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT,
 		cfg, dg.ctxs, func(s *core.Solver) error {
 			mater, matec := s.MaximalInit()
-			if cfg.TreeGrafting {
-				s.MCMGraft(mater, matec)
-			} else {
-				s.MCM(mater, matec)
+			if err := s.RunEngineByName(cfg.Engine, mater, matec); err != nil {
+				return err
 			}
 			fullR := mater.Gather()
 			fullC := matec.Gather()
@@ -172,6 +177,7 @@ func (g *Graph) IsMaximal(m *Matching) bool {
 // statsFromCore converts merged per-rank core stats into the public form.
 func statsFromCore(cs *core.Stats, perRank []mpi.Meter, procs, threads int) *Stats {
 	st := &Stats{
+		Engine:                cs.Engine,
 		Cardinality:           cs.Cardinality,
 		InitCardinality:       cs.InitCardinality,
 		Phases:                cs.Phases,
