@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet test-faults soak trace-smoke transport-smoke
+.PHONY: build test race bench bench-smoke vet test-faults soak trace-smoke transport-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,29 @@ test-faults:
 
 # Nightly-style chaos soak: hundreds of worlds cycling injected faults,
 # watchdog aborts, and genuine wedges, with a goroutine-leak check at the
-# end. Behind the faultsoak build tag so regular test runs stay fast.
+# end — on the in-process backend and on loopback TCP worlds cycling
+# network fault plans. Behind the faultsoak build tag so regular test runs
+# stay fast.
 soak:
-	$(GO) test -race -tags faultsoak -count=1 -run Soak -timeout 20m ./internal/mpi/
+	$(GO) test -race -tags faultsoak -count=1 -run Soak -timeout 20m ./internal/mpi/ ./internal/mpi/tcpnet/
+
+# Short fuzz pass over everything a peer can put on the wire: the MCMNET1
+# frame reader and per-frame body decoders, the POST delivery shape, and
+# the delta-varint codec. Go allows one -fuzz pattern per invocation, so
+# each target gets its own run; FUZZTIME scales the pass.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/mpi/tcpnet/
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/mpi/tcpnet/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePostDelivery$$' -fuzztime $(FUZZTIME) ./internal/mpi/tcpnet/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wire/
+
+# Cross-process chaos smoke: a supervised 4-process TCP solve whose rank-2
+# worker is SIGKILLed mid-solve; the world must restart, a replacement
+# worker must take over the rank, and the recovered matching must be
+# byte-identical to the in-process oracle. See docs/FAULTS.md.
+chaos-smoke:
+	scripts/chaos_smoke.sh
 
 # Allocation benchmarks for the runtime-context arena: SpMV push/pull,
 # the Table I primitive chain, and an end-to-end solve.

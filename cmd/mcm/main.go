@@ -33,6 +33,7 @@ import (
 	"mcmdist/internal/matching"
 	"mcmdist/internal/mpi/tcpnet"
 	"mcmdist/internal/semiring"
+	"mcmdist/internal/verify"
 )
 
 func main() {
@@ -65,6 +66,9 @@ func main() {
 	transport := flag.String("transport", "inproc", "transport backend: inproc (ranks are goroutines) or tcp (ranks are OS processes)")
 	addr := flag.String("addr", "", "tcp transport: rendezvous address (rank 0 listens, workers dial)")
 	rank := flag.Int("rank", 0, "tcp transport: the world rank this process hosts; rank 0 coordinates and ships the job, ranks >= 1 join as workers and ignore the graph/solver flags")
+	recoverFlag := flag.Bool("recover", false, "tcp transport: supervise the world across failures — restart it up to -max-restarts times, resuming from the last checkpoint")
+	maxRestarts := flag.Int("max-restarts", 3, "tcp transport: world restarts before giving up (with -recover)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "tcp transport: checkpoint every Nth phase (with -recover); 0 restarts from scratch")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +90,9 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown -transport %q", *transport)
+	}
+	if *recoverFlag && *transport != "tcp" {
+		log.Fatal("-recover requires -transport tcp (in-process recovery is the library's SolveRecoverable)")
 	}
 	if *transport == "tcp" && *rank > 0 {
 		// Worker mode: the coordinator ships the job spec, so every graph
@@ -165,6 +172,10 @@ func main() {
 			}
 			spec.MTX = string(content)
 		}
+		if *recoverFlag {
+			runSupervisor(*addr, spec, *maxRestarts, *ckptEvery, *verify, *out)
+			return
+		}
 		blob, err := spec.Encode()
 		if err != nil {
 			log.Fatal(err)
@@ -239,22 +250,57 @@ func main() {
 	}
 }
 
-// runWorker joins a TCP world as a non-coordinator rank: the job spec
-// arrives in the roster exchange, and the graph and configuration are
-// rebuilt locally from it (see internal/distjob).
-func runWorker(addr string, rank int, out string) {
-	log.SetPrefix(fmt.Sprintf("mcm[rank %d]: ", rank))
-	n, blob, err := tcpnet.Join(addr, rank, tcpnet.Options{})
+// runSupervisor is the coordinator side of a recoverable multi-process
+// solve: it supervises the world across generations, restarting failed
+// worlds from the last phase-boundary checkpoint (see internal/distjob).
+func runSupervisor(addr string, spec *distjob.Spec, maxRestarts, ckptEvery int, verifyFlag bool, out string) {
+	spec.CheckpointEvery = ckptEvery
+	pol := distjob.SupervisePolicy{MaxRestarts: maxRestarts, Log: log.Printf}
+	fmt.Printf("supervising %d-rank tcp world at %s (waiting for %d workers, up to %d restarts)\n",
+		spec.Procs, addr, spec.Procs-1, maxRestarts)
+	res, stats, err := distjob.Supervise(addr, spec, tcpnet.Options{}, pol)
 	if err != nil {
+		for _, ge := range stats.Errors {
+			log.Printf("generation error: %v", ge)
+		}
 		log.Fatal(err)
 	}
-	defer n.Close()
-	res, err := distjob.Run(n, blob)
+	fmt.Printf("|M| = %d after %d generation(s), %d restart(s)",
+		res.Stats.Cardinality, stats.Generations, stats.Restarts)
+	if stats.Restarts > 0 {
+		fmt.Printf(" (resumed from phase %d)", stats.ResumedPhase)
+	}
+	fmt.Println()
+	if verifyFlag {
+		a, err := spec.BuildMatrix()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verify.Maximum(a, res.Matching); err != nil {
+			log.Fatalf("verification FAILED: %v", err)
+		}
+		fmt.Println("verified: König certificate confirms the matching is maximum")
+	}
+	if out != "" {
+		if err := writeMateVector(out, res.Matching); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("matching written to %s\n", out)
+	}
+}
+
+// runWorker joins a TCP world as a non-coordinator rank: the job spec
+// arrives in the roster exchange, and the graph and configuration are
+// rebuilt locally from it (see internal/distjob). A supervised job makes
+// the worker rejoin restarted generations until one completes.
+func runWorker(addr string, rank int, out string) {
+	log.SetPrefix(fmt.Sprintf("mcm[rank %d]: ", rank))
+	res, err := distjob.WorkLoop(addr, rank, tcpnet.Options{}, log.Printf)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("|M| = %d (worker rank %d of %d)\n",
-		res.Stats.Cardinality, rank, n.WorldSize())
+		res.Stats.Cardinality, rank, res.Procs)
 	if out != "" {
 		if err := writeMateVector(out, res.Matching); err != nil {
 			log.Fatal(err)

@@ -26,6 +26,7 @@ import (
 
 	"mcmdist/internal/distjob"
 	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi"
 	"mcmdist/internal/mpi/tcpnet"
 	"mcmdist/internal/semiring"
 )
@@ -38,6 +39,10 @@ func main() {
 	out := flag.String("out", "", "write the matching as 'row col' lines to this file")
 	timeout := flag.Duration("timeout", 30*time.Second, "how long to keep dialing the coordinator")
 	quiet := flag.Bool("quiet", false, "suppress the progress lines")
+	slowTo := flag.Int("slow-to", -1, "chaos testing: delay every outbound data frame on the link to this rank")
+	slowDelay := flag.Duration("slow-delay", 2*time.Millisecond, "chaos testing: per-frame delay for -slow-to")
+	dropTo := flag.Int("drop-to", -1, "chaos testing: sever the link to this rank at the -drop-at-th outbound data frame")
+	dropAt := flag.Int("drop-at", 5, "chaos testing: 1-based data frame whose send severs the -drop-to link")
 	flag.Parse()
 
 	if *addr == "" || *rank < 1 {
@@ -50,15 +55,27 @@ func main() {
 		}
 	}
 
-	say("joining %s", *addr)
-	n, blob, err := tcpnet.Join(*addr, *rank, tcpnet.Options{DialTimeout: *timeout})
-	if err != nil {
-		log.Fatal(err)
+	opts := tcpnet.Options{DialTimeout: *timeout}
+	// The chaos flags attach the deterministic network fault injector to this
+	// worker's endpoint — scripts/chaos_smoke.sh uses the slow link to keep a
+	// solve running long enough to SIGKILL this process mid-flight, and the
+	// drop to reproduce a link failure at an exact frame.
+	if *slowTo >= 0 || *dropTo >= 0 {
+		f := &mpi.NetFaultSpec{}
+		if *slowTo >= 0 {
+			f.SlowFrom, f.SlowTo, f.SlowDelay = *rank, *slowTo, *slowDelay
+		}
+		if *dropTo >= 0 {
+			f.DropFrom, f.DropTo, f.DropAtFrame = *rank, *dropTo, *dropAt
+		}
+		opts.Faults = f
 	}
-	defer n.Close()
-	say("joined %d-rank world, solving", n.WorldSize())
 
-	res, err := distjob.Run(n, blob)
+	say("joining %s", *addr)
+	// WorkLoop behaves exactly like a single join-and-solve for ordinary
+	// jobs; when the coordinator runs with -recover it also rejoins each
+	// restarted generation until one completes (see internal/distjob).
+	res, err := distjob.WorkLoop(*addr, *rank, opts, say)
 	if err != nil {
 		log.Fatal(err)
 	}

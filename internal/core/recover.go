@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mcmdist/internal/matching"
+	"mcmdist/internal/mpi"
 	"mcmdist/internal/rmat"
 	"mcmdist/internal/rt"
 	"mcmdist/internal/spmat"
@@ -24,6 +27,17 @@ type RecoveryPolicy struct {
 	// Verification is the safety net that keeps a corrupted snapshot from
 	// silently poisoning the restarted solve; leave it on outside of tests.
 	DisableVerify bool
+	// Worlds provisions the transport endpoints for attempt generation gen
+	// (0 for the first attempt, 1 for the first retry, ...). Nil keeps the
+	// historical in-process behavior: a fresh inproc world per attempt.
+	// When set, the retry engine runs every returned endpoint concurrently
+	// in this process — the loopback form of a multi-process deployment —
+	// taking the result from the endpoint hosting rank 0 and Closing every
+	// endpoint when the attempt ends, success or failure. (A solve that
+	// actually spans OS processes restarts through distjob.Supervise, which
+	// re-runs rendezvous per generation; this hook is the same engine
+	// exercised in one process.)
+	Worlds func(gen int) ([]mpi.Transport, error)
 }
 
 func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
@@ -131,13 +145,13 @@ func SolveRecoverableGrid(a *spmat.CSC, pr, pc, n1, n2 int, blocks, blocksT [][]
 	}
 
 	backoff := pol.Backoff
-	for {
+	for gen := 0; ; gen++ {
 		rec.Attempts++
-		// The retry engine is in-process-only: each attempt needs a fresh
-		// world, and coordinating restart across processes is out of scope
-		// (see docs/TRANSPORT.md). A nil transport selects the inproc
-		// backend per attempt.
-		res, err := runAttemptGrid(nil, pr, pc, n1, n2, blocks, blocksT, cfg, ctxs)
+		// Each attempt gets a fresh world: a nil pol.Worlds selects the
+		// inproc backend; otherwise the provider builds the generation's
+		// endpoints (tcpnet loopback in tests, distjob.Supervise across real
+		// processes — see docs/TRANSPORT.md).
+		res, err := runRecoveryAttempt(pr, pc, n1, n2, blocks, blocksT, cfg, ctxs, pol, gen)
 		if err == nil {
 			rec.CheckpointWall = res.Stats.CheckpointWall
 			return res, rec, nil
@@ -160,6 +174,68 @@ func SolveRecoverableGrid(a *spmat.CSC, pr, pc, n1, n2 int, blocks, blocksT [][]
 			backoff = pol.MaxBackoff
 		}
 	}
+}
+
+// runRecoveryAttempt runs one attempt generation of the retry engine. With
+// no Worlds provider it is exactly the historical in-process attempt. With
+// one, every endpoint of the generation runs concurrently (each hosting its
+// own ranks), the result comes from the endpoint hosting rank 0 — mate
+// vectors are allgathered, so it holds the full matching — and all endpoints
+// are Closed before returning, so a failed generation leaves no goroutines
+// or sockets behind for the next one to trip over.
+func runRecoveryAttempt(pr, pc, n1, n2 int, blocks, blocksT [][]*spmat.LocalMatrix,
+	cfg Config, ctxs []*rt.Ctx, pol RecoveryPolicy, gen int) (*Result, error) {
+	if pol.Worlds == nil {
+		return runAttemptGrid(nil, pr, pc, n1, n2, blocks, blocksT, cfg, ctxs)
+	}
+	eps, err := pol.Worlds(gen)
+	if err != nil {
+		return nil, fmt.Errorf("core: provisioning attempt generation %d: %w", gen, err)
+	}
+	results := make([]*Result, len(eps))
+	errs := make([]error, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep mpi.Transport) {
+			defer wg.Done()
+			defer ep.Close()
+			results[i], errs[i] = runAttemptGrid(ep, pr, pc, n1, n2, blocks, blocksT, cfg, ctxs)
+		}(i, ep)
+	}
+	wg.Wait()
+	if err := pickAttemptError(errs); err != nil {
+		return nil, err
+	}
+	for i, ep := range eps {
+		for _, r := range ep.LocalRanks() {
+			if r == 0 {
+				return results[i], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: no endpoint of generation %d hosted rank 0", gen)
+}
+
+// pickAttemptError selects the error a failed multi-endpoint attempt
+// surfaces: the first injected-fault error when one exists (the endpoint
+// where the fault actually fired, rather than a peer's view of the ensuing
+// abort), otherwise the first non-nil error in endpoint order. Both rules
+// are deterministic given deterministic faults, which keeps the retry
+// engine's error stream reproducible.
+func pickAttemptError(errs []error) error {
+	for _, e := range errs {
+		if e != nil && (errors.Is(e, mpi.ErrInjectedNetFault) ||
+			errors.Is(e, mpi.ErrInjectedCrash) || errors.Is(e, mpi.ErrInjectedRMAFailure)) {
+			return e
+		}
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // validateCheckpoint is the pre-restart safety net: shape, config hash,

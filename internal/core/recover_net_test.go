@@ -1,0 +1,203 @@
+package core
+
+// The network half of the failure matrix: the retry engine crossed with
+// wire-level faults on the tcp backend. Where recover_test.go pins recovery
+// from process faults (crash, straggler, RMA failure) on the in-process
+// world, this file pins the same bit-identical-recovery contract when each
+// attempt is a loopback TCP world and the injected failures are a dropped
+// link, a partition, a slow link — and a process crash observed through
+// sockets instead of channels.
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/mpi/tcpnet"
+)
+
+// tcpWorlds returns a Worlds provider building one loopback TCP world per
+// attempt, every endpoint sharing the one fault spec — the same sharing
+// SolveRecoverable's public wiring uses, so the terminal budget spans
+// attempts.
+func tcpWorlds(procs int, f *mpi.NetFaultSpec) func(int) ([]mpi.Transport, error) {
+	return func(int) ([]mpi.Transport, error) {
+		return tcpnet.LoopbackOpts(procs, nil, tcpnet.Options{Faults: f})
+	}
+}
+
+// netFaultCases is the network fault matrix: for each case a fresh injector,
+// whether it is terminal (must cost exactly one retry) and an optional
+// process-fault plan to cross with it.
+type netFaultCase struct {
+	net      func() *mpi.NetFaultSpec
+	fault    func() *mpi.FaultPlan
+	terminal bool
+}
+
+func netFaultCases() map[string]netFaultCase {
+	return map[string]netFaultCase{
+		"drop": {
+			net: func() *mpi.NetFaultSpec {
+				return &mpi.NetFaultSpec{DropFrom: 0, DropTo: 1, DropAtFrame: 4}
+			},
+			terminal: true,
+		},
+		"partition": {
+			net: func() *mpi.NetFaultSpec {
+				return &mpi.NetFaultSpec{Partition: []int{0, 1}, PartitionAtFrame: 3}
+			},
+			terminal: true,
+		},
+		"slow": {
+			net: func() *mpi.NetFaultSpec {
+				return &mpi.NetFaultSpec{
+					Seed: 5, SlowFrom: 0, SlowTo: 1,
+					SlowDelay: 100 * time.Microsecond, SlowEvery: 2, SlowJitter: 50 * time.Microsecond,
+				}
+			},
+			terminal: false,
+		},
+		"crash-over-tcp": {
+			// A process fault observed through the socket plane: rank 1's
+			// goroutine dies mid-collective and its peers see genuine link
+			// death, not an injected wire fault.
+			fault: func() *mpi.FaultPlan {
+				return &mpi.FaultPlan{CrashRank: 1, CrashAtCollective: 6}
+			},
+			terminal: true,
+		},
+		"straggler-over-tcp": {
+			fault: func() *mpi.FaultPlan {
+				return &mpi.FaultPlan{
+					Seed: 1, StragglerRank: 2,
+					StragglerDelay: 100 * time.Microsecond, StragglerEvery: 3,
+				}
+			},
+			terminal: false,
+		},
+		"drop-and-straggler": {
+			// Crossed axes: a timing perturbation on one rank while a link
+			// drops — recovery must still converge to the clean matching.
+			net: func() *mpi.NetFaultSpec {
+				return &mpi.NetFaultSpec{DropFrom: 1, DropTo: 0, DropAtFrame: 5}
+			},
+			fault: func() *mpi.FaultPlan {
+				return &mpi.FaultPlan{
+					Seed: 2, StragglerRank: 3,
+					StragglerDelay: 50 * time.Microsecond, StragglerEvery: 4,
+				}
+			},
+			terminal: true,
+		},
+	}
+}
+
+// TestRecoverableNetFaultMatrix is the acceptance sweep over the tcp
+// backend: every network fault case must recover to the exact matching of
+// the clean in-process solve — same cardinality, bit-for-bit identical mate
+// vectors — with the retry accounting matching what fired.
+func TestRecoverableNetFaultMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	a := randomBipartite(rng, 60, 60, 140)
+	base := Config{Procs: 4, Init: InitGreedy, CheckpointEvery: 1}
+	clean := mustSolve(t, a, base)
+	for name, tc := range netFaultCases() {
+		t.Run(name, func(t *testing.T) {
+			var nf *mpi.NetFaultSpec
+			if tc.net != nil {
+				nf = tc.net()
+			}
+			var plan *mpi.FaultPlan
+			cfg := base
+			if tc.fault != nil {
+				plan = tc.fault()
+				cfg.Fault = plan
+			}
+			pol := RecoveryPolicy{
+				Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+				Worlds: tcpWorlds(4, nf),
+			}
+			res, rec, err := SolveRecoverable(a, cfg, pol)
+			if err != nil {
+				t.Fatalf("recoverable solve over tcp failed: %v (recovery %+v)", err, rec)
+			}
+			if err := res.Matching.Validate(a); err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Cardinality != clean.Stats.Cardinality {
+				t.Fatalf("recovered cardinality %d, clean %d", res.Stats.Cardinality, clean.Stats.Cardinality)
+			}
+			for i := range clean.Matching.MateR {
+				if res.Matching.MateR[i] != clean.Matching.MateR[i] {
+					t.Fatalf("MateR[%d] = %d, clean %d", i, res.Matching.MateR[i], clean.Matching.MateR[i])
+				}
+			}
+			for j := range clean.Matching.MateC {
+				if res.Matching.MateC[j] != clean.Matching.MateC[j] {
+					t.Fatalf("MateC[%d] = %d, clean %d", j, res.Matching.MateC[j], clean.Matching.MateC[j])
+				}
+			}
+			fired := 0
+			if nf != nil {
+				fired += nf.Fired()
+			}
+			if plan != nil {
+				fired += plan.Fired()
+			}
+			if tc.terminal {
+				if fired != 1 {
+					t.Fatalf("terminal case fired %d faults, want exactly 1", fired)
+				}
+				if rec.Retries != 1 {
+					t.Fatalf("one terminal fault cost %d retries", rec.Retries)
+				}
+			} else {
+				if fired != 0 || rec.Retries != 0 {
+					t.Fatalf("timing-only case fired %d, retried %d — want 0/0", fired, rec.Retries)
+				}
+			}
+			if rec.Attempts != rec.Retries+1 || len(rec.Errors) != rec.Retries {
+				t.Fatalf("inconsistent accounting: %+v", rec)
+			}
+		})
+	}
+}
+
+// TestRecoverableNetFaultDeterministicErrors pins the retry engine's error
+// stream on the tcp backend: the same drop spec produces the same recorded
+// attempt error, run after run — the property that makes recovery failures
+// diagnosable from a single log line.
+func TestRecoverableNetFaultDeterministicErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := randomBipartite(rng, 50, 50, 120)
+	texts := make([]string, 2)
+	for run := range texts {
+		f := &mpi.NetFaultSpec{DropFrom: 0, DropTo: 1, DropAtFrame: 4}
+		cfg := Config{Procs: 4, Init: InitGreedy, CheckpointEvery: 1}
+		pol := RecoveryPolicy{
+			Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+			Worlds: tcpWorlds(4, f),
+		}
+		_, rec, err := SolveRecoverable(a, cfg, pol)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(rec.Errors) != 1 {
+			t.Fatalf("run %d: %d attempt errors, want 1", run, len(rec.Errors))
+		}
+		if !errors.Is(rec.Errors[0], mpi.ErrInjectedNetFault) {
+			t.Fatalf("run %d: attempt error lost the injected sentinel: %v", run, rec.Errors[0])
+		}
+		texts[run] = rec.Errors[0].Error()
+	}
+	if texts[0] != texts[1] {
+		t.Fatalf("attempt errors differ across identical runs:\n run 0: %s\n run 1: %s", texts[0], texts[1])
+	}
+	if !strings.Contains(texts[0], "dropped at data frame") {
+		t.Fatalf("attempt error names no trigger point: %s", texts[0])
+	}
+}

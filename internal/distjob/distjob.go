@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"mcmdist/internal/core"
 	_ "mcmdist/internal/engine" // register the out-of-core engines for worker solves
@@ -35,16 +36,29 @@ func Run(tr mpi.Transport, blob []byte) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if spec.Procs != tr.WorldSize() {
-		return nil, fmt.Errorf("distjob: job spec procs %d != transport world size %d", spec.Procs, tr.WorldSize())
+	return spec.Solve(tr, nil)
+}
+
+// Solve runs an already-decoded spec on the given endpoint, rebuilding the
+// matrix and configuration locally. onCheckpoint, when non-nil, receives
+// each phase-boundary checkpoint on the process hosting rank 0 (the
+// supervisor captures the freshest one there to seed the next generation);
+// other processes keep the symmetric noop handler CoreConfig installs, so
+// the collective checkpoint gathers stay SPMD.
+func (s *Spec) Solve(tr mpi.Transport, onCheckpoint func(*core.Checkpoint)) (*core.Result, error) {
+	if s.Procs != tr.WorldSize() {
+		return nil, fmt.Errorf("distjob: job spec procs %d != transport world size %d", s.Procs, tr.WorldSize())
 	}
-	a, err := spec.BuildMatrix()
+	a, err := s.BuildMatrix()
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := spec.CoreConfig()
+	cfg, err := s.CoreConfig()
 	if err != nil {
 		return nil, err
+	}
+	if onCheckpoint != nil && cfg.CheckpointEvery > 0 {
+		cfg.OnCheckpoint = onCheckpoint
 	}
 	return core.SolveOn(tr, a, cfg)
 }
@@ -52,8 +66,11 @@ func Run(tr mpi.Transport, blob []byte) (*core.Result, error) {
 // Version is the current Spec codec version. Version 2 added the engine
 // field; the bump is deliberate even though the field is optional, because a
 // worker that silently dropped an unknown engine would solve with a
-// different algorithm than the coordinator asked for.
-const Version = 2
+// different algorithm than the coordinator asked for. Version 3 adds the
+// recovery plane: generation counter, restart policy, and the checkpoint a
+// restarted world resumes from — a v2 worker joining a recovering world
+// would neither checkpoint nor resume, so the bump is again load-bearing.
+const Version = 3
 
 // Spec describes one distributed solve: the graph source (exactly one of
 // RMAT, Matrix or MTX) and the solver options, mirroring cmd/mcm's flags.
@@ -111,6 +128,28 @@ type Spec struct {
 	Graft bool `json:"graft,omitempty"`
 	// NoPermute skips the load-balancing random permutation.
 	NoPermute bool `json:"no_permute,omitempty"`
+
+	// Generation counts world restarts of this job; 0 is the initial world.
+	// Every restart re-runs the rendezvous under a fresh generation, so a
+	// worker can tell a new world from a stale reconnect.
+	Generation int `json:"generation,omitempty"`
+	// Recover marks the job as supervised: a worker whose solve dies of a
+	// restartable transport failure rejoins the rendezvous for the next
+	// generation instead of exiting (see WorkLoop).
+	Recover bool `json:"recover,omitempty"`
+	// MaxRestarts bounds the generations after the first; 0 under Recover
+	// means the supervisor default.
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// CheckpointEvery takes a phase-boundary checkpoint every Nth phase on
+	// all processes (collective); the supervisor holds the freshest one.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// WatchdogMillis arms the progress watchdog, so a world stalled by a
+	// failure mode the detector cannot see still aborts (and restarts).
+	WatchdogMillis int64 `json:"watchdog_millis,omitempty"`
+	// Checkpoint carries the previous generation's freshest snapshot
+	// (MCMCKPT bytes) into a restarted world; every process decodes it into
+	// its resume state, so generation g+1 starts exactly where g left off.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 }
 
 // Encode serializes the spec, stamping the codec version.
@@ -153,6 +192,10 @@ func (s *Spec) validate() error {
 	}
 	if s.Procs <= 0 {
 		return fmt.Errorf("distjob: procs %d must be positive", s.Procs)
+	}
+	if s.Generation < 0 || s.MaxRestarts < 0 || s.CheckpointEvery < 0 || s.WatchdogMillis < 0 {
+		return fmt.Errorf("distjob: negative recovery field (generation %d, max_restarts %d, checkpoint_every %d, watchdog_millis %d)",
+			s.Generation, s.MaxRestarts, s.CheckpointEvery, s.WatchdogMillis)
 	}
 	if _, err := s.rmatParams(); err != nil {
 		return err
@@ -281,6 +324,23 @@ func (s *Spec) CoreConfig() (core.Config, error) {
 	}
 	if cfg.Direction, err = core.ParseDirection(s.Direction); err != nil {
 		return core.Config{}, err
+	}
+	cfg.CheckpointEvery = s.CheckpointEvery
+	if s.WatchdogMillis > 0 {
+		cfg.WatchdogTimeout = time.Duration(s.WatchdogMillis) * time.Millisecond
+	}
+	if s.CheckpointEvery > 0 {
+		// The checkpoint gathers are collective, so every process must install
+		// a handler symmetrically or the world deadlocks; rank 0's supervisor
+		// replaces this noop with its capture hook (Spec.Solve).
+		cfg.OnCheckpoint = func(*core.Checkpoint) {}
+	}
+	if len(s.Checkpoint) > 0 {
+		ck, err := core.DecodeCheckpoint(s.Checkpoint)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("distjob: generation %d resume checkpoint: %w", s.Generation, err)
+		}
+		cfg.Resume = ck
 	}
 	return cfg, nil
 }

@@ -2,6 +2,7 @@ package distjob
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestRoundTrip(t *testing.T) {
 	}
 	want := *s
 	want.V = Version
-	if *got != want {
+	if !reflect.DeepEqual(*got, want) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, want)
 	}
 }

@@ -1,0 +1,184 @@
+package distjob
+
+// In-process integration test of the full recovery protocol: a real
+// Supervise coordinator and real WorkLoop workers, wired over loopback TCP,
+// with a deterministic network fault killing generation 0. Everything a
+// multi-process deployment does — rendezvous, spec v3 with generation and
+// checkpoint, world teardown, re-listen, rejoin — happens here, just with
+// goroutines standing in for processes.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mcmdist/internal/core"
+	"mcmdist/internal/mpi"
+	"mcmdist/internal/mpi/tcpnet"
+)
+
+// TestSuperviseRecoversFromDroppedLink runs a 3-rank supervised solve where
+// worker rank 1's link to rank 2 drops mid-solve in generation 0. The
+// supervisor must run exactly one restart, every worker must rejoin, and the
+// recovered matching must be bit-identical to a clean in-process solve of
+// the same spec.
+func TestSuperviseRecoversFromDroppedLink(t *testing.T) {
+	const procs = 4
+	mkSpec := func() *Spec {
+		return &Spec{RMAT: "g500", Scale: 7, Seed: 11, Procs: procs, Init: "greedy", CheckpointEvery: 1}
+	}
+
+	clean, err := mkSpec().Solve(mpi.NewInproc(procs), nil)
+	if err != nil {
+		t.Fatalf("clean reference solve: %v", err)
+	}
+
+	// One injector for the faulty worker, shared across its rejoins: the
+	// MaxFires budget (default 1) makes generation 0 fault and generation 1
+	// run clean.
+	fault := &mpi.NetFaultSpec{DropFrom: 1, DropTo: 2, DropAtFrame: 3}
+
+	addrCh := make(chan string, 1)
+	var (
+		res   *core.Result
+		stats *SuperviseStats
+		supErr error
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, stats, supErr = Supervise("127.0.0.1:0", mkSpec(), tcpnet.Options{}, SupervisePolicy{
+			Backoff:  10 * time.Millisecond,
+			OnListen: func(addr string) { addrCh <- addr },
+			Log:      t.Logf,
+		})
+	}()
+	addr := <-addrCh
+
+	workerRes := make([]*core.Result, procs)
+	workerErr := make([]error, procs)
+	for rank := 1; rank < procs; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			opts := tcpnet.Options{}
+			if rank == 1 {
+				opts.Faults = fault
+			}
+			workerRes[rank], workerErr[rank] = WorkLoop(addr, rank, opts, t.Logf)
+		}(rank)
+	}
+	wg.Wait()
+
+	if supErr != nil {
+		t.Fatalf("supervisor failed: %v (stats %+v)", supErr, stats)
+	}
+	if stats.Generations != 2 || stats.Restarts != 1 {
+		t.Fatalf("generations %d restarts %d, want 2/1 (errors: %v)", stats.Generations, stats.Restarts, stats.Errors)
+	}
+	if len(stats.Errors) != 1 {
+		t.Fatalf("%d generation errors recorded, want 1: %v", len(stats.Errors), stats.Errors)
+	}
+	if fault.Fired() != 1 {
+		t.Fatalf("fault fired %d times, want exactly 1", fault.Fired())
+	}
+	for rank := 1; rank < procs; rank++ {
+		if workerErr[rank] != nil {
+			t.Fatalf("worker %d failed: %v", rank, workerErr[rank])
+		}
+	}
+
+	if res.Stats.Cardinality != clean.Stats.Cardinality {
+		t.Fatalf("recovered cardinality %d, clean %d", res.Stats.Cardinality, clean.Stats.Cardinality)
+	}
+	for i := range clean.Matching.MateR {
+		if res.Matching.MateR[i] != clean.Matching.MateR[i] {
+			t.Fatalf("MateR[%d] = %d, clean %d", i, res.Matching.MateR[i], clean.Matching.MateR[i])
+		}
+	}
+	// Mate vectors are allgathered, so the workers' final generation holds
+	// the same matching the supervisor reports.
+	for rank := 1; rank < procs; rank++ {
+		if workerRes[rank].Stats.Cardinality != clean.Stats.Cardinality {
+			t.Fatalf("worker %d cardinality %d, clean %d", rank, workerRes[rank].Stats.Cardinality, clean.Stats.Cardinality)
+		}
+	}
+}
+
+// TestSuperviseCleanRunNoRestart pins the no-fault path: one generation, no
+// restarts, result identical to the in-process reference.
+func TestSuperviseCleanRunNoRestart(t *testing.T) {
+	const procs = 4
+	mkSpec := func() *Spec {
+		return &Spec{RMAT: "er", Scale: 6, Seed: 4, Procs: procs, Init: "karpsipser", CheckpointEvery: 1}
+	}
+	clean, err := mkSpec().Solve(mpi.NewInproc(procs), nil)
+	if err != nil {
+		t.Fatalf("clean reference solve: %v", err)
+	}
+
+	addrCh := make(chan string, 1)
+	var (
+		res    *core.Result
+		stats  *SuperviseStats
+		supErr error
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, stats, supErr = Supervise("127.0.0.1:0", mkSpec(), tcpnet.Options{}, SupervisePolicy{
+			OnListen: func(addr string) { addrCh <- addr },
+		})
+	}()
+	addr := <-addrCh
+	workerRes := make([]*core.Result, procs)
+	workerErr := make([]error, procs)
+	for rank := 1; rank < procs; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			workerRes[rank], workerErr[rank] = WorkLoop(addr, rank, tcpnet.Options{}, nil)
+		}(rank)
+	}
+	wg.Wait()
+
+	if supErr != nil {
+		t.Fatalf("supervisor failed: %v", supErr)
+	}
+	if stats.Generations != 1 || stats.Restarts != 0 || len(stats.Errors) != 0 {
+		t.Fatalf("clean run stats %+v, want one generation, no restarts", stats)
+	}
+	for rank := 1; rank < procs; rank++ {
+		if workerErr[rank] != nil {
+			t.Fatalf("worker %d failed: %v", rank, workerErr[rank])
+		}
+		if workerRes[rank].Stats.Cardinality != clean.Stats.Cardinality {
+			t.Fatalf("worker %d cardinality %d, clean %d", rank, workerRes[rank].Stats.Cardinality, clean.Stats.Cardinality)
+		}
+	}
+	if res.Stats.Cardinality != clean.Stats.Cardinality {
+		t.Fatalf("supervisor cardinality %d, clean %d", res.Stats.Cardinality, clean.Stats.Cardinality)
+	}
+}
+
+// TestSuperviseTerminalErrorSurfacesImmediately pins that a non-restartable
+// failure is not retried into a restart storm: a rendezvous that never fills
+// (no worker ever dials) is not a transport-plane death of a running world,
+// so the supervisor surfaces it after a single generation.
+func TestSuperviseTerminalErrorSurfacesImmediately(t *testing.T) {
+	spec := &Spec{RMAT: "g500", Scale: 6, Seed: 1, Procs: 2, CheckpointEvery: 1}
+	opts := tcpnet.Options{DialTimeout: 300 * time.Millisecond}
+	_, stats, err := Supervise("127.0.0.1:0", spec, opts, SupervisePolicy{
+		MaxRestarts: 3,
+		Backoff:     time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("supervisor succeeded with no workers")
+	}
+	if stats.Generations != 1 || stats.Restarts != 0 {
+		t.Fatalf("empty rendezvous ran %d generations, %d restarts — want 1/0 (terminal)",
+			stats.Generations, stats.Restarts)
+	}
+}

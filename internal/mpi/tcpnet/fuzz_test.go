@@ -1,0 +1,166 @@
+package tcpnet
+
+// Fuzz targets for the MCMNET1 codec: every frame-body decoder plus the
+// stream-level readFrame. The contract under fuzzing is the one readLoop
+// relies on — arbitrary peer bytes either decode to a well-formed value or
+// return an error, and never panic, hang, or allocate unboundedly. Seeds
+// cover one valid encoding of every frame kind (built with the real wbuf
+// encoders, so they stay in sync with the wire format) plus the malformed
+// shapes the decoders reject; go test -fuzz grows the corpus from there
+// under testdata/fuzz/.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedBodies builds one valid body per frame kind with the production
+// encoders — the corpus entries that start the fuzzer inside the happy path.
+func seedBodies() [][]byte {
+	var post wbuf
+	post.str("world")
+	post.ranks([]int{0, 1, 2})
+	post.u32(1) // src
+	post.i64(7) // gen
+	post.str("allgatherv")
+	post.u32(3)
+	post.u8(1)
+	post.part([]int64{3, 5, 9}, false)
+	post.u8(0)
+	post.part(nil, false)
+	post.u8(1)
+	post.part([]int64{100, 101, 104, 109}, true) // delta-varint branch
+
+	var finish wbuf
+	finish.str("world")
+	finish.ranks([]int{0, 1})
+	finish.u32(1)
+	finish.i64(3)
+
+	var rmaReq wbuf
+	rmaReq.u64(42)
+	rmaReq.str("mate")
+	rmaReq.u32(1)
+	rmaReq.u8(2)
+	rmaReq.i64(16)
+	rmaReq.i64(4)
+	rmaReq.ints([]int64{1, 2, 3, 4})
+	rmaReq.u8(1)
+	rmaReq.i64(-1)
+	rmaReq.i64(0)
+	rmaReq.i64(5)
+
+	var rmaOK wbuf
+	rmaOK.u64(42)
+	rmaOK.u8(1)
+	rmaOK.ints([]int64{9, 9})
+	rmaOK.i64(-3)
+
+	var rmaErr wbuf
+	rmaErr.u64(43)
+	rmaErr.u8(0)
+	rmaErr.str("window out of range")
+
+	var abort wbuf
+	abort.u32(2)
+	abort.str("injected: link 1->2 dropped")
+
+	var hello wbuf
+	hello.b = append(hello.b, wireMagic...)
+	hello.u8(wireVersion)
+	hello.u32(3)
+	hello.str("127.0.0.1:9301")
+
+	var roster wbuf
+	roster.u32(2)
+	roster.str("127.0.0.1:9301")
+	roster.str("127.0.0.1:9302")
+	roster.bytes([]byte(`{"v":3,"rmat":"g500","procs":2}`))
+
+	return [][]byte{post.b, finish.b, rmaReq.b, rmaOK.b, rmaErr.b, abort.b, hello.b, roster.b}
+}
+
+// FuzzFrameDecode throws one body at every decoder. No decoder may panic on
+// any input; whether it returns a value or an error is its own business.
+func FuzzFrameDecode(f *testing.F) {
+	for _, body := range seedBodies() {
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MCMNET1"))            // hello cut off after the magic
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // a length field pointing past the body
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if msg, err := decodePost(body); err == nil {
+			if len(msg.Parts) != len(msg.Ranks) || len(msg.Present) != len(msg.Ranks) {
+				t.Fatalf("POST decoded with parts/ranks mismatch: %d parts, %d ranks", len(msg.Parts), len(msg.Ranks))
+			}
+		}
+		decodeFinish(body)
+		if _, req, err := decodeRMAReq(body); err == nil && req == nil {
+			t.Fatal("RMA_REQ decoded successfully to nil")
+		}
+		if _, resp, _, ok, err := decodeRMAResp(body); err == nil && ok && resp == nil {
+			t.Fatal("RMA_RESP ok decoded to nil")
+		}
+		decodeAbort(body)
+		parseHello(body)
+		parseRoster(body)
+	})
+}
+
+// FuzzReadFrame feeds an arbitrary byte stream to the frame reader. A
+// corrupt length prefix must fail the read, not drive an unbounded
+// allocation; a well-formed prefix must hand back exactly the body.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(typ byte, body []byte) []byte {
+		var buf bytes.Buffer
+		writeFrame(&buf, typ, body)
+		return buf.Bytes()
+	}
+	for _, body := range seedBodies() {
+		f.Add(frame(framePost, body))
+	}
+	f.Add(frame(frameBye, nil))
+	f.Add(frame(framePing, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, byte(framePost)}) // huge length, no body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(body) > len(data) {
+			t.Fatalf("readFrame produced %d body bytes from %d input bytes", len(body), len(data))
+		}
+		// A frame that reads must re-read identically from its own re-encoding.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, body); err != nil {
+			t.Fatalf("re-encoding a read frame: %v", err)
+		}
+		typ2, body2, err := readFrame(&buf)
+		if err != nil || typ2 != typ || !bytes.Equal(body2, body) {
+			t.Fatalf("frame did not round-trip: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePostDelivery goes one level deeper than decodePost: a POST that
+// decodes must also be deliverable — its shape invariants are what
+// World.DeliverPost indexes by without re-checking.
+func FuzzDecodePostDelivery(f *testing.F) {
+	f.Add(seedBodies()[0])
+	f.Fuzz(func(t *testing.T, body []byte) {
+		msg, err := decodePost(body)
+		if err != nil {
+			return
+		}
+		if msg == nil {
+			t.Fatal("nil POST without error")
+		}
+		for i := range msg.Parts {
+			if msg.Present[i] && msg.Parts[i] == nil {
+				// Present parts decode to empty-but-non-nil slices at worst.
+				t.Fatalf("part %d present but nil", i)
+			}
+		}
+	})
+}

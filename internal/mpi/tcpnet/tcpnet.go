@@ -37,6 +37,22 @@ type Options struct {
 	// CloseTimeout bounds the graceful BYE drain in Close before the
 	// connections are torn down regardless. Default 5s.
 	CloseTimeout time.Duration
+	// HeartbeatInterval is how often the failure detector pings each peer
+	// while the endpoint is bound. Any inbound frame counts as liveness, so
+	// pings only flow on otherwise-idle links. Default 500ms; negative
+	// disables the detector entirely.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer may stay silent — no frames of any
+	// kind — before the detector declares it down and aborts the world with
+	// a PeerDownError. It must comfortably exceed the longest stretch a
+	// healthy peer can go without writing (pings bound that by
+	// HeartbeatInterval plus scheduling noise). Default 10s.
+	HeartbeatTimeout time.Duration
+	// Faults attaches the deterministic network fault injector to this
+	// endpoint's write plane (nil injects nothing). Loopback test worlds
+	// share one spec across endpoints so drop/partition budgets span the
+	// world, mirroring mpi.FaultPlan.
+	Faults *mpi.NetFaultSpec
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +64,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CloseTimeout <= 0 {
 		o.CloseTimeout = 5 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * time.Second
 	}
 	return o
 }
@@ -71,12 +93,16 @@ type peer struct {
 	bye  chan struct{} // closed when the peer's BYE arrives
 	byeO sync.Once
 
-	qmu   sync.Mutex
-	qcv   *sync.Cond
-	qbuf  []byte // framed mailbox bytes awaiting the flusher
-	qbusy bool   // a flusher Write is in flight
-	qstop bool   // no further enqueues; flusher exits once drained
-	qerr  error  // first write error; poisons subsequent enqueues
+	lastRecv atomic.Int64 // UnixNano of the last inbound frame (liveness)
+	faultN   atomic.Int64 // outbound data frames on this link (fault triggers)
+
+	qmu      sync.Mutex
+	qcv      *sync.Cond
+	qbuf     []byte // framed mailbox bytes awaiting the flusher
+	qbusy    bool   // a flusher Write is in flight
+	qstop    bool   // no further enqueues; flusher exits once drained
+	qtimeout bool   // drainWrites gave up waiting; Close is tearing down
+	qerr     error  // first write error; poisons subsequent enqueues
 }
 
 // Net is one process's TCP endpoint of a world: it hosts exactly one rank
@@ -97,6 +123,10 @@ type Net struct {
 	closed   atomic.Bool
 	readers  sync.WaitGroup
 	flushers sync.WaitGroup
+
+	cutN   atomic.Int64  // outbound cross-cut data frames (partition trigger)
+	hbStop chan struct{} // closes to stop the heartbeat monitor
+	hb     sync.WaitGroup
 
 	frames atomic.Int64 // frames handed to the write plane
 	writes atomic.Int64 // socket Write calls that carried them
@@ -242,21 +272,12 @@ func Join(addr string, rank int, opts Options) (*Net, []byte, error) {
 		conn.Close()
 		return nil, nil, fmt.Errorf("tcpnet: expected ROSTER, got %s", frameName(typ))
 	}
-	rb := rbuf{b: body}
-	size := int(rb.u32())
-	if rb.bad || size <= 0 || size > 1<<20 {
-		conn.Close()
-		return nil, nil, fmt.Errorf("tcpnet: malformed roster size")
-	}
-	addrs := make([]string, size)
-	for i := range addrs {
-		addrs[i] = rb.str()
-	}
-	config := rb.bytesField()
-	if err := rb.err(frameRoster); err != nil {
+	addrs, config, err := parseRoster(body)
+	if err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
+	size := len(addrs)
 	if rank >= size {
 		conn.Close()
 		return nil, nil, fmt.Errorf("tcpnet: rank %d outside world of size %d", rank, size)
@@ -319,19 +340,51 @@ func meshListenAddr(coord string) string {
 }
 
 // dialRetry dials addr until it answers or the window closes; peers start in
-// any order, so connection-refused is an expected transient.
+// any order, so connection-refused is an expected transient. Each attempt
+// gets a capped per-attempt timeout (not the whole window, which would let a
+// single black-holed SYN eat every retry), and attempts are spaced by
+// jittered exponential backoff so a herd of restarting workers does not
+// hammer the coordinator in lockstep.
 func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	const (
+		attemptCap = 2 * time.Second
+		backoff0   = 10 * time.Millisecond
+		backoffCap = 500 * time.Millisecond
+	)
 	deadline := time.Now().Add(window)
-	for {
-		conn, err := net.DialTimeout("tcp", addr, window)
+	backoff := backoff0
+	for attempt := uint64(0); ; attempt++ {
+		per := attemptCap
+		if remain := time.Until(deadline); remain < per {
+			per = remain
+		}
+		if per <= 0 {
+			per = time.Millisecond
+		}
+		conn, err := net.DialTimeout("tcp", addr, per)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		// Jitter is deterministic per (address, attempt) but differs across
+		// dialers of distinct addresses; half fixed, half mixed keeps the
+		// average pause at backoff while decorrelating the herd.
+		pause := backoff/2 + time.Duration(splitmixDial(uint64(len(addr))<<32^attempt)%uint64(backoff/2+1))
+		if time.Now().Add(pause).After(deadline) {
 			return nil, err
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(pause)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
 	}
+}
+
+// splitmixDial is the SplitMix64 mixer, deriving the dial backoff jitter.
+func splitmixDial(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 func newPeer(rank int, conn net.Conn) *peer {
@@ -339,6 +392,7 @@ func newPeer(rank int, conn net.Conn) *peer {
 		tc.SetNoDelay(true)
 	}
 	p := &peer{rank: rank, conn: conn, bye: make(chan struct{})}
+	p.lastRecv.Store(time.Now().UnixNano()) // the connection just opened; clearly alive
 	p.qcv = sync.NewCond(&p.qmu)
 	return p
 }
@@ -368,20 +422,7 @@ func readHello(conn net.Conn, opts Options) (rank int, listenAddr string, err er
 	if typ != frameHello {
 		return 0, "", fmt.Errorf("tcpnet: expected HELLO, got %s", frameName(typ))
 	}
-	rb := rbuf{b: body}
-	if len(rb.b) < len(wireMagic) || string(rb.b[:len(wireMagic)]) != wireMagic {
-		return 0, "", fmt.Errorf("tcpnet: bad magic in hello (foreign peer?)")
-	}
-	rb.off = len(wireMagic)
-	if v := rb.u8(); v != wireVersion {
-		return 0, "", fmt.Errorf("tcpnet: peer speaks wire version %d, this build speaks %d", v, wireVersion)
-	}
-	rank = int(rb.u32())
-	listenAddr = rb.str()
-	if err := rb.err(frameHello); err != nil {
-		return 0, "", err
-	}
-	return rank, listenAddr, nil
+	return parseHello(body)
 }
 
 // teardown closes every connection established so far (bootstrap failure
@@ -425,15 +466,82 @@ func (n *Net) Bind(w *mpi.World) error {
 		n.flushers.Add(1)
 		go n.flushLoop(p)
 	}
+	if n.opts.HeartbeatInterval > 0 {
+		n.hbStop = make(chan struct{})
+		n.hb.Add(1)
+		go n.heartbeats()
+	}
 	return nil
+}
+
+// heartbeats is the failure detector: every HeartbeatInterval it pings each
+// live peer (so an idle but healthy link keeps refreshing liveness on the
+// other side) and checks how long each peer has stayed silent; one quiet past
+// HeartbeatTimeout is declared down and the world aborts with a
+// PeerDownError, waking every mailbox waiter instead of stalling into the
+// watchdog.
+func (n *Net) heartbeats() {
+	defer n.hb.Done()
+	tick := time.NewTicker(n.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.hbStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			select {
+			case <-p.bye:
+				continue // the peer drained politely; its silence is expected
+			default:
+			}
+			quiet := now.Sub(time.Unix(0, p.lastRecv.Load()))
+			if quiet > n.opts.HeartbeatTimeout {
+				cause := &mpi.PeerDownError{Rank: p.rank, Op: "heartbeat",
+					Err: fmt.Errorf("silent for %v (timeout %v)", quiet.Round(time.Millisecond), n.opts.HeartbeatTimeout)}
+				n.failPending(cause)
+				if w := n.world.Load(); w != nil {
+					w.Abort(cause)
+				}
+				return
+			}
+			n.sendPing(p)
+		}
+	}
+}
+
+// sendPing writes one PING directly, bypassing both the write queue and the
+// wire counters: pings are timer-driven, so counting them would make
+// WireStats — pinned bit-identical by the conformance suite — depend on
+// wall-clock timing. The deadline is the ping interval: a write that cannot
+// complete by the next tick is pointless, and a stuck peer must not pin the
+// detector for the full WriteTimeout. Failures are ignored; a genuinely dead
+// peer surfaces through its own silence or the read plane.
+func (n *Net) sendPing(p *peer) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.conn.SetWriteDeadline(time.Now().Add(n.opts.HeartbeatInterval))
+	writeFrame(p.conn, framePing, nil)
+	p.conn.SetWriteDeadline(time.Time{})
 }
 
 // send writes one frame to a peer under its write lock and deadline —
 // the direct path for bootstrap, RMA, ABORT and BYE traffic.
 func (n *Net) send(p *peer, typ byte, body []byte) error {
+	return n.sendTimed(p, typ, body, time.Now().Add(n.opts.WriteTimeout))
+}
+
+// sendTimed is send with an explicit write deadline; Close uses it for BYE,
+// where the graceful window (CloseTimeout) is tighter than WriteTimeout.
+func (n *Net) sendTimed(p *peer, typ byte, body []byte, deadline time.Time) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	p.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	p.conn.SetWriteDeadline(deadline)
 	err := writeFrame(p.conn, typ, body)
 	p.conn.SetWriteDeadline(time.Time{})
 	if err == nil {
@@ -442,6 +550,65 @@ func (n *Net) send(p *peer, typ byte, body []byte) error {
 		n.bytes.Add(int64(5 + len(body)))
 	}
 	return err
+}
+
+// faultData applies the injector (if any) to the next outbound data frame on
+// the link n.rank→p.rank: it sleeps first when the link is slow, and returns
+// a non-nil error when the frame must not be sent because the link was
+// dropped or the partition cut fired. Terminal faults sever the affected
+// connections — so the far side observes real peer death — and abort the
+// local world with ErrInjectedNetFault naming the exact trigger point, which
+// is what makes the same spec reproduce the same failure on every run.
+func (n *Net) faultData(p *peer) error {
+	f := n.opts.Faults
+	if f == nil {
+		return nil
+	}
+	seq := p.faultN.Add(1)
+	if d := f.Delay(n.rank, p.rank, seq); d > 0 {
+		time.Sleep(d)
+	}
+	if f.DropsLink(n.rank, p.rank, seq) {
+		err := fmt.Errorf("%w: link %d->%d dropped at data frame %d", mpi.ErrInjectedNetFault, n.rank, p.rank, seq)
+		// Abort before severing: closing the connection wakes this endpoint's
+		// own read loop with a PeerDownError, and the abort cause must already
+		// be the injected error when it does — first cause wins, and the
+		// injected one is the deterministic one.
+		if w := n.world.Load(); w != nil {
+			w.Abort(err)
+		}
+		n.sever(p, err)
+		return err
+	}
+	if n.rank == f.PartitionSender() && f.CrossesCut(n.rank, p.rank) {
+		cut := n.cutN.Add(1)
+		if f.DropsCut(cut) {
+			err := fmt.Errorf("%w: partition %v cut at cross frame %d", mpi.ErrInjectedNetFault, f.Partition, cut)
+			if w := n.world.Load(); w != nil {
+				w.Abort(err)
+			}
+			for _, q := range n.peers {
+				if q != nil && f.CrossesCut(n.rank, q.rank) {
+					n.sever(q, err)
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// sever kills the link to p as an injected fault would: the queue is
+// poisoned so writers fail fast, and the connection is closed so the far
+// side observes EOF — genuine peer death, as far as it can tell.
+func (n *Net) sever(p *peer, cause error) {
+	p.qmu.Lock()
+	if p.qerr == nil {
+		p.qerr = cause
+	}
+	p.qcv.Broadcast()
+	p.qmu.Unlock()
+	p.conn.Close()
 }
 
 // enqueue frames one mailbox message into the peer's pending buffer and
@@ -499,15 +666,19 @@ func (n *Net) flushLoop(p *peer) {
 		p.qmu.Lock()
 		p.qbusy = false
 		if err != nil {
+			injected := p.qerr != nil // sever poisoned the queue first
 			if p.qerr == nil {
 				p.qerr = err
 			}
 			p.qcv.Broadcast()
 			p.qmu.Unlock()
-			if !n.closed.Load() {
+			// An injected sever already aborted the world with its own cause;
+			// a genuine write failure means the peer's process is gone.
+			if !n.closed.Load() && !injected {
+				cause := &mpi.PeerDownError{Rank: p.rank, Op: "write", Err: err}
+				n.failPending(cause)
 				if w := n.world.Load(); w != nil {
-					w.Abort(&mpi.TransportError{Backend: "tcp", Op: "write",
-						Err: fmt.Errorf("tcpnet: connection to rank %d: %w", p.rank, err)})
+					w.Abort(cause)
 				}
 			}
 			return
@@ -518,11 +689,26 @@ func (n *Net) flushLoop(p *peer) {
 
 // drainWrites blocks until the peer's pending buffer is flushed (or its
 // write plane has errored), then stops the flusher. Close uses it so BYE —
-// a direct send — cannot overtake queued mailbox frames.
-func (p *peer) drainWrites() {
+// a direct send — cannot overtake queued mailbox frames. The wait is bounded
+// by deadline: a peer that stopped draining its socket must not hold Close
+// hostage for the full WriteTimeout, so past the deadline the queue is
+// marked timed out and the in-flight Write is abandoned to the connection
+// teardown (conn.Close kicks it loose).
+func (p *peer) drainWrites(deadline time.Time) {
+	var expired atomic.Bool
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		p.qmu.Lock()
+		expired.Store(true)
+		p.qcv.Broadcast()
+		p.qmu.Unlock()
+	})
+	defer timer.Stop()
 	p.qmu.Lock()
-	for (len(p.qbuf) > 0 || p.qbusy) && p.qerr == nil {
+	for (len(p.qbuf) > 0 || p.qbusy) && p.qerr == nil && !expired.Load() {
 		p.qcv.Wait()
+	}
+	if expired.Load() && p.qerr == nil && (len(p.qbuf) > 0 || p.qbusy) {
+		p.qtimeout = true
 	}
 	p.qstop = true
 	p.qcv.Broadcast()
@@ -547,6 +733,9 @@ func (n *Net) Post(msg *mpi.PostMsg) error {
 		p := n.peers[dst]
 		if p == nil {
 			return fmt.Errorf("tcpnet: no connection to rank %d", dst)
+		}
+		if err := n.faultData(p); err != nil {
+			return fmt.Errorf("tcpnet: posting %s gen %d to rank %d: %w", msg.Op, msg.Gen, dst, err)
 		}
 		var b wbuf
 		b.str(msg.Comm)
@@ -587,6 +776,9 @@ func (n *Net) FinishRead(comm string, ranks []int, m int, gen int64) error {
 		if p == nil {
 			return fmt.Errorf("tcpnet: no connection to rank %d", dst)
 		}
+		if err := n.faultData(p); err != nil {
+			return fmt.Errorf("tcpnet: finish notice gen %d to rank %d: %w", gen, dst, err)
+		}
 		if err := n.enqueue(p, frameFinish, b.b); err != nil {
 			return fmt.Errorf("tcpnet: finish notice gen %d to rank %d: %w", gen, dst, err)
 		}
@@ -600,6 +792,9 @@ func (n *Net) RMA(rank int, req *mpi.RMAReq) (*mpi.RMAResp, error) {
 	p := n.peers[rank]
 	if p == nil {
 		return nil, fmt.Errorf("tcpnet: no connection to rank %d", rank)
+	}
+	if err := n.faultData(p); err != nil {
+		return nil, fmt.Errorf("tcpnet: rma to rank %d: %w", rank, err)
 	}
 	id := n.callID.Add(1)
 	ch := make(chan rmaReply, 1)
@@ -627,15 +822,20 @@ func (n *Net) RMA(rank int, req *mpi.RMAReq) (*mpi.RMAResp, error) {
 
 // Abort best-effort broadcasts the world abort to every peer; dead
 // connections are skipped (the local abort must never block on them).
-// In-flight RMA calls are failed too — their replies may never come from a
-// world that is dying, and the callers must unwind through the abort plane.
+// The broadcast is bounded by CloseTimeout, not WriteTimeout: the world is
+// dying, so a peer that cannot take the frame promptly gets torn down
+// instead of pinning the write lock — and with it BYE and Close — for the
+// full write window. In-flight RMA calls are failed too; their replies may
+// never come from a world that is dying, and the callers must unwind
+// through the abort plane.
 func (n *Net) Abort(msg string) {
 	var b wbuf
 	b.u32(uint32(n.rank))
 	b.str(msg)
+	deadline := time.Now().Add(n.opts.CloseTimeout)
 	for _, p := range n.peers {
 		if p != nil {
-			n.send(p, frameAbort, b.b)
+			n.sendTimed(p, frameAbort, b.b, deadline)
 		}
 	}
 	n.failPending(fmt.Errorf("tcpnet: world aborted: %s", msg))
@@ -644,21 +844,44 @@ func (n *Net) Abort(msg string) {
 // Close drains the mesh gracefully: send BYE to every peer, wait (bounded by
 // CloseTimeout) until each peer's BYE arrives — a peer only says BYE once
 // its world has joined, so our window service is no longer needed — then
-// tear the connections down and join the readers.
+// tear the connections down and join the readers. Every step is bounded by
+// CloseTimeout end to end: a peer that went silent without BYE cannot stall
+// the drain past the deadline or leak this endpoint's goroutines, and after
+// a world abort the BYE wait is skipped outright — dead peers will never say
+// goodbye.
 func (n *Net) Close() error {
 	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if n.hbStop != nil {
+		close(n.hbStop)
+		n.hb.Wait()
+	}
+	deadline := time.Now().Add(n.opts.CloseTimeout)
+	aborted := false
+	if w := n.world.Load(); w != nil {
+		aborted = w.Aborted()
+	}
 	for _, p := range n.peers {
-		if p != nil {
-			p.drainWrites()
-			n.send(p, frameBye, nil)
+		if p == nil {
+			continue
+		}
+		p.drainWrites(deadline)
+		p.qmu.Lock()
+		// A stuck or errored write plane means the flusher may still hold the
+		// write lock; skip BYE rather than queue behind it — the peer is not
+		// listening anyway.
+		stuck := p.qtimeout || p.qerr != nil
+		p.qmu.Unlock()
+		if !stuck {
+			n.sendTimed(p, frameBye, nil, deadline)
 		}
 	}
-	// Drain only applies to a bound endpoint: without readers no BYE can be
-	// observed, and an unbound world never owed its peers any service.
-	if n.world.Load() != nil {
-		deadline := time.NewTimer(n.opts.CloseTimeout)
+	// Wait for the peers' BYEs only on a bound, healthy endpoint: without
+	// readers no BYE can be observed, an unbound world never owed its peers
+	// any service, and an aborted world's peers may already be gone.
+	if n.world.Load() != nil && !aborted {
+		timer := time.NewTimer(time.Until(deadline))
 	drain:
 		for _, p := range n.peers {
 			if p == nil {
@@ -666,11 +889,11 @@ func (n *Net) Close() error {
 			}
 			select {
 			case <-p.bye:
-			case <-deadline.C:
+			case <-timer.C:
 				break drain
 			}
 		}
-		deadline.Stop()
+		timer.Stop()
 	}
 	for _, p := range n.peers {
 		if p != nil {
@@ -696,8 +919,10 @@ func (n *Net) failPending(err error) {
 
 // readLoop owns a peer connection's receive side: it decodes frames and
 // feeds them to the bound world until BYE, EOF, or a transport fault. A
-// fault with the world still live aborts it (the peer process died
-// mid-solve); after BYE or Close the loop just winds down.
+// fault with the world still live aborts it with a PeerDownError — EOF or a
+// reset here is how a silently killed peer process announces itself — so
+// every mailbox waiter wakes immediately; after BYE or Close the loop just
+// winds down.
 func (n *Net) readLoop(p *peer) {
 	defer n.readers.Done()
 	// However the loop ends — BYE, EOF, fault — the peer needs nothing more
@@ -715,13 +940,14 @@ func (n *Net) readLoop(p *peer) {
 				return
 			default:
 			}
-			cause := fmt.Errorf("tcpnet: connection to rank %d: %w", p.rank, err)
+			cause := &mpi.PeerDownError{Rank: p.rank, Op: "read", Err: err}
 			n.failPendingPeer(cause)
 			if w := n.world.Load(); w != nil {
-				w.Abort(&mpi.TransportError{Backend: "tcp", Op: "read", Err: cause})
+				w.Abort(cause)
 			}
 			return
 		}
+		p.lastRecv.Store(time.Now().UnixNano())
 		if err := n.handle(p, typ, body); err != nil {
 			if w := n.world.Load(); w != nil {
 				w.Abort(&mpi.TransportError{Backend: "tcp", Op: "decode", Err: err})
@@ -739,50 +965,27 @@ func (n *Net) readLoop(p *peer) {
 // is about to abort anyway.
 func (n *Net) failPendingPeer(err error) { n.failPending(err) }
 
-// handle dispatches one inbound frame.
+// handle dispatches one inbound frame through the shared body decoders (the
+// same pure functions the fuzz targets exercise).
 func (n *Net) handle(p *peer, typ byte, body []byte) error {
 	w := n.world.Load()
 	switch typ {
 	case framePost:
-		rb := rbuf{b: body}
-		msg := &mpi.PostMsg{Comm: rb.str(), Ranks: rb.ranks()}
-		msg.Src = int(rb.u32())
-		msg.Gen = rb.i64()
-		msg.Op = rb.str()
-		nparts := int(rb.u32())
-		if rb.bad || nparts != len(msg.Ranks) {
-			return fmt.Errorf("tcpnet: POST parts/ranks mismatch from rank %d", p.rank)
-		}
-		msg.Parts = make([][]int64, nparts)
-		msg.Present = make([]bool, nparts)
-		for i := 0; i < nparts; i++ {
-			msg.Present[i] = rb.u8() != 0
-			msg.Parts[i] = rb.part()
-		}
-		if err := rb.err(typ); err != nil {
-			return err
+		msg, err := decodePost(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
 		}
 		w.DeliverPost(msg)
 	case frameFinish:
-		rb := rbuf{b: body}
-		comm := rb.str()
-		ranks := rb.ranks()
-		rb.u32() // member index; retirement only counts readers
-		gen := rb.i64()
-		if err := rb.err(typ); err != nil {
-			return err
+		comm, ranks, gen, err := decodeFinish(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
 		}
 		w.DeliverFinish(comm, ranks, gen)
 	case frameRMAReq:
-		rb := rbuf{b: body}
-		id := rb.u64()
-		req := &mpi.RMAReq{Win: rb.str(), Member: int(rb.u32()), Op: mpi.RMAOp(rb.u8()),
-			Off: int(rb.i64()), N: int(rb.i64()), Data: rb.ints(), Code: mpi.OpCode(rb.u8())}
-		req.Operand = rb.i64()
-		req.Expect = rb.i64()
-		req.Next = rb.i64()
-		if err := rb.err(typ); err != nil {
-			return err
+		id, req, err := decodeRMAReq(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
 		}
 		resp, rmaErr := w.ExecRMA(req)
 		var b wbuf
@@ -799,17 +1002,15 @@ func (n *Net) handle(p *peer, typ byte, body []byte) error {
 			return fmt.Errorf("tcpnet: rma reply %d to rank %d: %w", id, p.rank, err)
 		}
 	case frameRMAResp:
-		rb := rbuf{b: body}
-		id := rb.u64()
-		ok := rb.u8() != 0
+		id, resp, remoteErr, ok, err := decodeRMAResp(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
+		}
 		var reply rmaReply
 		if ok {
-			reply.resp = &mpi.RMAResp{Data: rb.ints(), Old: rb.i64()}
+			reply.resp = resp
 		} else {
-			reply.err = fmt.Errorf("tcpnet: remote rma failed on rank %d: %s", p.rank, rb.str())
-		}
-		if err := rb.err(typ); err != nil {
-			return err
+			reply.err = fmt.Errorf("tcpnet: remote rma failed on rank %d: %s", p.rank, remoteErr)
 		}
 		if ch, found := n.pending.Load(id); found {
 			select {
@@ -818,14 +1019,14 @@ func (n *Net) handle(p *peer, typ byte, body []byte) error {
 			}
 		}
 	case frameAbort:
-		rb := rbuf{b: body}
-		from := int(rb.u32())
-		msg := rb.str()
-		if err := rb.err(typ); err != nil {
-			return err
+		from, msg, err := decodeAbort(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
 		}
 		w.DeliverAbort(from, msg)
 		n.failPending(fmt.Errorf("tcpnet: world aborted by rank %d: %s", from, msg))
+	case framePing:
+		// Liveness only; readLoop already refreshed lastRecv.
 	case frameBye:
 		p.byeO.Do(func() { close(p.bye) })
 	default:
@@ -843,10 +1044,18 @@ func Loopback(size int) ([]mpi.Transport, error) {
 // LoopbackConfig is Loopback with a coordinator config blob (each Join-side
 // endpoint will report it from Config).
 func LoopbackConfig(size int, config []byte) ([]mpi.Transport, error) {
+	return LoopbackOpts(size, config, Options{})
+}
+
+// LoopbackOpts is LoopbackConfig with explicit Options applied to every
+// endpoint; the fault and failure-detector tests use it to attach a shared
+// NetFaultSpec (so drop/partition budgets span the world, like FaultPlan)
+// and tight heartbeat windows.
+func LoopbackOpts(size int, config []byte, opts Options) ([]mpi.Transport, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("tcpnet: world size %d must be positive", size)
 	}
-	rv, err := Listen("127.0.0.1:0", Options{})
+	rv, err := Listen("127.0.0.1:0", opts)
 	if err != nil {
 		return nil, err
 	}
@@ -865,7 +1074,7 @@ func LoopbackConfig(size int, config []byte) ([]mpi.Transport, error) {
 	for r := 1; r < size; r++ {
 		go func(r int) {
 			defer wg.Done()
-			n, _, err := Join(rv.Addr(), r, Options{})
+			n, _, err := Join(rv.Addr(), r, opts)
 			if err == nil {
 				eps[r] = n
 			}

@@ -5,10 +5,11 @@ import (
 	"fmt"
 	"io"
 
+	"mcmdist/internal/mpi"
 	"mcmdist/internal/wire"
 )
 
-// Wire format (version 2, magic "MCMNET1"):
+// Wire format (version 3, magic "MCMNET1"):
 //
 //	frame   := u32 bodyLen | u8 type | body
 //	u32/u64 := little-endian; int64 values travel as their two's-complement u64
@@ -28,6 +29,7 @@ import (
 //	            u64 n | ints data | u8 code | u64 operand | u64 expect | u64 next
 //	RMA_RESP := u64 callID | u8 ok | ok: (ints data | u64 old) / !ok: str error
 //	ABORT    := u32 from | str msg
+//	PING     := (empty)
 //	BYE      := (empty)
 //
 // Version 2 adds the per-part encoding byte on POST: encoding 1 carries the
@@ -38,6 +40,13 @@ import (
 // version byte still fences off v1 binaries, which cannot parse the part
 // header at all.
 //
+// Version 3 adds the PING frame, the heartbeat of the failure detector: any
+// inbound frame refreshes the sender's liveness, and PING exists so an idle
+// but healthy peer keeps refreshing it. PINGs carry no payload, are never
+// counted by the fault injector or the wire stats, and require no reply
+// (both sides ping symmetrically). A v2 binary would treat PING as a
+// protocol error, hence the bump.
+//
 // The HELLO magic and version open every connection (both the rendezvous
 // dial and the mesh dials), so a version-skewed or foreign peer is rejected
 // before any traffic flows. A frame body is capped at maxFrame bytes;
@@ -46,7 +55,7 @@ import (
 // wireMagic and wireVersion identify the protocol on every new connection.
 const (
 	wireMagic   = "MCMNET1"
-	wireVersion = 2
+	wireVersion = 3
 )
 
 // maxFrame caps one frame body (1 GiB), a guard against corrupted length
@@ -69,6 +78,7 @@ const (
 	frameRMAResp
 	frameAbort
 	frameBye
+	framePing
 )
 
 // frameName renders a frame type for error messages.
@@ -90,6 +100,8 @@ func frameName(t byte) string {
 		return "ABORT"
 	case frameBye:
 		return "BYE"
+	case framePing:
+		return "PING"
 	default:
 		return fmt.Sprintf("frame(%d)", t)
 	}
@@ -236,6 +248,13 @@ func (r *rbuf) part() []int64 {
 			r.fail()
 			return nil
 		}
+		// Every delta-varint value is at least one byte, so a count beyond
+		// the payload length is malformed; rejecting it here keeps a corrupt
+		// header from forcing a count-sized allocation before Decode fails.
+		if count > nb {
+			r.fail()
+			return nil
+		}
 		v, err := wire.Decode(make([]int64, 0, count), count, r.b[r.off:r.off+nb])
 		if err != nil {
 			r.fail()
@@ -297,9 +316,146 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("tcpnet: %s frame body %d bytes exceeds cap %d", frameName(typ), n, maxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("tcpnet: short %s frame: %w", frameName(typ), err)
+	// The body is read in bounded chunks: a corrupt or hostile length prefix
+	// then costs at most one chunk of memory before the missing payload bytes
+	// fail the read, instead of a maxFrame-sized up-front allocation.
+	body := make([]byte, 0, min(int(n), frameReadChunk))
+	for len(body) < int(n) {
+		step := int(n) - len(body)
+		if step > frameReadChunk {
+			step = frameReadChunk
+		}
+		off := len(body)
+		body = append(body, make([]byte, step)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return 0, nil, fmt.Errorf("tcpnet: short %s frame: %w", frameName(typ), err)
+		}
 	}
 	return typ, body, nil
+}
+
+// frameReadChunk bounds how much body memory readFrame commits per read.
+const frameReadChunk = 1 << 20
+
+// The body decoders below are pure functions of the frame bytes, shared by
+// the read loop and the fuzz targets: whatever a peer (or the fuzzer) puts
+// on the wire either decodes to a well-formed value or returns an error —
+// never a panic, never a silently wrong message.
+
+// decodePost decodes a POST frame body.
+func decodePost(body []byte) (*mpi.PostMsg, error) {
+	rb := rbuf{b: body}
+	msg := &mpi.PostMsg{Comm: rb.str(), Ranks: rb.ranks()}
+	msg.Src = int(rb.u32())
+	msg.Gen = rb.i64()
+	msg.Op = rb.str()
+	nparts := int(rb.u32())
+	if rb.bad || nparts != len(msg.Ranks) {
+		return nil, fmt.Errorf("tcpnet: POST parts/ranks mismatch")
+	}
+	msg.Parts = make([][]int64, nparts)
+	msg.Present = make([]bool, nparts)
+	for i := 0; i < nparts; i++ {
+		msg.Present[i] = rb.u8() != 0
+		msg.Parts[i] = rb.part()
+	}
+	if err := rb.err(framePost); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// decodeFinish decodes a FINISH frame body. The member index travels on the
+// wire but retirement only counts readers, so it is validated and dropped.
+func decodeFinish(body []byte) (comm string, ranks []int, gen int64, err error) {
+	rb := rbuf{b: body}
+	comm = rb.str()
+	ranks = rb.ranks()
+	rb.u32() // member index
+	gen = rb.i64()
+	if err := rb.err(frameFinish); err != nil {
+		return "", nil, 0, err
+	}
+	return comm, ranks, gen, nil
+}
+
+// decodeRMAReq decodes an RMA_REQ frame body.
+func decodeRMAReq(body []byte) (id uint64, req *mpi.RMAReq, err error) {
+	rb := rbuf{b: body}
+	id = rb.u64()
+	req = &mpi.RMAReq{Win: rb.str(), Member: int(rb.u32()), Op: mpi.RMAOp(rb.u8()),
+		Off: int(rb.i64()), N: int(rb.i64()), Data: rb.ints(), Code: mpi.OpCode(rb.u8())}
+	req.Operand = rb.i64()
+	req.Expect = rb.i64()
+	req.Next = rb.i64()
+	if err := rb.err(frameRMAReq); err != nil {
+		return 0, nil, err
+	}
+	return id, req, nil
+}
+
+// decodeRMAResp decodes an RMA_RESP frame body; remoteErr carries the
+// remote side's failure rendering when ok is false.
+func decodeRMAResp(body []byte) (id uint64, resp *mpi.RMAResp, remoteErr string, ok bool, err error) {
+	rb := rbuf{b: body}
+	id = rb.u64()
+	ok = rb.u8() != 0
+	if ok {
+		resp = &mpi.RMAResp{Data: rb.ints(), Old: rb.i64()}
+	} else {
+		remoteErr = rb.str()
+	}
+	if err := rb.err(frameRMAResp); err != nil {
+		return 0, nil, "", false, err
+	}
+	return id, resp, remoteErr, ok, nil
+}
+
+// decodeAbort decodes an ABORT frame body.
+func decodeAbort(body []byte) (from int, msg string, err error) {
+	rb := rbuf{b: body}
+	from = int(rb.u32())
+	msg = rb.str()
+	if err := rb.err(frameAbort); err != nil {
+		return 0, "", err
+	}
+	return from, msg, nil
+}
+
+// parseHello decodes a HELLO frame body: magic, version, rank, mesh
+// listen address.
+func parseHello(body []byte) (rank int, listenAddr string, err error) {
+	rb := rbuf{b: body}
+	if len(rb.b) < len(wireMagic) || string(rb.b[:len(wireMagic)]) != wireMagic {
+		return 0, "", fmt.Errorf("tcpnet: bad magic in hello (foreign peer?)")
+	}
+	rb.off = len(wireMagic)
+	if v := rb.u8(); v != wireVersion {
+		return 0, "", fmt.Errorf("tcpnet: peer speaks wire version %d, this build speaks %d", v, wireVersion)
+	}
+	rank = int(rb.u32())
+	listenAddr = rb.str()
+	if err := rb.err(frameHello); err != nil {
+		return 0, "", err
+	}
+	return rank, listenAddr, nil
+}
+
+// parseRoster decodes a ROSTER frame body: the world's mesh addresses plus
+// the coordinator's opaque config blob.
+func parseRoster(body []byte) (addrs []string, config []byte, err error) {
+	rb := rbuf{b: body}
+	size := int(rb.u32())
+	if rb.bad || size <= 0 || size > 1<<20 {
+		return nil, nil, fmt.Errorf("tcpnet: malformed roster size")
+	}
+	addrs = make([]string, size)
+	for i := range addrs {
+		addrs[i] = rb.str()
+	}
+	config = rb.bytesField()
+	if err := rb.err(frameRoster); err != nil {
+		return nil, nil, err
+	}
+	return addrs, config, nil
 }

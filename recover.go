@@ -7,6 +7,7 @@ import (
 
 	"mcmdist/internal/core"
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/mpi/tcpnet"
 )
 
 // FaultSpec configures the deterministic fault injector for a recoverable
@@ -61,6 +62,65 @@ func (f *FaultSpec) plan() *mpi.FaultPlan {
 	}
 }
 
+// NetFaultSpec configures the deterministic network fault injector, the
+// wire-level sibling of FaultSpec for recoverable solves on the tcp
+// transport. Faults trigger at fixed points in each sender's own data-frame
+// stream — the Nth frame it ships on a link — so a given spec reproduces
+// the same failure at the same point on every execution. The zero value
+// injects nothing; terminal faults (drop, partition) share a budget of
+// MaxFires (default 1) across all attempts of one SolveRecoverable call.
+type NetFaultSpec struct {
+	// Seed drives the slow-link jitter.
+	Seed int64
+	// DropFrom/DropTo name the directed link the drop fault severs; the
+	// receiving side observes genuine peer death.
+	DropFrom, DropTo int
+	// DropAtFrame is the 1-based data frame (counted per link at the
+	// sender) whose send severs the link. 0 disables.
+	DropAtFrame int
+	// Partition is the rank set whose every link to the complement is
+	// severed when the cut fires.
+	Partition []int
+	// PartitionAtFrame is the 1-based cross-cut data frame (counted at the
+	// set's lowest rank) whose send enacts the cut. 0 disables.
+	PartitionAtFrame int
+	// SlowFrom/SlowTo name the directed link the slow fault delays. Timing
+	// only — results stay bit-identical, and no retry is triggered.
+	SlowFrom, SlowTo int
+	// SlowDelay is the base delay injected per triggering frame; 0 disables.
+	SlowDelay time.Duration
+	// SlowEvery selects which data frames are delayed (default every one).
+	SlowEvery int
+	// SlowJitter bounds the additional seeded random delay.
+	SlowJitter time.Duration
+	// MaxFires bounds the terminal faults injected across the retry loop.
+	// 0 means 1.
+	MaxFires int
+}
+
+// spec converts the public mirror into the injector the transport layer
+// consumes. One spec per SolveRecoverable call: its budget must span every
+// attempt, so the first attempt faults and the retry runs clean.
+func (f *NetFaultSpec) spec() *mpi.NetFaultSpec {
+	if f == nil {
+		return nil
+	}
+	return &mpi.NetFaultSpec{
+		Seed:             f.Seed,
+		DropFrom:         f.DropFrom,
+		DropTo:           f.DropTo,
+		DropAtFrame:      f.DropAtFrame,
+		Partition:        f.Partition,
+		PartitionAtFrame: f.PartitionAtFrame,
+		SlowFrom:         f.SlowFrom,
+		SlowTo:           f.SlowTo,
+		SlowDelay:        f.SlowDelay,
+		SlowEvery:        f.SlowEvery,
+		SlowJitter:       f.SlowJitter,
+		MaxFires:         f.MaxFires,
+	}
+}
+
 // RecoveryPolicy configures SolveRecoverable: how often to checkpoint, how
 // hard to watch for progress, and how many times to retry a faulted attempt.
 type RecoveryPolicy struct {
@@ -84,6 +144,17 @@ type RecoveryPolicy struct {
 	// Fault optionally injects deterministic faults, for testing the
 	// recovery path itself.
 	Fault *FaultSpec
+	// Transport selects the backend the retry engine provisions for each
+	// attempt: "" or "inproc" runs every rank as a goroutine of this
+	// process; "tcp" builds a fresh loopback TCP world per attempt — the
+	// socket path, failure detector included, without the process
+	// separation. (A solve that actually spans OS processes recovers
+	// through the coordinator's supervisor loop; see docs/FAULTS.md.)
+	Transport string
+	// Net optionally injects deterministic network faults (drop, partition,
+	// slow link); it requires Transport "tcp", since the in-process backend
+	// has no wire to fail.
+	Net *NetFaultSpec
 }
 
 // Recovery reports what the retry engine of a SolveRecoverable call did.
@@ -121,6 +192,10 @@ func recoveryFromCore(r *core.RecoveryStats) *Recovery {
 // plane: phase-boundary checkpoints, an optional progress watchdog, and a
 // bounded-retry restart loop that resumes a faulted attempt from the last
 // checkpoint (verified to be a valid matching of the graph before use).
+// Each attempt gets a fresh world on the backend pol.Transport selects —
+// goroutine ranks by default, a loopback TCP world (sockets, heartbeats,
+// the lot) with "tcp" — and pol.Fault/pol.Net inject deterministic process
+// and network failures for testing the recovery paths themselves.
 // opts.Procs and opts.Permute are ignored, as in MaximumMatching.
 func (dg *DistributedGraph) SolveRecoverable(opts Options, pol RecoveryPolicy) (m *Matching, st *Stats, rec *Recovery, err error) {
 	defer guard(&err)
@@ -140,6 +215,20 @@ func (dg *DistributedGraph) SolveRecoverable(opts Options, pol RecoveryPolicy) (
 		MaxRetries: pol.MaxRetries,
 		Backoff:    pol.Backoff,
 		MaxBackoff: pol.MaxBackoff,
+	}
+	switch pol.Transport {
+	case "", "inproc":
+		if pol.Net != nil {
+			return nil, nil, nil, fmt.Errorf("mcmdist: RecoveryPolicy.Net requires Transport %q (the in-process backend has no wire to fail)", "tcp")
+		}
+	case "tcp":
+		nf := pol.Net.spec() // one injector: its budget spans every attempt
+		procs := dg.procs
+		corePol.Worlds = func(int) ([]mpi.Transport, error) {
+			return tcpnet.LoopbackOpts(procs, nil, tcpnet.Options{Faults: nf})
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("mcmdist: unknown RecoveryPolicy.Transport %q (want inproc or tcp)", pol.Transport)
 	}
 	res, crec, err := core.SolveRecoverableGrid(dg.g.a, dg.side, dg.side,
 		dg.g.Rows(), dg.g.Cols(), dg.blocks, dg.blocksT, cfg, dg.ctxs, corePol)

@@ -162,3 +162,78 @@ func TestLibraryBoundaryContainsPanics(t *testing.T) {
 		t.Fatalf("error is %T (%v), want a rank-attributed error", err, err)
 	}
 }
+
+func TestSolveRecoverableTCPTransport(t *testing.T) {
+	g := mustRMAT(t, G500, 8, 4, 17)
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+	opts := Options{Init: GreedyInit}
+	clean, _, err := dg.MaximumMatching(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean solve over the tcp backend: the recovery plane provisions a
+	// loopback TCP world per attempt and the result matches the in-process
+	// solve exactly.
+	m, _, rec, err := dg.SolveRecoverable(opts, RecoveryPolicy{Transport: "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyMaximum(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cardinality() != clean.Cardinality() || rec.Attempts != 1 {
+		t.Fatalf("tcp clean run: cardinality %d (clean %d), recovery %+v", m.Cardinality(), clean.Cardinality(), rec)
+	}
+
+	// Injected link drop: one retry, and the recovered matching is
+	// bit-identical to the clean one.
+	m2, _, rec2, err := dg.SolveRecoverable(opts, RecoveryPolicy{
+		Transport: "tcp",
+		Net:       &NetFaultSpec{DropFrom: 0, DropTo: 1, DropAtFrame: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Attempts != 2 || rec2.Retries != 1 {
+		t.Fatalf("dropped-link run recovery %+v", rec2)
+	}
+	for i := range clean.MateR {
+		if m2.MateR[i] != clean.MateR[i] {
+			t.Fatalf("MateR[%d] = %d after tcp recovery, clean %d", i, m2.MateR[i], clean.MateR[i])
+		}
+	}
+	for j := range clean.MateC {
+		if m2.MateC[j] != clean.MateC[j] {
+			t.Fatalf("MateC[%d] = %d after tcp recovery, clean %d", j, m2.MateC[j], clean.MateC[j])
+		}
+	}
+
+	// The session stays usable afterwards, on the default backend.
+	m3, _, err := dg.MaximumMatching(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Cardinality() != clean.Cardinality() {
+		t.Fatalf("post-tcp-recovery solve found %d, want %d", m3.Cardinality(), clean.Cardinality())
+	}
+}
+
+func TestSolveRecoverableRejectsBadTransport(t *testing.T) {
+	g := mustRMAT(t, ER, 7, 4, 3)
+	dg, err := Distribute(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+	if _, _, _, err := dg.SolveRecoverable(Options{}, RecoveryPolicy{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if _, _, _, err := dg.SolveRecoverable(Options{}, RecoveryPolicy{Net: &NetFaultSpec{DropAtFrame: 1}}); err == nil {
+		t.Fatal("network faults accepted on the in-process backend")
+	}
+}
