@@ -33,9 +33,11 @@ test-faults:
 soak:
 	$(GO) test -race -tags faultsoak -count=1 -run Soak -timeout 20m ./internal/mpi/ ./internal/mpi/tcpnet/
 
-# Short fuzz pass over everything a peer can put on the wire: the MCMNET1
-# frame reader and per-frame body decoders, the POST delivery shape, and
-# the delta-varint codec. Go allows one -fuzz pattern per invocation, so
+# Short fuzz pass over everything a peer can put on the wire or on disk:
+# the MCMNET1 frame reader and per-frame body decoders (now including
+# PING/PONG/OBS), the POST delivery shape, the delta-varint codec, and the
+# observation-shipping / flight-dump codecs whose decoders face network and
+# crash-recovered bytes. Go allows one -fuzz pattern per invocation, so
 # each target gets its own run; FUZZTIME scales the pass.
 FUZZTIME ?= 10s
 fuzz-smoke:
@@ -43,11 +45,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/mpi/tcpnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePostDelivery$$' -fuzztime $(FUZZTIME) ./internal/mpi/tcpnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz '^FuzzObsDecode$$' -fuzztime $(FUZZTIME) ./internal/obs/
 
 # Cross-process chaos smoke: a supervised 4-process TCP solve whose rank-2
 # worker is SIGKILLed mid-solve; the world must restart, a replacement
 # worker must take over the rank, and the recovered matching must be
-# byte-identical to the in-process oracle. See docs/FAULTS.md.
+# byte-identical to the in-process oracle. The killed generation must also
+# leave a decodable flight-recorder bundle whose cause names the dead
+# rank. See docs/FAULTS.md and docs/OBSERVABILITY.md.
 chaos-smoke:
 	scripts/chaos_smoke.sh
 
@@ -69,9 +74,11 @@ bench-smoke:
 
 # Multi-process transport smoke: one solve spanning four OS processes over
 # loopback TCP (mcm coordinating, three mcmrank workers), its matching
-# byte-compared against the in-process oracle — once raw, once with wire
-# compression + adaptive direction; then a traced solve on the tcp backend
-# validated by cmd/tracelint. See docs/TRANSPORT.md and docs/KERNELS.md.
+# byte-compared against the in-process oracle — raw, with wire compression
+# + adaptive direction, with the auction engine, and once fully traced:
+# the coordinator collects every rank's observations and writes ONE merged
+# world trace + time-series + aggregated metrics, all validated by
+# cmd/tracelint. See docs/TRANSPORT.md and docs/OBSERVABILITY.md.
 transport-smoke:
 	scripts/transport_smoke.sh
 	$(GO) run ./cmd/bench -exp profile -scale 12 -procs 4 -matrix g500 -transport tcp -trace transport-trace.json

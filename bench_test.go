@@ -12,6 +12,7 @@ package mcmdist
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"mcmdist/internal/experiments"
@@ -238,6 +239,73 @@ func BenchmarkSolveTraceOverhead(b *testing.B) {
 				if _, _, err := dg.MaximumMatching(Options{Init: GreedyInit, Observe: tc.obs}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveObsCollection measures the cost of whole-world observation
+// collection on the tcp backend: a 4-endpoint loopback world runs one full
+// solve per iteration, once untraced and once with every observability
+// plane on — spans, time-series, metrics, plus the solve-end shipping and
+// the coordinator-side merge that the single-process benchmark above never
+// pays. EXPERIMENTS.md records the collected overhead (<5% target; the
+// disabled plane must stay within noise of "off").
+func BenchmarkSolveObsCollection(b *testing.B) {
+	g, err := RMAT(G500, 12, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const procs = 4
+	for _, tc := range []struct {
+		name string
+		obs  *Observe
+	}{
+		{"off", nil},
+		{"collected", &Observe{Spans: true, TimeSeries: true, Metrics: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := Options{Procs: procs, Init: GreedyInit, Observe: tc.obs}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// An endpoint binds one world and one solve; bootstrap and
+				// teardown happen off the clock so the measured delta is the
+				// observability plane, not socket setup.
+				b.StopTimer()
+				trs, err := LoopbackTCP(procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				errs := make([]error, procs)
+				for r := 1; r < procs; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						_, _, errs[r] = MaximumMatchingOn(trs[r], g, opts)
+					}(r)
+				}
+				_, _, errs[0] = MaximumMatchingOn(trs[0], g, opts)
+				wg.Wait()
+				b.StopTimer()
+				// Close concurrently: BYE drains are mutual, so sequential
+				// closes would each wait out the full close timeout.
+				var cwg sync.WaitGroup
+				for _, tr := range trs {
+					cwg.Add(1)
+					go func(tr *Transport) {
+						defer cwg.Done()
+						tr.Close()
+					}(tr)
+				}
+				cwg.Wait()
+				for _, e := range errs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+				b.StartTimer()
 			}
 		})
 	}

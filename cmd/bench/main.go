@@ -34,8 +34,12 @@
 // profile solve: -trace writes its span timeline as Chrome trace_event JSON
 // (load in ui.perfetto.dev), -timeseries writes the per-iteration series as
 // CSV, and -metrics-addr serves live Prometheus metrics at /metrics while
-// the bench runs. -exp profile runs only that measured solve — the quickest
-// way to produce a trace.
+// the bench runs. With -transport tcp each loopback endpoint records into
+// its own collector and the rank-0 endpoint collects the world at solve end
+// — the real multi-process shipping protocol — so the trace, the series
+// (including the envelope's time_series), and the registry are whole-world
+// merges exactly as a distributed deployment would produce. -exp profile
+// runs only that measured solve — the quickest way to produce a trace.
 package main
 
 import (

@@ -11,27 +11,43 @@
 // job spec to the cmd/mcmrank workers that join; `mcm -transport tcp
 // -rank N` is an alternative worker spelling. See docs/TRANSPORT.md.
 //
+// Observability (docs/OBSERVABILITY.md): -trace-out writes the solve's span
+// timeline as Perfetto-loadable trace JSON, -timeseries the per-iteration
+// series as CSV, -metrics-out a Prometheus text snapshot, and -metrics-addr
+// serves the live registry at /metrics while the solve runs. On a tcp world
+// the artifacts are whole-world merges: the workers ship their observations
+// at solve end and the coordinator aligns and merges them. -flight-dir arms
+// the crash flight recorder — a failed generation leaves
+// flight-g<gen>-r<rank>.dump post-mortems there (decode with cmd/tracelint).
+//
 // Examples:
 //
 //	mcm -rmat g500 -scale 14 -procs 16 -init mindegree
 //	mcm -in graph.mtx -procs 4 -breakdown
 //	mcm -matrix road_usa -scale 12 -procs 16 -verify
 //	mcm -rmat g500 -scale 10 -procs 4 -transport tcp -addr 127.0.0.1:9301
+//	mcm -rmat g500 -scale 10 -procs 4 -transport tcp -addr 127.0.0.1:9301 \
+//	    -trace-out world.json -timeseries world.csv -metrics-out world.prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mcmdist"
 	"mcmdist/internal/distjob"
 	"mcmdist/internal/matching"
 	"mcmdist/internal/mpi/tcpnet"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/verify"
 )
@@ -62,6 +78,11 @@ func main() {
 	verify := flag.Bool("verify", false, "certify the result with the König vertex-cover certificate")
 	breakdown := flag.Bool("breakdown", false, "print the per-primitive runtime breakdown")
 	trace := flag.Bool("trace", false, "print one line per BFS iteration")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace of the solve to this file (tcp coordinator: one merged world trace, all ranks)")
+	timeseries := flag.String("timeseries", "", "write the per-iteration time-series CSV to this file (tcp coordinator: rank-merged across the world)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry in Prometheus text format at this address for the duration of the run (tcp coordinator: world-aggregated at solve end)")
+	metricsOut := flag.String("metrics-out", "", "write the final metrics registry in Prometheus text format to this file")
+	flightDir := flag.String("flight-dir", "", "tcp transport: crash flight recorder directory — on a failed attempt every surviving process dumps its span-ring tail, meters and generation here")
 	out := flag.String("out", "", "write the matching as 'row col' lines to this file")
 	transport := flag.String("transport", "inproc", "transport backend: inproc (ranks are goroutines) or tcp (ranks are OS processes)")
 	addr := flag.String("addr", "", "tcp transport: rendezvous address (rank 0 listens, workers dial)")
@@ -93,6 +114,9 @@ func main() {
 	}
 	if *recoverFlag && *transport != "tcp" {
 		log.Fatal("-recover requires -transport tcp (in-process recovery is the library's SolveRecoverable)")
+	}
+	if *flightDir != "" && *transport != "tcp" {
+		log.Fatal("-flight-dir requires -transport tcp (the flight recorder captures multi-process failures)")
 	}
 	if *transport == "tcp" && *rank > 0 {
 		// Worker mode: the coordinator ships the job spec, so every graph
@@ -144,6 +168,23 @@ func main() {
 	if *trace {
 		opts.Trace = os.Stdout
 	}
+	wantMetrics := *metricsAddr != "" || *metricsOut != ""
+	if *traceOut != "" || *timeseries != "" || wantMetrics {
+		opts.Observe = &mcmdist.Observe{
+			Spans:      *traceOut != "",
+			TimeSeries: *timeseries != "",
+			Metrics:    wantMetrics,
+		}
+	}
+	var msrv metricsServer
+	if *metricsAddr != "" {
+		bound, err := msrv.listen(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving metrics at http://%s/metrics\n", bound)
+		opts.Observe.OnLive = func(r *mcmdist.ObsReport) { msrv.install(r.MetricsHandler()) }
+	}
 	switch *augment {
 	case "auto":
 		opts.Augment = mcmdist.AutoAugment
@@ -163,6 +204,8 @@ func main() {
 			Init: *initAlg, Semiring: *semiringFlag, Augment: *augment,
 			NoPrune: *noPrune, DirectionOptimized: *dirOpt, Direction: *direction,
 			Compress: *compress, Engine: *engine, Graft: *graft, NoPermute: *noPermute,
+			ObsSpans: *traceOut != "", ObsSeries: *timeseries != "", ObsMetrics: wantMetrics,
+			FlightDir: *flightDir,
 		}
 		if *in != "" {
 			// Workers may not share our filesystem: embed the file.
@@ -173,7 +216,8 @@ func main() {
 			spec.MTX = string(content)
 		}
 		if *recoverFlag {
-			runSupervisor(*addr, spec, *maxRestarts, *ckptEvery, *verify, *out)
+			runSupervisor(*addr, spec, *maxRestarts, *ckptEvery, *verify, *out,
+				obsOutputs{trace: *traceOut, series: *timeseries, metrics: *metricsOut, srv: &msrv})
 			return
 		}
 		blob, err := spec.Encode()
@@ -211,6 +255,10 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("  %-8s %.3g  (wall %v)\n", k, bd[k], st.WallByOp[k])
 		}
+	}
+
+	if st.Obs != nil {
+		writeObsOutputs(st.Obs, *traceOut, *timeseries, *metricsOut)
 	}
 
 	if *verify {
@@ -253,12 +301,13 @@ func main() {
 // runSupervisor is the coordinator side of a recoverable multi-process
 // solve: it supervises the world across generations, restarting failed
 // worlds from the last phase-boundary checkpoint (see internal/distjob).
-func runSupervisor(addr string, spec *distjob.Spec, maxRestarts, ckptEvery int, verifyFlag bool, out string) {
+func runSupervisor(addr string, spec *distjob.Spec, maxRestarts, ckptEvery int, verifyFlag bool, out string, oo obsOutputs) {
 	spec.CheckpointEvery = ckptEvery
 	pol := distjob.SupervisePolicy{MaxRestarts: maxRestarts, Log: log.Printf}
 	fmt.Printf("supervising %d-rank tcp world at %s (waiting for %d workers, up to %d restarts)\n",
 		spec.Procs, addr, spec.Procs-1, maxRestarts)
 	res, stats, err := distjob.Supervise(addr, spec, tcpnet.Options{}, pol)
+	reportFlightDumps(stats, spec.FlightDir)
 	if err != nil {
 		for _, ge := range stats.Errors {
 			log.Printf("generation error: %v", ge)
@@ -271,6 +320,10 @@ func runSupervisor(addr string, spec *distjob.Spec, maxRestarts, ckptEvery int, 
 		fmt.Printf(" (resumed from phase %d)", stats.ResumedPhase)
 	}
 	fmt.Println()
+	if stats.Obs != nil {
+		oo.srv.install(collectorOutputs{stats.Obs}.metricsHandler())
+		writeObsOutputs(collectorOutputs{stats.Obs}, oo.trace, oo.series, oo.metrics)
+	}
 	if verifyFlag {
 		a, err := spec.BuildMatrix()
 		if err != nil {
@@ -307,6 +360,114 @@ func runWorker(addr string, rank int, out string) {
 		}
 		fmt.Printf("matching written to %s\n", out)
 	}
+}
+
+// obsOutputs carries the observability artifact destinations into the
+// supervisor path.
+type obsOutputs struct {
+	trace, series, metrics string
+	srv                    *metricsServer
+}
+
+// obsWriter is the slice of the observability report the artifact writer
+// needs; *mcmdist.ObsReport and collectorOutputs both satisfy it.
+type obsWriter interface {
+	WriteTrace(io.Writer) error
+	WriteTimeSeriesCSV(io.Writer) error
+	WriteMetrics(io.Writer) error
+}
+
+// collectorOutputs adapts the supervisor path's internal collector (the
+// final generation's merged world observation) to obsWriter.
+type collectorOutputs struct{ col *obs.Collector }
+
+func (c collectorOutputs) WriteTrace(w io.Writer) error          { return c.col.WriteTrace(w) }
+func (c collectorOutputs) WriteTimeSeriesCSV(w io.Writer) error  { return c.col.WriteSeriesCSV(w) }
+func (c collectorOutputs) WriteMetrics(w io.Writer) error {
+	reg := c.col.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.WritePrometheus(w)
+}
+
+func (c collectorOutputs) metricsHandler() http.Handler {
+	reg := c.col.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.Handler()
+}
+
+// writeObsOutputs writes whichever observability artifacts were requested:
+// the merged Perfetto trace, the rank-merged time-series CSV, and the final
+// metrics registry in Prometheus text format.
+func writeObsOutputs(r obsWriter, traceOut, seriesOut, metricsOut string) {
+	write := func(path, what string, f func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f(fh); err != nil {
+			fh.Close()
+			log.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	write(traceOut, "trace", r.WriteTrace)
+	write(seriesOut, "time-series", r.WriteTimeSeriesCSV)
+	write(metricsOut, "metrics", r.WriteMetrics)
+}
+
+// reportFlightDumps points the operator at the post-mortem bundle a
+// supervised solve accumulated, whether or not it recovered.
+func reportFlightDumps(stats *distjob.SuperviseStats, dir string) {
+	if len(stats.FlightDumps) == 0 {
+		return
+	}
+	fmt.Printf("flight recorder: %d dump(s) in %s\n", len(stats.FlightDumps), dir)
+	for _, p := range stats.FlightDumps {
+		fmt.Printf("  %s\n", p)
+	}
+}
+
+// metricsServer serves /metrics for the duration of the run. Until the
+// solve's registry comes live it answers 503, so a scrape during bootstrap
+// fails soft instead of hanging.
+type metricsServer struct {
+	h atomic.Value // http.Handler
+}
+
+func (s *metricsServer) listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
+func (s *metricsServer) install(h http.Handler) {
+	if h != nil {
+		s.h.Store(h)
+	}
+}
+
+func (s *metricsServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h, _ := s.h.Load().(http.Handler)
+	if h == nil {
+		http.Error(w, "registry not live yet", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
 }
 
 // writeMateVector is writeMatching for the internal representation the

@@ -1,16 +1,29 @@
-// Command tracelint validates the observability artifacts cmd/bench emits:
-// Chrome trace_event JSON files (-trace) and per-iteration time-series CSVs
-// (-series). For traces it checks the JSON object form with a traceEvents
-// array, per-event required keys by phase type, and pairing of flow
-// start/finish events — a trace that passes loads in Perfetto
-// (ui.perfetto.dev) and chrome://tracing. For CSVs (dispatched on the .csv
-// extension) it checks the exact header obs.WriteSeriesCSV writes, row
-// arity, numeric fields, and the direction column's push/pull vocabulary.
-// It is the CI gate behind the trace-smoke and bench-smoke steps.
+// Command tracelint validates the observability artifacts cmd/bench and
+// cmd/mcm emit: Chrome trace_event JSON files, per-iteration time-series
+// CSVs, and crash flight-recorder dumps.
+//
+// For traces it checks the JSON object form with a traceEvents array,
+// per-event required keys by phase type, pairing AND file ordering of flow
+// start/step/finish chains, per-track timestamp monotonicity of the
+// complete events (the property the clock-offset alignment of merged
+// multi-process traces must preserve), and — when otherData carries the
+// world size — exactly one compute/comm track pair per world rank. A trace
+// that passes loads in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// For CSVs (dispatched on the .csv extension) it checks the exact header
+// obs.WriteSeriesCSV writes, row arity, numeric fields, and the direction
+// column's push/pull vocabulary.
+//
+// For flight dumps (dispatched on the .dump extension) it decodes the
+// MCMFDR1 payload and prints the generation, the cause, and each rank's
+// last span — the post-mortem view `make chaos-smoke` asserts on.
+//
+// It is the CI gate behind the trace-smoke, bench-smoke, transport-smoke
+// and chaos-smoke steps.
 //
 // Usage:
 //
-//	tracelint trace.json [series.csv ...]
+//	tracelint trace.json [series.csv ...] [flight.dump ...]
 //
 // Exits nonzero, printing one line per problem, if any file fails.
 package main
@@ -21,6 +34,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
+
+	"mcmdist/internal/obs"
 )
 
 // event mirrors the trace_event fields tracelint checks. Unknown fields are
@@ -35,6 +51,7 @@ type event struct {
 	Cat  string          `json:"cat"`
 	ID   string          `json:"id"`
 	S    string          `json:"s"`
+	Bp   string          `json:"bp"`
 	Args json.RawMessage `json:"args"`
 }
 
@@ -54,8 +71,11 @@ func main() {
 	bad := false
 	for _, path := range os.Args[1:] {
 		check := lint
-		if strings.HasSuffix(path, ".csv") {
+		switch {
+		case strings.HasSuffix(path, ".csv"):
 			check = lintCSV
+		case strings.HasSuffix(path, ".dump"):
+			check = lintDump
 		}
 		if n := check(path); n > 0 {
 			fmt.Fprintf(os.Stderr, "tracelint: %s: %d problem(s)\n", path, n)
@@ -93,9 +113,22 @@ func lint(path string) int {
 	}
 
 	// flows[id] tracks the state machine of one flow chain: started ("s"),
-	// continued ("t"), finished ("f").
-	type flowState struct{ starts, steps, finishes int }
+	// continued ("t"), finished ("f"). File order inside a chain must be
+	// s, t*, f with non-decreasing timestamps.
+	type flowState struct {
+		starts, steps, finishes int
+		lastTs                  float64
+	}
 	flows := make(map[string]*flowState)
+
+	// lastX[tid] is the previous complete event's timestamp on that track:
+	// the writer sorts each track by start, and the clock-offset alignment
+	// of merged multi-process traces must keep it that way, so a complete
+	// event older than its predecessor is a lint failure, not a style nit.
+	lastX := make(map[int]float64)
+	// threadNames[tid] collects the thread_name metadata for the
+	// one-track-pair-per-rank check.
+	threadNames := make(map[int][]string)
 
 	for i, ev := range tf.TraceEvents {
 		if ev.Ph == "" {
@@ -121,6 +154,14 @@ func lint(path string) int {
 			} else if *ev.Dur < 0 {
 				bad(i, "complete event %q has negative dur %g", ev.Name, *ev.Dur)
 			}
+			if ev.Ts != nil && ev.Tid != nil {
+				if prev, ok := lastX[*ev.Tid]; ok && *ev.Ts < prev {
+					bad(i, "complete event %q on tid %d goes back in time (ts %.3f after %.3f)",
+						ev.Name, *ev.Tid, *ev.Ts, prev)
+				} else {
+					lastX[*ev.Tid] = *ev.Ts
+				}
+			}
 		case "i", "I":
 			if ev.S != "" && ev.S != "t" && ev.S != "p" && ev.S != "g" {
 				bad(i, "instant %q has bad scope %q", ev.Name, ev.S)
@@ -135,16 +176,44 @@ func lint(path string) int {
 				st = &flowState{}
 				flows[ev.ID] = st
 			}
+			if ev.Ts != nil {
+				if total := st.starts + st.steps + st.finishes; total > 0 && *ev.Ts < st.lastTs {
+					bad(i, "flow %s event %q goes back in time (ts %.3f after %.3f)",
+						ev.ID, ev.Ph, *ev.Ts, st.lastTs)
+				}
+				st.lastTs = *ev.Ts
+			}
 			switch ev.Ph {
 			case "s":
+				if st.steps > 0 || st.finishes > 0 {
+					bad(i, "flow %s start after a step or finish", ev.ID)
+				}
 				st.starts++
 			case "t":
+				if st.starts == 0 {
+					bad(i, "flow %s step before its start", ev.ID)
+				}
+				if st.finishes > 0 {
+					bad(i, "flow %s step after its finish", ev.ID)
+				}
 				st.steps++
 			case "f":
+				if st.starts == 0 {
+					bad(i, "flow %s finish before its start", ev.ID)
+				}
+				if ev.Bp != "e" {
+					bad(i, "flow %s finish missing binding point bp=e", ev.ID)
+				}
 				st.finishes++
 			}
 		case "M":
-			// Metadata names a known field in args; checked loosely.
+			if ev.Name == "thread_name" && ev.Tid != nil {
+				var args struct {
+					Name string `json:"name"`
+				}
+				json.Unmarshal(ev.Args, &args)
+				threadNames[*ev.Tid] = append(threadNames[*ev.Tid], args.Name)
+			}
 		case "B", "E", "b", "e", "n", "C":
 			// Legal phases this writer does not emit; nothing more to check.
 		default:
@@ -161,7 +230,79 @@ func lint(path string) int {
 			problems++
 		}
 	}
+	problems += lintTracks(path, tf.OtherData, threadNames)
 	return problems
+}
+
+// lintTracks checks the world-rank track layout when the trace declares its
+// world size in otherData: exactly one compute/comm thread_name pair per
+// rank — "rank r" on tid 2r, "rank r comm" on tid 2r+1 — plus the runtime
+// track, and nothing else. A merged multi-process trace that installed a
+// peer twice (or not at all) fails here.
+func lintTracks(path string, otherData json.RawMessage, threadNames map[int][]string) int {
+	var od struct {
+		Ranks *int `json:"ranks"`
+	}
+	if len(otherData) == 0 || json.Unmarshal(otherData, &od) != nil || od.Ranks == nil {
+		return 0 // a foreign trace without the world-size declaration
+	}
+	problems := 0
+	bad := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %s\n", path, fmt.Sprintf(format, args...))
+		problems++
+	}
+	ranks := *od.Ranks
+	if ranks <= 0 {
+		bad("otherData declares %d ranks", ranks)
+		return problems
+	}
+	for r := 0; r < ranks; r++ {
+		for half, want := range [2]string{fmt.Sprintf("rank %d", r), fmt.Sprintf("rank %d comm", r)} {
+			tid := 2*r + half
+			switch names := threadNames[tid]; {
+			case len(names) == 0:
+				bad("rank %d: no thread_name for tid %d (want %q)", r, tid, want)
+			case len(names) > 1:
+				bad("rank %d: %d thread_name events for tid %d, want exactly 1", r, len(names), tid)
+			case names[0] != want:
+				bad("rank %d: tid %d named %q, want %q", r, tid, names[0], want)
+			}
+		}
+	}
+	if names := threadNames[2*ranks]; len(names) != 1 || names[0] != "runtime" {
+		bad("runtime track (tid %d) missing or misnamed: %v", 2*ranks, names)
+	}
+	for tid := range threadNames {
+		if tid < 0 || tid > 2*ranks {
+			bad("unexpected track tid %d beyond the %d-rank layout", tid, ranks)
+		}
+	}
+	return problems
+}
+
+// lintDump decodes one crash flight-recorder dump and prints the
+// post-mortem view: generation, cause, and each rank's final span. The
+// decode itself is the check — chaos-smoke asserts a SIGKILLed world left a
+// dump this function accepts.
+func lintDump(path string) int {
+	d, err := obs.ReadFlightDump(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("tracelint: %s: flight dump, generation %d, cause: %s\n", path, d.Gen, d.Cause)
+	for _, ro := range d.Ranks {
+		line := fmt.Sprintf("  rank %d: %d span(s)", ro.Rank, len(ro.Spans))
+		if ro.Dropped > 0 {
+			line += fmt.Sprintf(" (%d dropped)", ro.Dropped)
+		}
+		if sp, ok := d.LastSpan(ro.Rank); ok {
+			line += fmt.Sprintf(", last span %q at +%v for %v", sp.Name,
+				time.Duration(sp.Start), time.Duration(sp.Dur))
+		}
+		fmt.Println(line)
+	}
+	return 0
 }
 
 // seriesHeader is the exact header obs.WriteSeriesCSV emits; tracelint

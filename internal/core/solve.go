@@ -133,6 +133,7 @@ func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*s
 		return nil, fmt.Errorf("core: transport world size %d != configured procs %d", tr.WorldSize(), cfg.Procs)
 	}
 	localRoot := tr.LocalRanks()[0]
+	obsAttach(tr, cfg.Obs)
 	perRankStats := make([]*Stats, cfg.Procs)
 	perRankMeter := make([]mpi.Meter, cfg.Procs)
 	perRankComm := make([]mpi.CommTimes, cfg.Procs)
@@ -140,6 +141,14 @@ func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*s
 
 	w, err := mpi.RunTransport(mpi.RunConfig{Faults: cfg.Fault, WatchdogTimeout: cfg.WatchdogTimeout, Compress: cfg.Compress},
 		tr, func(c *mpi.Comm) error {
+			if cfg.Obs != nil {
+				// Capture the rank's final meter on every exit path — success
+				// or unwind — so shipped observations and flight dumps carry
+				// what the rank had moved when the world ended.
+				defer func() {
+					cfg.Obs.SetRankMeter(c.Rank(), obsMeterPoints(c.MeterSnapshot()))
+				}()
+			}
 			ctx := newRankCtx(c, cfg, ctxs, c.Rank())
 			if ctxs == nil {
 				defer ctx.Close() // fresh context: release the worker pool with the rank
@@ -173,6 +182,7 @@ func runAttemptGrid(tr mpi.Transport, pr, pc, n1, n2 int, blocks, blocksT [][]*s
 	if err != nil {
 		return nil, err
 	}
+	obsFinish(tr, cfg.Obs)
 
 	// Merge the locally hosted ranks' stats (on the in-process backend that
 	// is every rank; remote ranks report in their own process).

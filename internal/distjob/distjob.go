@@ -14,6 +14,8 @@ package distjob
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"mcmdist/internal/gen"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/mtx"
+	"mcmdist/internal/obs"
 	"mcmdist/internal/rmat"
 	"mcmdist/internal/semiring"
 	"mcmdist/internal/spmat"
@@ -36,7 +39,8 @@ func Run(tr mpi.Transport, blob []byte) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return spec.Solve(tr, nil)
+	res, _, err := spec.Solve(tr, nil)
+	return res, err
 }
 
 // Solve runs an already-decoded spec on the given endpoint, rebuilding the
@@ -45,22 +49,52 @@ func Run(tr mpi.Transport, blob []byte) (*core.Result, error) {
 // supervisor captures the freshest one there to seed the next generation);
 // other processes keep the symmetric noop handler CoreConfig installs, so
 // the collective checkpoint gathers stay SPMD.
-func (s *Spec) Solve(tr mpi.Transport, onCheckpoint func(*core.Checkpoint)) (*core.Result, error) {
+//
+// The returned collector is the process's observability state (nil when the
+// spec enables none of it): on the coordinator of a successful tcp solve it
+// holds the whole world's merged observation; on workers and failed solves
+// it holds the local ranks. When the spec arms the flight recorder and the
+// solve dies, the collector's state is persisted to FlightDir before
+// returning — that dump is the post-mortem, written even though the error
+// unwinds.
+func (s *Spec) Solve(tr mpi.Transport, onCheckpoint func(*core.Checkpoint)) (*core.Result, *obs.Collector, error) {
 	if s.Procs != tr.WorldSize() {
-		return nil, fmt.Errorf("distjob: job spec procs %d != transport world size %d", s.Procs, tr.WorldSize())
+		return nil, nil, fmt.Errorf("distjob: job spec procs %d != transport world size %d", s.Procs, tr.WorldSize())
 	}
 	a, err := s.BuildMatrix()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg, err := s.CoreConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if onCheckpoint != nil && cfg.CheckpointEvery > 0 {
 		cfg.OnCheckpoint = onCheckpoint
 	}
-	return core.SolveOn(tr, a, cfg)
+	res, err := core.SolveOn(tr, a, cfg)
+	if err != nil && s.FlightDir != "" {
+		s.writeFlightDump(tr, cfg.Obs, err)
+	}
+	return res, cfg.Obs, err
+}
+
+// writeFlightDump persists the crash flight recorder for this process: the
+// span-ring tails and last meter points of its local ranks, the generation,
+// and the rendered cause, as FlightDir/flight-g<gen>-r<rank>.dump. Best
+// effort — the world is dying, so a failed dump must not mask the solve
+// error — and atomic, so a dump that exists always decodes.
+func (s *Spec) writeFlightDump(tr mpi.Transport, col *obs.Collector, cause error) string {
+	if err := os.MkdirAll(s.FlightDir, 0o755); err != nil {
+		return ""
+	}
+	ranks := tr.LocalRanks()
+	d := col.BuildFlightDump(ranks, int64(s.Generation), cause.Error())
+	path := filepath.Join(s.FlightDir, fmt.Sprintf("flight-g%d-r%d.dump", s.Generation, ranks[0]))
+	if err := d.WriteFile(path); err != nil {
+		return ""
+	}
+	return path
 }
 
 // Version is the current Spec codec version. Version 2 added the engine
@@ -70,7 +104,11 @@ func (s *Spec) Solve(tr mpi.Transport, onCheckpoint func(*core.Checkpoint)) (*co
 // recovery plane: generation counter, restart policy, and the checkpoint a
 // restarted world resumes from — a v2 worker joining a recovering world
 // would neither checkpoint nor resume, so the bump is again load-bearing.
-const Version = 3
+// Version 4 adds the observability plane (the enables from which every
+// process builds the same collector) and the flight-recorder directory — a
+// v3 worker would silently trace nothing and dump nothing, leaving holes in
+// the merged world artifact, hence the bump.
+const Version = 4
 
 // Spec describes one distributed solve: the graph source (exactly one of
 // RMAT, Matrix or MTX) and the solver options, mirroring cmd/mcm's flags.
@@ -150,6 +188,24 @@ type Spec struct {
 	// (MCMCKPT bytes) into a restarted world; every process decodes it into
 	// its resume state, so generation g+1 starts exactly where g left off.
 	Checkpoint []byte `json:"checkpoint,omitempty"`
+
+	// ObsSpans enables span tracing on every process of the world. The
+	// observability fields travel in the spec so the whole world observes
+	// symmetrically — workers ship their share back to the coordinator at
+	// solve end, where one merged artifact is produced.
+	ObsSpans bool `json:"obs_spans,omitempty"`
+	// ObsSeries enables the per-iteration time-series on every process.
+	ObsSeries bool `json:"obs_series,omitempty"`
+	// ObsMetrics gives every process a live metrics registry; the
+	// coordinator absorbs the workers' registries into world aggregates.
+	ObsMetrics bool `json:"obs_metrics,omitempty"`
+	// FlightDir, when non-empty, arms the crash flight recorder: a process
+	// whose solve dies persists its span-ring tail, last meter points,
+	// generation and cause to FlightDir/flight-g<gen>-r<rank>.dump. Arming
+	// the recorder implies span tracing (a dump without spans names
+	// nothing). The path is interpreted in each process's own filesystem
+	// namespace.
+	FlightDir string `json:"flight_dir,omitempty"`
 }
 
 // Encode serializes the spec, stamping the codec version.
@@ -341,6 +397,13 @@ func (s *Spec) CoreConfig() (core.Config, error) {
 			return core.Config{}, fmt.Errorf("distjob: generation %d resume checkpoint: %w", s.Generation, err)
 		}
 		cfg.Resume = ck
+	}
+	if s.ObsSpans || s.ObsSeries || s.ObsMetrics || s.FlightDir != "" {
+		opt := obs.Options{Spans: s.ObsSpans || s.FlightDir != "", TimeSeries: s.ObsSeries}
+		if s.ObsMetrics {
+			opt.Metrics = obs.NewRegistry()
+		}
+		cfg.Obs = obs.NewCollector(s.Procs, opt)
 	}
 	return cfg, nil
 }

@@ -14,11 +14,14 @@ package distjob
 
 import (
 	"fmt"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"mcmdist/internal/core"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/mpi/tcpnet"
+	"mcmdist/internal/obs"
 )
 
 // SupervisePolicy bounds the coordinator's restart loop.
@@ -68,6 +71,38 @@ type SuperviseStats struct {
 	ResumedPhase int
 	// Errors collects each failed generation's error, in order.
 	Errors []error
+	// FlightDumps lists the flight-recorder dump files accumulated in the
+	// spec's FlightDir across failed generations — the coordinator's own
+	// dumps plus those of any worker sharing the directory — sorted by
+	// path, so the post-mortem bundle of a recovered solve survives the
+	// generations that produced it.
+	FlightDumps []string
+	// Obs is the final generation's collector (nil when the spec enables no
+	// observability): after a successful generation it holds the merged
+	// whole-world observation, ready for WriteTrace and friends.
+	Obs *obs.Collector
+}
+
+// collectFlightDumps scans dir for flight-recorder dumps and folds any new
+// paths into the stats, keeping the list sorted and duplicate-free.
+func (st *SuperviseStats) collectFlightDumps(dir string) {
+	if dir == "" {
+		return
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "flight-g*.dump"))
+	if err != nil {
+		return
+	}
+	have := make(map[string]bool, len(st.FlightDumps))
+	for _, p := range st.FlightDumps {
+		have[p] = true
+	}
+	for _, p := range paths {
+		if !have[p] {
+			st.FlightDumps = append(st.FlightDumps, p)
+		}
+	}
+	sort.Strings(st.FlightDumps)
 }
 
 // Supervise is the coordinator side of a recoverable multi-process solve:
@@ -116,12 +151,14 @@ func Supervise(addr string, spec *Spec, opts tcpnet.Options, pol SupervisePolicy
 			}
 		}
 		pol.Log("generation %d: coordinating %d-rank world at %s", gen, spec.Procs, addr)
-		res, err := superviseGeneration(rv, spec, blob, &last)
+		res, col, err := superviseGeneration(rv, spec, blob, &last)
+		stats.Obs = col
 		if err == nil {
 			pol.Log("generation %d: solve complete", gen)
 			return res, stats, nil
 		}
 		stats.Errors = append(stats.Errors, err)
+		stats.collectFlightDumps(spec.FlightDir)
 		if !mpi.Restartable(err) {
 			return nil, stats, fmt.Errorf("distjob: generation %d failed terminally: %w", gen, err)
 		}
@@ -144,11 +181,11 @@ func Supervise(addr string, spec *Spec, opts tcpnet.Options, pol SupervisePolicy
 // superviseGeneration runs one world: coordinate the rendezvous, solve rank
 // 0's share, capture the freshest checkpoint, and always tear the endpoint
 // down before returning so the next generation can re-listen cleanly.
-func superviseGeneration(rv *tcpnet.Rendezvous, spec *Spec, blob []byte, last **core.Checkpoint) (*core.Result, error) {
+func superviseGeneration(rv *tcpnet.Rendezvous, spec *Spec, blob []byte, last **core.Checkpoint) (*core.Result, *obs.Collector, error) {
 	n, err := rv.Coordinate(spec.Procs, blob)
 	if err != nil {
 		rv.Close()
-		return nil, fmt.Errorf("distjob: rendezvous: %w", err)
+		return nil, nil, fmt.Errorf("distjob: rendezvous: %w", err)
 	}
 	defer n.Close()
 	return spec.Solve(n, func(ck *core.Checkpoint) { *last = ck })
@@ -182,7 +219,7 @@ func WorkLoop(addr string, rank int, opts tcpnet.Options, logf func(format strin
 		if spec.Generation > 0 {
 			logf("rejoined as generation %d", spec.Generation)
 		}
-		res, err := spec.Solve(n, nil)
+		res, _, err := spec.Solve(n, nil)
 		n.Close()
 		if err == nil {
 			return res, nil

@@ -8,6 +8,8 @@ package distjob
 // goroutines standing in for processes.
 
 import (
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"mcmdist/internal/core"
 	"mcmdist/internal/mpi"
 	"mcmdist/internal/mpi/tcpnet"
+	"mcmdist/internal/obs"
 )
 
 // TestSuperviseRecoversFromDroppedLink runs a 3-rank supervised solve where
@@ -28,7 +31,7 @@ func TestSuperviseRecoversFromDroppedLink(t *testing.T) {
 		return &Spec{RMAT: "g500", Scale: 7, Seed: 11, Procs: procs, Init: "greedy", CheckpointEvery: 1}
 	}
 
-	clean, err := mkSpec().Solve(mpi.NewInproc(procs), nil)
+	clean, _, err := mkSpec().Solve(mpi.NewInproc(procs), nil)
 	if err != nil {
 		t.Fatalf("clean reference solve: %v", err)
 	}
@@ -113,7 +116,7 @@ func TestSuperviseCleanRunNoRestart(t *testing.T) {
 	mkSpec := func() *Spec {
 		return &Spec{RMAT: "er", Scale: 6, Seed: 4, Procs: procs, Init: "karpsipser", CheckpointEvery: 1}
 	}
-	clean, err := mkSpec().Solve(mpi.NewInproc(procs), nil)
+	clean, _, err := mkSpec().Solve(mpi.NewInproc(procs), nil)
 	if err != nil {
 		t.Fatalf("clean reference solve: %v", err)
 	}
@@ -160,6 +163,110 @@ func TestSuperviseCleanRunNoRestart(t *testing.T) {
 	}
 	if res.Stats.Cardinality != clean.Stats.Cardinality {
 		t.Fatalf("supervisor cardinality %d, clean %d", res.Stats.Cardinality, clean.Stats.Cardinality)
+	}
+}
+
+// TestSuperviseFlightRecorder runs a supervised solve whose generation 0
+// dies of a dropped link, with the flight recorder and the observability
+// planes on. The failed generation must leave decodable dumps in the
+// flight directory — the supervisor's post-mortem bundle — and the
+// recovered generation's collector must hold the merged whole-world
+// observation.
+func TestSuperviseFlightRecorder(t *testing.T) {
+	const procs = 4
+	dir := t.TempDir()
+	mkSpec := func() *Spec {
+		return &Spec{
+			RMAT: "g500", Scale: 7, Seed: 11, Procs: procs, Init: "greedy",
+			CheckpointEvery: 1,
+			ObsSpans:        true, ObsSeries: true, ObsMetrics: true,
+			FlightDir: dir,
+		}
+	}
+	fault := &mpi.NetFaultSpec{DropFrom: 1, DropTo: 2, DropAtFrame: 3}
+
+	addrCh := make(chan string, 1)
+	var (
+		stats  *SuperviseStats
+		supErr error
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, stats, supErr = Supervise("127.0.0.1:0", mkSpec(), tcpnet.Options{}, SupervisePolicy{
+			Backoff:  10 * time.Millisecond,
+			OnListen: func(addr string) { addrCh <- addr },
+			Log:      t.Logf,
+		})
+	}()
+	addr := <-addrCh
+	for rank := 1; rank < procs; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			opts := tcpnet.Options{}
+			if rank == 1 {
+				opts.Faults = fault
+			}
+			WorkLoop(addr, rank, opts, t.Logf)
+		}(rank)
+	}
+	wg.Wait()
+
+	if supErr != nil {
+		t.Fatalf("supervisor failed: %v (stats %+v)", supErr, stats)
+	}
+	if stats.Restarts != 1 {
+		t.Fatalf("restarts %d, want 1 (errors: %v)", stats.Restarts, stats.Errors)
+	}
+
+	// The failed generation left dumps; every one decodes, is stamped with
+	// generation 0, and carries a cause plus its rank's final span.
+	if len(stats.FlightDumps) == 0 {
+		t.Fatal("no flight dumps after a failed generation")
+	}
+	withSpans := 0
+	for _, path := range stats.FlightDumps {
+		d, err := obs.ReadFlightDump(path)
+		if err != nil {
+			t.Fatalf("dump %s does not decode: %v", path, err)
+		}
+		if d.Gen != 0 {
+			t.Errorf("dump %s from generation %d, want 0", path, d.Gen)
+		}
+		if d.Cause == "" {
+			t.Errorf("dump %s has no cause", path)
+		}
+		if len(d.Ranks) == 0 {
+			t.Errorf("dump %s carries no ranks", path)
+			continue
+		}
+		if _, ok := d.LastSpan(d.Ranks[0].Rank); ok {
+			withSpans++
+		}
+		if want := filepath.Join(dir, "flight-g0-r"); !strings.HasPrefix(path, want) {
+			t.Errorf("dump path %s does not match the versioned naming %s*", path, want)
+		}
+	}
+	// A rank that aborted before finishing any span dumps an empty tail —
+	// legal — but the world died mid-solve, so somebody was mid-flight.
+	if withSpans == 0 {
+		t.Error("no dump carries a final span; the flight tails are all empty")
+	}
+
+	// The recovered generation's collector holds the merged world: spans
+	// and samples for every rank, on the supervisor's side alone.
+	if stats.Obs == nil {
+		t.Fatal("no collector on SuperviseStats despite obs fields set")
+	}
+	for r := 0; r < procs; r++ {
+		if len(stats.Obs.Tracer(r).Spans()) == 0 {
+			t.Errorf("supervisor collector has no spans for rank %d", r)
+		}
+		if len(stats.Obs.Recorder(r).Samples()) == 0 {
+			t.Errorf("supervisor collector has no samples for rank %d", r)
+		}
 	}
 }
 

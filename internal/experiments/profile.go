@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"slices"
+	"sync"
 	"time"
 
 	"mcmdist/internal/core"
@@ -184,6 +186,12 @@ func transportName() string {
 // endpoint concurrently, and merges the per-endpoint observations — each
 // process sees only its own ranks' meters and stats, so the merged view is
 // reassembled exactly the way a multi-process harness would.
+//
+// When the solve runs observed, each endpoint gets its own collector —
+// the caller's goes to the endpoint hosting rank 0, every other endpoint
+// a fresh sibling — so the run exercises the real observation-shipping
+// protocol and the caller's collector ends up holding the merged world,
+// exactly as the coordinator of a multi-process deployment would.
 func runOnBackend(a *spmat.CSC, cfg core.Config) *core.Result {
 	name := transportName()
 	if name == "inproc" {
@@ -194,10 +202,26 @@ func runOnBackend(a *spmat.CSC, cfg core.Config) *core.Result {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	results, err := core.SolveEndpoints(eps, a, cfg)
-	cerr := mpi.CloseAll(eps)
-	if err == nil {
-		err = cerr
+	results := make([]*core.Result, len(eps))
+	errs := make([]error, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		cfgI := cfg
+		if cfg.Obs != nil && !slices.Contains(ep.LocalRanks(), 0) {
+			cfgI.Obs = cfg.Obs.Sibling(cfg.Procs)
+		}
+		wg.Add(1)
+		go func(i int, ep mpi.Transport, cfgI core.Config) {
+			defer wg.Done()
+			results[i], errs[i] = core.SolveOn(ep, a, cfgI)
+		}(i, ep, cfgI)
+	}
+	wg.Wait()
+	err = mpi.CloseAll(eps)
+	for _, e := range errs {
+		if err == nil {
+			err = e
+		}
 	}
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -50,6 +50,15 @@ func (w *World) addObsEvent(name string, rank int, arg int64) {
 	w.mu.Unlock()
 }
 
+// RecordObsEvent appends one world-plane instant at the current trace time,
+// attributed to rank (-1 for the world as a whole). Exported for transports:
+// the heartbeat plane records its RTT samples here, because the event list
+// is mutex-protected and safe from any goroutine — unlike the per-rank span
+// tracers, which are single-writer by contract.
+func (w *World) RecordObsEvent(name string, rank int, arg int64) {
+	w.addObsEvent(name, rank, arg)
+}
+
 // ObsEvents returns the world-plane events recorded so far (abort causes,
 // deadlock diagnoses). Callers hand them to an obs.Collector after the
 // world joins. Like tracers, events are per-process: each process records

@@ -77,7 +77,11 @@ func seedBodies() [][]byte {
 	roster.str("127.0.0.1:9302")
 	roster.bytes([]byte(`{"v":3,"rmat":"g500","procs":2}`))
 
-	return [][]byte{post.b, finish.b, rmaReq.b, rmaOK.b, rmaErr.b, abort.b, hello.b, roster.b}
+	ping := encodePing(123456789)
+	pong := encodePong(123456789, 123450000)
+	obsFrame := encodeObs(2, []byte("MCMOBS1 not really, but shaped like a payload"))
+
+	return [][]byte{post.b, finish.b, rmaReq.b, rmaOK.b, rmaErr.b, abort.b, hello.b, roster.b, ping, pong, obsFrame}
 }
 
 // FuzzFrameDecode throws one body at every decoder. No decoder may panic on
@@ -105,6 +109,11 @@ func FuzzFrameDecode(f *testing.F) {
 		decodeAbort(body)
 		parseHello(body)
 		parseRoster(body)
+		decodePing(body)
+		decodePong(body)
+		if _, payload, err := decodeObs(body); err == nil && len(payload) > len(body) {
+			t.Fatalf("OBS decoded %d payload bytes from %d input bytes", len(payload), len(body))
+		}
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mcmdist/internal/mpi"
+	"mcmdist/internal/obs"
 )
 
 // Options tunes the backend's timeouts. The zero value selects the defaults.
@@ -96,6 +97,16 @@ type peer struct {
 	lastRecv atomic.Int64 // UnixNano of the last inbound frame (liveness)
 	faultN   atomic.Int64 // outbound data frames on this link (fault triggers)
 
+	// Cristian clock-probe state, fed by the PONG handler: the best (lowest)
+	// round-trip seen and the offset estimated from that exchange — peer
+	// trace time + clockOff ≈ local trace time. pingN sequences outbound
+	// probes for the slow-link injector only; it never feeds faultN, so the
+	// deterministic data-frame fault schedule ignores heartbeat traffic.
+	minRTT   atomic.Int64
+	clockOff atomic.Int64
+	hasOff   atomic.Bool
+	pingN    atomic.Int64
+
 	qmu      sync.Mutex
 	qcv      *sync.Cond
 	qbuf     []byte // framed mailbox bytes awaiting the flusher
@@ -131,6 +142,16 @@ type Net struct {
 	frames atomic.Int64 // frames handed to the write plane
 	writes atomic.Int64 // socket Write calls that carried them
 	bytes  atomic.Int64 // bytes written
+
+	// The observability shipping plane (wire v4): a worker renders its
+	// collector state via obsProvider and ships it to the coordinator once
+	// (obsShipped); the coordinator accumulates inbound payloads in obsIn.
+	// rttObs, when set, receives every completed heartbeat RTT sample.
+	obsProvider atomic.Value // func() []byte
+	obsShipped  atomic.Bool
+	obsMu       sync.Mutex
+	obsIn       map[int][]byte
+	rttObs      atomic.Value // func(peerRank int, rttNs int64)
 }
 
 // WireStats counts this endpoint's outbound wire activity. Frames is the
@@ -482,6 +503,13 @@ func (n *Net) Bind(w *mpi.World) error {
 // watchdog.
 func (n *Net) heartbeats() {
 	defer n.hb.Done()
+	// Probe every peer immediately: a solve shorter than one interval still
+	// deserves a clock-offset sample for its trace merge.
+	for _, p := range n.peers {
+		if p != nil {
+			n.sendPing(p)
+		}
+	}
 	tick := time.NewTicker(n.opts.HeartbeatInterval)
 	defer tick.Stop()
 	for {
@@ -522,12 +550,64 @@ func (n *Net) heartbeats() {
 // complete by the next tick is pointless, and a stuck peer must not pin the
 // detector for the full WriteTimeout. Failures are ignored; a genuinely dead
 // peer surfaces through its own silence or the read plane.
+//
+// The PING doubles as the Cristian clock probe: it carries the sender's
+// trace clock, captured before any injected slow-link delay — the delay
+// models network latency, so it must land inside the measured round trip
+// (that is what makes slow-link injection visible in the RTT estimates).
+// The probe sequence is its own counter: heartbeat traffic never advances
+// the data-frame fault triggers.
 func (n *Net) sendPing(p *peer) {
+	t0 := obs.Now()
+	if f := n.opts.Faults; f != nil {
+		if d := f.Delay(n.rank, p.rank, p.pingN.Add(1)); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	n.sendQuiet(p, framePing, encodePing(t0), time.Now().Add(n.opts.HeartbeatInterval))
+}
+
+// sendPong answers one clock probe, echoing t0 next to this side's own
+// trace clock. Like PING it is quiet traffic — uncounted, best-effort, and
+// bounded by the ping interval so a stuck peer cannot pin the read loop.
+func (n *Net) sendPong(p *peer, t0 int64) {
+	n.sendQuiet(p, framePong, encodePong(t0, obs.Now()), time.Now().Add(n.opts.HeartbeatInterval))
+}
+
+// observePong folds one completed probe into the peer's clock state: if the
+// exchange was the fastest seen, its midpoint estimate wins (Cristian's
+// algorithm with minimum-RTT filtering — the tightest round trip bounds the
+// true offset best). The RTT also feeds the observer hook and the world's
+// event list, so injected slow links show up in metrics and traces.
+func (n *Net) observePong(p *peer, t0, tPeer int64) {
+	rtt := obs.Now() - t0
+	if rtt < 0 {
+		return
+	}
+	if cur := p.minRTT.Load(); cur == 0 || rtt < cur {
+		p.minRTT.Store(rtt)
+		p.clockOff.Store(t0 + rtt/2 - tPeer)
+		p.hasOff.Store(true)
+	}
+	if f, ok := n.rttObs.Load().(func(peerRank int, rttNs int64)); ok && f != nil {
+		f(p.rank, rtt)
+	}
+	if w := n.world.Load(); w != nil {
+		w.RecordObsEvent(fmt.Sprintf("hb.rtt to %d", p.rank), n.rank, rtt)
+	}
+}
+
+// sendQuiet writes one frame directly under the peer's write lock without
+// touching the wire counters: runtime plumbing (PING, PONG, OBS) must not
+// perturb the conformance-pinned WireStats. Failures are the caller's to
+// interpret; the heartbeat paths ignore them.
+func (n *Net) sendQuiet(p *peer, typ byte, body []byte, deadline time.Time) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	p.conn.SetWriteDeadline(time.Now().Add(n.opts.HeartbeatInterval))
-	writeFrame(p.conn, framePing, nil)
+	p.conn.SetWriteDeadline(deadline)
+	err := writeFrame(p.conn, typ, body)
 	p.conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // send writes one frame to a peer under its write lock and deadline —
@@ -841,6 +921,108 @@ func (n *Net) Abort(msg string) {
 	n.failPending(fmt.Errorf("tcpnet: world aborted: %s", msg))
 }
 
+// Net implements the optional observability capabilities of the seam.
+var (
+	_ mpi.ObsShipper    = (*Net)(nil)
+	_ mpi.RTTObservable = (*Net)(nil)
+)
+
+// SetObsProvider registers the callback that renders this process's
+// observability payload (mpi.ObsShipper).
+func (n *Net) SetObsProvider(render func() []byte) {
+	if render != nil {
+		n.obsProvider.Store(render)
+	}
+}
+
+// ShipObs renders this process's observability payload and sends it to the
+// coordinator as one OBS frame (mpi.ObsShipper). Only the first call
+// transmits; the coordinator itself never ships. Like the heartbeat, the
+// frame is quiet traffic — invisible to WireStats and the fault triggers.
+func (n *Net) ShipObs() error {
+	if n.rank == 0 {
+		return nil
+	}
+	render, _ := n.obsProvider.Load().(func() []byte)
+	if render == nil {
+		return nil
+	}
+	if !n.obsShipped.CompareAndSwap(false, true) {
+		return nil
+	}
+	payload := render()
+	if len(payload) == 0 {
+		return nil
+	}
+	p := n.peers[0]
+	if p == nil {
+		return nil
+	}
+	return n.sendQuiet(p, frameObs, encodeObs(n.rank, payload), time.Now().Add(n.opts.WriteTimeout))
+}
+
+// CollectObs returns the payloads the peers shipped, waiting — bounded by
+// timeout — until every peer has either delivered one or clearly never will
+// (its BYE arrived, so nothing more is in flight on the ordered connection;
+// or the world aborted). mpi.ObsShipper.
+func (n *Net) CollectObs(timeout time.Duration) map[int][]byte {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		n.obsMu.Lock()
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			if _, ok := n.obsIn[p.rank]; ok {
+				continue
+			}
+			select {
+			case <-p.bye:
+			default:
+				pending++
+			}
+		}
+		n.obsMu.Unlock()
+		aborted := false
+		if w := n.world.Load(); w != nil {
+			aborted = w.Aborted()
+		}
+		if pending == 0 || aborted || n.closed.Load() || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	out := make(map[int][]byte, len(n.obsIn))
+	for r, b := range n.obsIn {
+		out[r] = b
+	}
+	return out
+}
+
+// ClockOffsets returns the per-peer Cristian offset estimates gathered by
+// the heartbeat probes (mpi.ObsShipper). Adding a peer's offset to its
+// trace timestamps maps them into this process's timebase.
+func (n *Net) ClockOffsets() map[int]int64 {
+	out := make(map[int]int64)
+	for _, p := range n.peers {
+		if p != nil && p.hasOff.Load() {
+			out[p.rank] = p.clockOff.Load()
+		}
+	}
+	return out
+}
+
+// SetRTTObserver registers the heartbeat round-trip hook
+// (mpi.RTTObservable); it runs on the read plane, so it must be fast.
+func (n *Net) SetRTTObserver(f func(peerRank int, rttNs int64)) {
+	if f != nil {
+		n.rttObs.Store(f)
+	}
+}
+
 // Close drains the mesh gracefully: send BYE to every peer, wait (bounded by
 // CloseTimeout) until each peer's BYE arrives — a peer only says BYE once
 // its world has joined, so our window service is no longer needed — then
@@ -861,6 +1043,12 @@ func (n *Net) Close() error {
 	aborted := false
 	if w := n.world.Load(); w != nil {
 		aborted = w.Aborted()
+	}
+	// Last-act shipping: a worker whose caller never shipped explicitly
+	// sends its observability payload now, before any BYE goes out, so the
+	// coordinator knows a drained peer has nothing more in flight.
+	if !aborted {
+		n.ShipObs()
 	}
 	for _, p := range n.peers {
 		if p == nil {
@@ -1026,7 +1214,29 @@ func (n *Net) handle(p *peer, typ byte, body []byte) error {
 		w.DeliverAbort(from, msg)
 		n.failPending(fmt.Errorf("tcpnet: world aborted by rank %d: %s", from, msg))
 	case framePing:
-		// Liveness only; readLoop already refreshed lastRecv.
+		// readLoop already refreshed liveness; answer the clock probe.
+		t0, err := decodePing(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
+		}
+		n.sendPong(p, t0)
+	case framePong:
+		t0, tPeer, err := decodePong(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
+		}
+		n.observePong(p, t0, tPeer)
+	case frameObs:
+		from, payload, err := decodeObs(body)
+		if err != nil {
+			return fmt.Errorf("%w (from rank %d)", err, p.rank)
+		}
+		n.obsMu.Lock()
+		if n.obsIn == nil {
+			n.obsIn = make(map[int][]byte)
+		}
+		n.obsIn[from] = payload
+		n.obsMu.Unlock()
 	case frameBye:
 		p.byeO.Do(func() { close(p.bye) })
 	default:

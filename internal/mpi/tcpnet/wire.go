@@ -9,7 +9,7 @@ import (
 	"mcmdist/internal/wire"
 )
 
-// Wire format (version 3, magic "MCMNET1"):
+// Wire format (version 4, magic "MCMNET1"):
 //
 //	frame   := u32 bodyLen | u8 type | body
 //	u32/u64 := little-endian; int64 values travel as their two's-complement u64
@@ -29,8 +29,10 @@ import (
 //	            u64 n | ints data | u8 code | u64 operand | u64 expect | u64 next
 //	RMA_RESP := u64 callID | u8 ok | ok: (ints data | u64 old) / !ok: str error
 //	ABORT    := u32 from | str msg
-//	PING     := (empty)
 //	BYE      := (empty)
+//	PING     := u64 t0 (sender's trace clock at send)
+//	PONG     := u64 t0 (echoed) | u64 tPeer (responder's trace clock at reply)
+//	OBS      := u32 from | u32 nbytes | bytes (an internal/obs MCMOBS1 payload)
 //
 // Version 2 adds the per-part encoding byte on POST: encoding 1 carries the
 // payload through the delta-varint codec of internal/wire (the compression
@@ -42,10 +44,23 @@ import (
 //
 // Version 3 adds the PING frame, the heartbeat of the failure detector: any
 // inbound frame refreshes the sender's liveness, and PING exists so an idle
-// but healthy peer keeps refreshing it. PINGs carry no payload, are never
-// counted by the fault injector or the wire stats, and require no reply
-// (both sides ping symmetrically). A v2 binary would treat PING as a
+// but healthy peer keeps refreshing it. A v2 binary would treat PING as a
 // protocol error, hence the bump.
+//
+// Version 4 turns the heartbeat into a Cristian clock probe and adds the
+// observability shipping path. PING now carries the sender's trace
+// timestamp and is answered with a PONG echoing it next to the responder's
+// own clock; the sender combines the echo with its receive time into a
+// per-peer clock-offset estimate (minimum-RTT filtered, applied only when
+// traces merge — see internal/obs). OBS ships one process's encoded
+// observability state to the coordinator at solve end (or as a last act
+// before BYE). A v3 binary would reject the non-empty PING body and the
+// two new frame types, hence the bump. PING, PONG and OBS are runtime
+// plumbing, not solver traffic: none of them is counted by the fault
+// injector's data-frame sequence or by Net.WireStats, so the deterministic
+// fault schedule and the conformance-pinned wire accounting are identical
+// with observability on or off (a slow link's injected delay does apply to
+// them, so injected latency shows up in the RTT estimates).
 //
 // The HELLO magic and version open every connection (both the rendezvous
 // dial and the mesh dials), so a version-skewed or foreign peer is rejected
@@ -55,7 +70,7 @@ import (
 // wireMagic and wireVersion identify the protocol on every new connection.
 const (
 	wireMagic   = "MCMNET1"
-	wireVersion = 3
+	wireVersion = 4
 )
 
 // maxFrame caps one frame body (1 GiB), a guard against corrupted length
@@ -79,6 +94,8 @@ const (
 	frameAbort
 	frameBye
 	framePing
+	framePong
+	frameObs
 )
 
 // frameName renders a frame type for error messages.
@@ -102,6 +119,10 @@ func frameName(t byte) string {
 		return "BYE"
 	case framePing:
 		return "PING"
+	case framePong:
+		return "PONG"
+	case frameObs:
+		return "OBS"
 	default:
 		return fmt.Sprintf("frame(%d)", t)
 	}
@@ -420,6 +441,64 @@ func decodeAbort(body []byte) (from int, msg string, err error) {
 		return 0, "", err
 	}
 	return from, msg, nil
+}
+
+// encodePing builds a PING body: the sender's trace clock at send time.
+func encodePing(t0 int64) []byte {
+	var wb wbuf
+	wb.i64(t0)
+	return wb.b
+}
+
+// decodePing decodes a PING frame body.
+func decodePing(body []byte) (t0 int64, err error) {
+	rb := rbuf{b: body}
+	t0 = rb.i64()
+	if err := rb.err(framePing); err != nil {
+		return 0, err
+	}
+	return t0, nil
+}
+
+// encodePong builds a PONG body: the probe's echoed timestamp plus the
+// responder's own trace clock at reply time.
+func encodePong(t0, tPeer int64) []byte {
+	var wb wbuf
+	wb.i64(t0)
+	wb.i64(tPeer)
+	return wb.b
+}
+
+// decodePong decodes a PONG frame body.
+func decodePong(body []byte) (t0, tPeer int64, err error) {
+	rb := rbuf{b: body}
+	t0 = rb.i64()
+	tPeer = rb.i64()
+	if err := rb.err(framePong); err != nil {
+		return 0, 0, err
+	}
+	return t0, tPeer, nil
+}
+
+// encodeObs builds an OBS body: the shipping rank plus its opaque
+// internal/obs payload.
+func encodeObs(from int, payload []byte) []byte {
+	wb := wbuf{b: make([]byte, 0, 8+len(payload))}
+	wb.u32(uint32(from))
+	wb.bytes(payload)
+	return wb.b
+}
+
+// decodeObs decodes an OBS frame body. The payload stays opaque here — the
+// internal/obs decoder owns its format and is fuzz-hardened separately.
+func decodeObs(body []byte) (from int, payload []byte, err error) {
+	rb := rbuf{b: body}
+	from = int(rb.u32())
+	payload = rb.bytesField()
+	if err := rb.err(frameObs); err != nil {
+		return 0, nil, err
+	}
+	return from, payload, nil
 }
 
 // parseHello decodes a HELLO frame body: magic, version, rank, mesh

@@ -1,0 +1,663 @@
+package obs
+
+// Cross-process shipping and merging of the observability plane.
+//
+// A multi-process world records per-process: each endpoint's Collector only
+// ever sees the ranks its process hosts. At solve end every worker process
+// encodes its collector state as a ProcObs — span rings, iteration samples,
+// meter points, world events, and a metrics snapshot — and ships the bytes
+// to the coordinator over the transport (the tcpnet OBS frame). The
+// coordinator calls InstallRemote with the per-peer clock offset estimated
+// from the heartbeat PING/PONG exchange, which shifts every remote
+// timestamp into the coordinator's trace timebase at merge time; live
+// clocks are never adjusted. After installation the ordinary exporters
+// (WriteTrace, WriteSeriesCSV, WritePrometheus) produce world-level
+// artifacts with no further changes.
+//
+// The same encoding, under its own magic, is the crash flight recorder: a
+// process whose solve dies (abort, peer down, watchdog deadlock) persists a
+// FlightDump — the tail of its span rings, its last meter points, the
+// generation id and the cause — so a supervisor can assemble a post-mortem
+// bundle across restarts. Both codecs are versioned by magic (the MCMCKPT
+// idiom) and their decoders are fuzz-hardened: arbitrary bytes either
+// decode or error, never panic or over-allocate.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Codec magics. A format change bumps the trailing digit; decoders match
+// exactly, so an old reader rejects a new dump loudly instead of
+// misparsing it.
+const (
+	procObsMagic   = "MCMOBS1"
+	flightMagic    = "MCMFDR1"
+	maxShipPayload = 1 << 28 // decode-side cap on any one count/length field
+)
+
+// FlightSpanTail bounds how many trailing spans per rank a flight dump
+// keeps: enough to see what the rank was doing when the world died, small
+// enough to write during teardown.
+const FlightSpanTail = 64
+
+// MeterPoint is one named int64 datum (a communication-meter field). The
+// obs package is a leaf, so meters cross into it as generic name/value
+// pairs rather than as mpi types.
+type MeterPoint struct {
+	Name  string
+	Value int64
+}
+
+// MetricPoint is one metric's snapshot as it crosses a process boundary.
+type MetricPoint struct {
+	Name string
+	Help string
+	// Type is 'c' (counter), 'g' (gauge) or 'h' (histogram).
+	Type byte
+	// Value is the counter or gauge reading.
+	Value int64
+	// Uppers, Counts (len(Uppers)+1, +Inf last) and Sum are the histogram
+	// state.
+	Uppers []float64
+	Counts []int64
+	Sum    float64
+}
+
+// RankObs is one rank's share of a shipped or dumped observation: its span
+// ring (unwrapped), drop count, iteration samples, and meter points.
+type RankObs struct {
+	Rank    int
+	Spans   []Span
+	Dropped uint64
+	Samples []IterSample
+	Meters  []MeterPoint
+}
+
+// ProcObs is one process's whole observability state in transit: the ranks
+// it hosts, the world events its runtime recorded, and its metrics
+// snapshot.
+type ProcObs struct {
+	Gen     int64
+	Ranks   []RankObs
+	Events  []Event
+	Metrics []MetricPoint
+}
+
+// FlightDump is the crash flight recorder's payload: what every local rank
+// was doing (span tail + meters) when the world died, plus the generation
+// and the rendered cause.
+type FlightDump struct {
+	Gen   int64
+	Cause string
+	Ranks []RankObs
+}
+
+// SetRankMeter stores a rank's latest meter points on the collector
+// (thread-safe; each rank goroutine stores its own rank). The points ride
+// along in ProcObs shipments and flight dumps.
+func (c *Collector) SetRankMeter(rank int, pts []MeterPoint) {
+	if c == nil || len(pts) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.meters == nil {
+		c.meters = make(map[int][]MeterPoint)
+	}
+	c.meters[rank] = pts
+	c.mu.Unlock()
+}
+
+// RankMeters returns the stored meter points for a rank (nil if none).
+func (c *Collector) RankMeters(rank int) []MeterPoint {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meters[rank]
+}
+
+// Export captures the collector's state for the given ranks as a ProcObs.
+// Call after the local ranks have finished recording.
+func (c *Collector) Export(ranks []int, gen int64) *ProcObs {
+	if c == nil {
+		return nil
+	}
+	po := &ProcObs{Gen: gen, Events: c.Events()}
+	for _, r := range ranks {
+		ro := RankObs{Rank: r, Meters: c.RankMeters(r)}
+		if t := c.Tracer(r); t != nil {
+			ro.Spans = t.Spans()
+			ro.Dropped = t.Dropped()
+		}
+		if rec := c.Recorder(r); rec != nil {
+			ro.Samples = rec.Samples()
+		}
+		po.Ranks = append(po.Ranks, ro)
+	}
+	if reg := c.Registry(); reg != nil {
+		po.Metrics = reg.Export()
+	}
+	return po
+}
+
+// InstallRemote merges one remote process's observation into the
+// collector, shifting every remote timestamp by offsetNs (the Cristian
+// estimate mapping the peer's trace timebase onto ours — applied here, at
+// merge time, never to a live clock). Within one remote rank every span
+// shifts by the same offset, so relative order and nesting are preserved
+// by construction.
+//
+// A rank whose local tracer or recorder already holds data is skipped:
+// that is the loopback shape where every endpoint shares one collector and
+// the "remote" payload is a re-encoding of spans already present. When
+// every carried rank is skipped that way, the events and metrics of the
+// payload are skipped too, so a shared collector is never double-counted.
+func (c *Collector) InstallRemote(po *ProcObs, offsetNs int64) {
+	if c == nil || po == nil {
+		return
+	}
+	hasPayload := false
+	installed := false
+	for _, ro := range po.Ranks {
+		if len(ro.Spans) > 0 || len(ro.Samples) > 0 {
+			hasPayload = true
+		}
+		r := ro.Rank
+		if len(ro.Spans) > 0 && r >= 0 && r < len(c.tracers) {
+			if t := c.tracers[r]; t != nil && t.total == 0 {
+				for _, sp := range ro.Spans {
+					sp.Start += offsetNs
+					t.record(sp)
+				}
+				installed = true
+				if ro.Dropped > 0 {
+					c.mu.Lock()
+					c.remoteDropped += ro.Dropped
+					c.mu.Unlock()
+				}
+			}
+		}
+		if len(ro.Samples) > 0 && r >= 0 && r < len(c.recs) {
+			if rec := c.recs[r]; rec != nil && len(rec.samples) == 0 {
+				for _, s := range ro.Samples {
+					s.Rank = r
+					rec.samples = append(rec.samples, s)
+				}
+				installed = true
+			}
+		}
+		if len(ro.Meters) > 0 && c.RankMeters(r) == nil {
+			c.SetRankMeter(r, ro.Meters)
+		}
+	}
+	if hasPayload && !installed {
+		return
+	}
+	if len(po.Events) > 0 {
+		evs := make([]Event, len(po.Events))
+		for i, ev := range po.Events {
+			ev.At += offsetNs
+			evs[i] = ev
+		}
+		c.AddEvents(evs)
+	}
+	if reg := c.Registry(); reg != nil {
+		reg.Absorb(po.Metrics)
+	}
+}
+
+// Export snapshots every metric in registration order.
+func (r *Registry) Export() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]any, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+	out := make([]MetricPoint, 0, len(metrics))
+	for _, m := range metrics {
+		switch m := m.(type) {
+		case *Counter:
+			out = append(out, MetricPoint{Name: m.name, Help: m.help, Type: 'c', Value: m.Value()})
+		case *Gauge:
+			out = append(out, MetricPoint{Name: m.name, Help: m.help, Type: 'g', Value: m.Value()})
+		case *Histogram:
+			pt := MetricPoint{Name: m.name, Help: m.help, Type: 'h', Sum: m.Sum()}
+			pt.Uppers = append(pt.Uppers, m.uppers...)
+			pt.Counts = make([]int64, len(m.counts))
+			for i := range m.counts {
+				pt.Counts[i] = m.counts[i].Load()
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// Absorb folds a remote process's metric snapshot into the registry under
+// the SPMD conventions: counters are volume and add up to world totals;
+// gauges are rank-0-replicated state, so an existing local gauge wins and
+// a remote one is only installed when the name is new here; histogram
+// bucket counts and sums merge when the bucket layout matches (they share
+// code, so it always does) and are dropped otherwise.
+func (r *Registry) Absorb(pts []MetricPoint) {
+	if r == nil {
+		return
+	}
+	for _, pt := range pts {
+		switch pt.Type {
+		case 'c':
+			r.Counter(pt.Name, pt.Help).Add(pt.Value)
+		case 'g':
+			r.mu.Lock()
+			_, exists := r.byNm[pt.Name]
+			r.mu.Unlock()
+			if !exists {
+				r.Gauge(pt.Name, pt.Help).Set(pt.Value)
+			}
+		case 'h':
+			h := r.Histogram(pt.Name, pt.Help, pt.Uppers)
+			if len(h.counts) != len(pt.Counts) {
+				continue
+			}
+			match := true
+			for i, ub := range h.uppers {
+				if pt.Uppers[i] != ub {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for i, n := range pt.Counts {
+				h.counts[i].Add(n)
+			}
+			h.addSum(pt.Sum)
+		}
+	}
+}
+
+// addSum atomically adds v to the histogram's sum.
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// BuildFlightDump captures the flight-recorder payload for the given local
+// ranks: the last FlightSpanTail spans of each ring, the rank's meter
+// points, the generation and the cause.
+func (c *Collector) BuildFlightDump(ranks []int, gen int64, cause string) *FlightDump {
+	d := &FlightDump{Gen: gen, Cause: cause}
+	for _, r := range ranks {
+		ro := RankObs{Rank: r}
+		if c != nil {
+			ro.Meters = c.RankMeters(r)
+			if t := c.Tracer(r); t != nil {
+				spans := t.Spans()
+				if len(spans) > FlightSpanTail {
+					spans = spans[len(spans)-FlightSpanTail:]
+				}
+				ro.Spans = spans
+				ro.Dropped = t.Dropped()
+			}
+		}
+		d.Ranks = append(d.Ranks, ro)
+	}
+	return d
+}
+
+// LastSpan returns the most recent span of a rank in the dump (zero Span,
+// false when the rank recorded nothing).
+func (d *FlightDump) LastSpan(rank int) (Span, bool) {
+	for _, ro := range d.Ranks {
+		if ro.Rank == rank && len(ro.Spans) > 0 {
+			return ro.Spans[len(ro.Spans)-1], true
+		}
+	}
+	return Span{}, false
+}
+
+// WriteFile persists the dump. The file is written whole, then renamed
+// into place, so a dump either exists completely or not at all — a
+// half-written post-mortem is worse than none.
+func (d *FlightDump) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, d.Encode(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFlightDump loads and decodes a dump file.
+func ReadFlightDump(path string) (*FlightDump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFlightDump(data)
+}
+
+// --- binary codec ---------------------------------------------------------
+
+// sbuf builds the little-endian ship encoding.
+type sbuf struct{ b []byte }
+
+func (s *sbuf) u8(v byte) { s.b = append(s.b, v) }
+func (s *sbuf) u32(v uint32) {
+	s.b = append(s.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (s *sbuf) u64(v uint64) {
+	s.u32(uint32(v))
+	s.u32(uint32(v >> 32))
+}
+func (s *sbuf) i64(v int64)   { s.u64(uint64(v)) }
+func (s *sbuf) f64(v float64) { s.u64(math.Float64bits(v)) }
+func (s *sbuf) str(v string) {
+	s.u32(uint32(len(v)))
+	s.b = append(s.b, v...)
+}
+func (s *sbuf) span(sp Span) {
+	s.u8(byte(sp.Kind))
+	s.str(sp.Name)
+	s.i64(sp.Start)
+	s.i64(sp.Dur)
+	s.i64(sp.Arg)
+	s.u64(sp.Flow)
+}
+func (s *sbuf) sample(v IterSample) {
+	s.i64(int64(v.Phase))
+	s.i64(int64(v.Iteration))
+	s.i64(int64(v.Frontier))
+	s.i64(int64(v.NewPaths))
+	s.i64(int64(v.Matched))
+	if v.Pull {
+		s.u8(1)
+	} else {
+		s.u8(0)
+	}
+	s.str(v.Direction)
+	s.i64(v.WallNs)
+	s.i64(v.Msgs)
+	s.i64(v.Words)
+	s.i64(v.WordsEncoded)
+	s.i64(v.CommNs)
+	s.i64(v.ExposedNs)
+	s.i64(v.PoolBusyNs)
+	s.i64(v.PoolSpanNs)
+}
+func (s *sbuf) rankObs(ro RankObs) {
+	s.u32(uint32(ro.Rank))
+	s.u32(uint32(len(ro.Spans)))
+	for _, sp := range ro.Spans {
+		s.span(sp)
+	}
+	s.u64(ro.Dropped)
+	s.u32(uint32(len(ro.Samples)))
+	for _, sm := range ro.Samples {
+		s.sample(sm)
+	}
+	s.u32(uint32(len(ro.Meters)))
+	for _, mp := range ro.Meters {
+		s.str(mp.Name)
+		s.i64(mp.Value)
+	}
+}
+
+// srd decodes the ship encoding; a malformed read poisons the reader so
+// every later read fails too.
+type srd struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *srd) fail() { r.bad = true }
+func (r *srd) u8() byte {
+	if r.bad || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+func (r *srd) u32() uint32 {
+	if r.bad || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func (r *srd) u64() uint64 {
+	lo := r.u32()
+	hi := r.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+func (r *srd) i64() int64   { return int64(r.u64()) }
+func (r *srd) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *srd) str() string {
+	n := int(r.u32())
+	if r.bad || n < 0 || n > maxShipPayload || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+// count reads a u32 count and rejects one that cannot fit in the remaining
+// bytes at minSize bytes per element — the guard that keeps a corrupt
+// length field from driving an unbounded allocation.
+func (r *srd) count(minSize int) int {
+	n := int(r.u32())
+	if r.bad || n < 0 || n > maxShipPayload || n*minSize > len(r.b)-r.off {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+func (r *srd) span() Span {
+	sp := Span{Kind: Kind(r.u8()), Name: r.str()}
+	sp.Start = r.i64()
+	sp.Dur = r.i64()
+	sp.Arg = r.i64()
+	sp.Flow = r.u64()
+	return sp
+}
+func (r *srd) sample() IterSample {
+	var v IterSample
+	v.Phase = int(r.i64())
+	v.Iteration = int(r.i64())
+	v.Frontier = int(r.i64())
+	v.NewPaths = int(r.i64())
+	v.Matched = int(r.i64())
+	v.Pull = r.u8() != 0
+	v.Direction = r.str()
+	v.WallNs = r.i64()
+	v.Msgs = r.i64()
+	v.Words = r.i64()
+	v.WordsEncoded = r.i64()
+	v.CommNs = r.i64()
+	v.ExposedNs = r.i64()
+	v.PoolBusyNs = r.i64()
+	v.PoolSpanNs = r.i64()
+	return v
+}
+func (r *srd) rankObs() RankObs {
+	ro := RankObs{Rank: int(int32(r.u32()))}
+	nspans := r.count(37) // kind + name len + start/dur/arg + flow
+	for i := 0; i < nspans && !r.bad; i++ {
+		ro.Spans = append(ro.Spans, r.span())
+	}
+	ro.Dropped = r.u64()
+	nsamples := r.count(13*8 + 1 + 4)
+	for i := 0; i < nsamples && !r.bad; i++ {
+		ro.Samples = append(ro.Samples, r.sample())
+	}
+	nmeters := r.count(12)
+	for i := 0; i < nmeters && !r.bad; i++ {
+		ro.Meters = append(ro.Meters, MeterPoint{Name: r.str(), Value: r.i64()})
+	}
+	return ro
+}
+
+// Encode serializes the observation under the MCMOBS1 magic.
+func (po *ProcObs) Encode() []byte {
+	var s sbuf
+	s.b = append(s.b, procObsMagic...)
+	s.i64(po.Gen)
+	s.u32(uint32(len(po.Ranks)))
+	for _, ro := range po.Ranks {
+		s.rankObs(ro)
+	}
+	s.u32(uint32(len(po.Events)))
+	for _, ev := range po.Events {
+		s.str(ev.Name)
+		s.i64(int64(ev.Rank))
+		s.i64(ev.At)
+		s.i64(ev.Arg)
+	}
+	encodeMetrics(&s, po.Metrics)
+	return s.b
+}
+
+// DecodeProcObs parses a shipped observation. Arbitrary input either
+// decodes or errors; it never panics.
+func DecodeProcObs(data []byte) (*ProcObs, error) {
+	if len(data) < len(procObsMagic) || string(data[:len(procObsMagic)]) != procObsMagic {
+		return nil, fmt.Errorf("obs: not a %s observation", procObsMagic)
+	}
+	r := &srd{b: data, off: len(procObsMagic)}
+	po := &ProcObs{Gen: r.i64()}
+	nranks := r.count(24) // rank + three counts + dropped, all empty
+	for i := 0; i < nranks && !r.bad; i++ {
+		po.Ranks = append(po.Ranks, r.rankObs())
+	}
+	nevents := r.count(4 + 3*8)
+	for i := 0; i < nevents && !r.bad; i++ {
+		ev := Event{Name: r.str()}
+		ev.Rank = int(r.i64())
+		ev.At = r.i64()
+		ev.Arg = r.i64()
+		po.Events = append(po.Events, ev)
+	}
+	po.Metrics = decodeMetrics(r)
+	if r.bad {
+		return nil, fmt.Errorf("obs: malformed %s observation", procObsMagic)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("obs: %d trailing bytes after %s observation", len(data)-r.off, procObsMagic)
+	}
+	return po, nil
+}
+
+// Encode serializes the dump under the MCMFDR1 magic.
+func (d *FlightDump) Encode() []byte {
+	var s sbuf
+	s.b = append(s.b, flightMagic...)
+	s.i64(d.Gen)
+	s.str(d.Cause)
+	s.u32(uint32(len(d.Ranks)))
+	for _, ro := range d.Ranks {
+		s.rankObs(ro)
+	}
+	return s.b
+}
+
+// DecodeFlightDump parses a flight-recorder dump. Arbitrary input either
+// decodes or errors; it never panics.
+func DecodeFlightDump(data []byte) (*FlightDump, error) {
+	if len(data) < len(flightMagic) || string(data[:len(flightMagic)]) != flightMagic {
+		return nil, fmt.Errorf("obs: not a %s flight dump", flightMagic)
+	}
+	r := &srd{b: data, off: len(flightMagic)}
+	d := &FlightDump{Gen: r.i64(), Cause: r.str()}
+	nranks := r.count(24)
+	for i := 0; i < nranks && !r.bad; i++ {
+		d.Ranks = append(d.Ranks, r.rankObs())
+	}
+	if r.bad {
+		return nil, fmt.Errorf("obs: malformed %s flight dump", flightMagic)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("obs: %d trailing bytes after %s flight dump", len(data)-r.off, flightMagic)
+	}
+	return d, nil
+}
+
+func encodeMetrics(s *sbuf, pts []MetricPoint) {
+	s.u32(uint32(len(pts)))
+	for _, pt := range pts {
+		s.str(pt.Name)
+		s.str(pt.Help)
+		s.u8(pt.Type)
+		switch pt.Type {
+		case 'h':
+			s.u32(uint32(len(pt.Uppers)))
+			for _, ub := range pt.Uppers {
+				s.f64(ub)
+			}
+			for _, n := range pt.Counts {
+				s.i64(n)
+			}
+			s.f64(pt.Sum)
+		default:
+			s.i64(pt.Value)
+		}
+	}
+}
+
+func decodeMetrics(r *srd) []MetricPoint {
+	n := r.count(4 + 4 + 1)
+	var out []MetricPoint
+	for i := 0; i < n && !r.bad; i++ {
+		pt := MetricPoint{Name: r.str(), Help: r.str(), Type: r.u8()}
+		switch pt.Type {
+		case 'h':
+			nb := r.count(8)
+			for j := 0; j < nb && !r.bad; j++ {
+				pt.Uppers = append(pt.Uppers, r.f64())
+			}
+			for j := 0; j < nb+1 && !r.bad; j++ {
+				pt.Counts = append(pt.Counts, r.i64())
+			}
+			pt.Sum = r.f64()
+		case 'c', 'g':
+			pt.Value = r.i64()
+		default:
+			r.fail()
+		}
+		if !r.bad {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// sortSpansForTrack orders one track's spans for emission: by start, then
+// longer first so a parent precedes its children — the order that keeps
+// per-track timestamps monotone in the written trace and lets a validator
+// assert it.
+func sortSpansForTrack(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Dur > spans[j].Dur
+	})
+}

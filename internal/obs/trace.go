@@ -35,8 +35,10 @@ type Collector struct {
 	tracers []*Tracer
 	recs    []*IterRecorder
 
-	mu     sync.Mutex
-	events []Event
+	mu            sync.Mutex
+	events        []Event
+	meters        map[int][]MeterPoint
+	remoteDropped uint64
 }
 
 // NewCollector builds a collector for a world of the given size.
@@ -55,6 +57,22 @@ func NewCollector(ranks int, opt Options) *Collector {
 		}
 	}
 	return c
+}
+
+// Sibling builds a fresh collector with the same planes enabled as c — the
+// shape a peer process of the same world would build from the job spec. A
+// metrics-enabled sibling gets its own registry: per-process registries are
+// the real multi-process topology, and the coordinator's InstallRemote
+// absorbs them into world aggregates at collection time.
+func (c *Collector) Sibling(ranks int) *Collector {
+	if c == nil {
+		return nil
+	}
+	opt := c.opt
+	if opt.Metrics != nil {
+		opt.Metrics = NewRegistry()
+	}
+	return NewCollector(ranks, opt)
 }
 
 // Ranks returns the world size the collector was built for.
@@ -116,7 +134,8 @@ func (c *Collector) Events() []Event {
 	return out
 }
 
-// Dropped returns the total spans lost to ring wrap across all ranks.
+// Dropped returns the total spans lost to ring wrap across all ranks,
+// including drops reported by remote processes at installation.
 func (c *Collector) Dropped() uint64 {
 	if c == nil {
 		return 0
@@ -125,6 +144,9 @@ func (c *Collector) Dropped() uint64 {
 	for _, t := range c.tracers {
 		n += t.Dropped()
 	}
+	c.mu.Lock()
+	n += c.remoteDropped
+	c.mu.Unlock()
 	return n
 }
 
@@ -172,20 +194,33 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	flows := make(map[uint64][]flowSpan)
 
 	for r, t := range c.tracers {
+		// Split the ring into the two tracks and emit each in start order
+		// (parents before children on ties), so a track's timestamps are
+		// monotone in the file — the property cmd/tracelint asserts on
+		// merged multi-process traces.
+		var compute, comm []Span
 		for _, sp := range t.Spans() {
-			tid := 2 * r
 			if sp.Kind == KindCollective || sp.Kind == KindRMA {
-				tid = 2*r + 1
+				comm = append(comm, sp)
+			} else {
+				compute = append(compute, sp)
 			}
-			if sp.Kind == KindInstant {
-				emit(`{"ph":"i","pid":0,"tid":%d,"ts":%.3f,"name":%s,"cat":"instant","s":"t","args":{"arg":%d}}`,
-					tid, us(sp.Start), quote(sp.Name), sp.Arg)
-				continue
-			}
-			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":%s,"args":{"arg":%d}}`,
-				tid, us(sp.Start), us(sp.Dur), quote(sp.Name), quote(sp.Kind.String()), sp.Arg)
-			if sp.Flow != 0 {
-				flows[sp.Flow] = append(flows[sp.Flow], flowSpan{tid: tid, start: sp.Start})
+		}
+		sortSpansForTrack(compute)
+		sortSpansForTrack(comm)
+		for half, spans := range [2][]Span{compute, comm} {
+			track := 2*r + half
+			for _, sp := range spans {
+				if sp.Kind == KindInstant {
+					emit(`{"ph":"i","pid":0,"tid":%d,"ts":%.3f,"name":%s,"cat":"instant","s":"t","args":{"arg":%d}}`,
+						track, us(sp.Start), quote(sp.Name), sp.Arg)
+					continue
+				}
+				emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":%s,"args":{"arg":%d}}`,
+					track, us(sp.Start), us(sp.Dur), quote(sp.Name), quote(sp.Kind.String()), sp.Arg)
+				if sp.Flow != 0 {
+					flows[sp.Flow] = append(flows[sp.Flow], flowSpan{tid: track, start: sp.Start})
+				}
 			}
 		}
 	}

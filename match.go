@@ -360,6 +360,7 @@ func MaximumMatching(g *Graph, opts Options) (m *Matching, st *Stats, err error)
 		procs = opts.GridRows * opts.GridCols
 	}
 	col := opts.Observe.collector(procs)
+	opts.Observe.live(col)
 	cfg.Obs = col
 	res, err := core.Solve(g.a, cfg)
 	if err != nil {

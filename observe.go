@@ -2,6 +2,7 @@ package mcmdist
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"mcmdist/internal/obs"
@@ -29,6 +30,12 @@ type Observe struct {
 	// histograms) during the run, exposable in Prometheus text format via
 	// ObsReport.WriteMetrics.
 	Metrics bool
+	// OnLive, when non-nil, receives the run's ObsReport the moment the
+	// observability plane is built — before the solve launches, while the
+	// report is still empty. It lets a caller serve live data during the
+	// run (ObsReport.MetricsHandler over HTTP is the intended use); the
+	// same report keeps accumulating and is returned on Stats.Obs.
+	OnLive func(*ObsReport)
 }
 
 // collector builds the internal collector for an effective rank count, or
@@ -50,6 +57,16 @@ func (o *Observe) collector(procs int) *obs.Collector {
 		TimeSeries: o.TimeSeries,
 		Metrics:    reg,
 	})
+}
+
+// live invokes the OnLive hook, if any, with the freshly built collector's
+// report — the moment the observability plane exists, before the solve
+// launches.
+func (o *Observe) live(col *obs.Collector) {
+	if o == nil || o.OnLive == nil || col == nil {
+		return
+	}
+	o.OnLive(newObsReport(col))
 }
 
 // IterSample is one BFS iteration's observation. Per-rank samples carry the
@@ -101,6 +118,15 @@ func sampleFromInternal(s obs.IterSample) IterSample {
 
 // ObsReport is the observability data of one run, returned on Stats.Obs
 // when Options.Observe was set.
+//
+// In-process runs observe every rank directly. Over a multi-process
+// transport each process observes only its own ranks during the solve, but
+// at solve end the workers ship their observations to the coordinator,
+// which aligns the timestamps with its heartbeat-estimated clock offsets
+// and merges everything: rank 0's report then covers the whole world —
+// one trace with a track pair per world rank, a rank-merged time-series,
+// and world-aggregated metrics — while a worker's report keeps covering
+// only its local ranks. See docs/OBSERVABILITY.md.
 type ObsReport struct {
 	col *obs.Collector
 }
@@ -161,4 +187,18 @@ func (r *ObsReport) WriteMetrics(w io.Writer) error {
 		return nil
 	}
 	return reg.WritePrometheus(w)
+}
+
+// MetricsHandler returns an http.Handler serving the run's live metrics
+// registry in Prometheus text format, or nil without Observe.Metrics.
+// Combined with Observe.OnLive it gives a scrape endpoint that is live for
+// the duration of the run; on a multi-process coordinator the registry
+// absorbs every worker's metrics at solve end, so the endpoint ends up
+// reporting world-aggregated values.
+func (r *ObsReport) MetricsHandler() http.Handler {
+	reg := r.col.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.Handler()
 }

@@ -22,14 +22,15 @@ kill_after="${CHAOS_KILL_AFTER:-1}"
 work="$(mktemp -d 2>/dev/null || mktemp -d .chaos-smoke.XXXXXX)"
 trap 'rm -rf "$work"' EXIT
 
-go build -o "$work/" ./cmd/mcm ./cmd/mcmrank
+go build -o "$work/" ./cmd/mcm ./cmd/mcmrank ./cmd/tracelint
 
 graph=(-rmat g500 -scale "$scale" -seed 1 -procs "$procs")
 
 "$work/mcm" "${graph[@]}" -out "$work/oracle.txt" >/dev/null
 
+mkdir -p "$work/flight"
 "$work/mcm" "${graph[@]}" -transport tcp -addr "$addr" \
-  -recover -checkpoint-every 1 \
+  -recover -checkpoint-every 1 -flight-dir "$work/flight" \
   -out "$work/rank0.txt" >"$work/coord.log" 2>&1 &
 coord=$!
 "$work/mcmrank" -addr "$addr" -rank 1 -quiet &
@@ -68,4 +69,24 @@ fi
 
 cmp "$work/oracle.txt" "$work/rank0.txt"
 cmp "$work/oracle.txt" "$work/rank3.txt"
-echo "chaos-smoke: solve survived a SIGKILLed worker; recovered matching is byte-identical to the oracle (scale $scale, $addr)"
+
+# The killed generation must have left a flight-recorder bundle: each
+# surviving process persisted its span-ring tail, meters and abort cause
+# before rejoining. Every dump has to decode (tracelint doubles as the
+# decoder), and at least one cause has to name the dead rank.
+dumps=("$work"/flight/flight-g*.dump)
+if [ ! -e "${dumps[0]}" ]; then
+  echo "chaos-smoke: no flight dumps in $work/flight after a killed generation" >&2
+  cat "$work/coord.log" >&2
+  exit 1
+fi
+: >"$work/flight.txt"
+for d in "${dumps[@]}"; do
+  "$work/tracelint" "$d" >>"$work/flight.txt"
+done
+if ! grep -q "rank 2" "$work/flight.txt"; then
+  echo "chaos-smoke: no flight dump cause names the killed rank 2:" >&2
+  cat "$work/flight.txt" >&2
+  exit 1
+fi
+echo "chaos-smoke: solve survived a SIGKILLed worker; recovered matching is byte-identical to the oracle, ${#dumps[@]} flight dump(s) decoded (scale $scale, $addr)"

@@ -19,7 +19,7 @@ addr="127.0.0.1:${SMOKE_PORT:-$((9400 + RANDOM % 512))}"
 work="$(mktemp -d 2>/dev/null || mktemp -d .transport-smoke.XXXXXX)"
 trap 'rm -rf "$work"' EXIT
 
-go build -o "$work/" ./cmd/mcm ./cmd/mcmrank
+go build -o "$work/" ./cmd/mcm ./cmd/mcmrank ./cmd/tracelint
 
 graph=(-rmat g500 -scale "$scale" -seed 1 -procs "$procs")
 
@@ -90,3 +90,37 @@ wait
 cmp "$work/oracle_auction.txt" "$work/rank0a.txt"
 cmp "$work/oracle_auction.txt" "$work/rank3a.txt"
 echo "transport-smoke: auction-engine 4-process matching is byte-identical to its in-process oracle (scale $scale, $addr3)"
+
+# Fourth pass: whole-world observability. The coordinator requests spans,
+# time-series and metrics; the workers enable the same planes from the job
+# spec, ship their observations back at solve end, and the coordinator
+# writes ONE merged trace covering all four ranks. tracelint then enforces
+# the world-level invariants: a compute/comm track pair per rank, per-track
+# timestamp monotonicity after clock-offset alignment, and paired flow
+# chains. The matching must still be byte-identical — tracing is passive.
+addr4="127.0.0.1:${SMOKE_PORT4:-$((9530 + RANDOM % 170))}"
+"$work/mcm" "${graph[@]}" -transport tcp -addr "$addr4" \
+  -trace-out "$work/world.json" -timeseries "$work/world.csv" -metrics-out "$work/world.prom" \
+  -out "$work/rank0t.txt" >"$work/coordt.log" 2>&1 &
+coord=$!
+"$work/mcmrank" -addr "$addr4" -rank 1 -quiet &
+"$work/mcmrank" -addr "$addr4" -rank 2 -quiet &
+"$work/mcmrank" -addr "$addr4" -rank 3 -quiet -out "$work/rank3t.txt"
+if ! wait "$coord"; then
+  echo "transport-smoke: traced coordinator failed:" >&2
+  cat "$work/coordt.log" >&2
+  exit 1
+fi
+wait
+
+cmp "$work/oracle.txt" "$work/rank0t.txt"
+cmp "$work/oracle.txt" "$work/rank3t.txt"
+"$work/tracelint" "$work/world.json" "$work/world.csv"
+# The merged time-series carries rows from every rank, and the aggregated
+# registry carries the per-link heartbeat RTT histograms the workers shipped.
+for r in 0 1 2 3; do
+  grep -q "^$r," "$work/world.csv" || { echo "transport-smoke: no series rows for rank $r" >&2; exit 1; }
+done
+grep -q "mcm_heartbeat_rtt_seconds_link_1_0" "$work/world.prom" || {
+  echo "transport-smoke: worker RTT histograms missing from the aggregated registry" >&2; exit 1; }
+echo "transport-smoke: traced 4-process solve produced one tracelint-clean world trace (scale $scale, $addr4)"

@@ -97,6 +97,7 @@ func (dg *DistributedGraph) MaximumMatching(opts Options) (m *Matching, st *Stat
 		return nil, nil, err
 	}
 	col := opts.Observe.collector(dg.procs)
+	opts.Observe.live(col)
 	cfg.Obs = col
 
 	perRankStats := make([]*core.Stats, dg.procs)

@@ -92,8 +92,11 @@ func LoopbackTCP(procs int) (trs []*Transport, err error) {
 // MaximumMatchingOn is MaximumMatching over an explicit transport endpoint.
 // Every process of the world calls it with its own endpoint and the same
 // graph and options (opts.Procs must equal the world size). The full
-// matching comes back in every process; Stats and Observe data cover only
-// the ranks this process hosts.
+// matching comes back in every process. Stats cover only the ranks this
+// process hosts; Observe data does too on a worker, but on the coordinator
+// (the process hosting rank 0) the solve-end collection merges every
+// worker's shipped observations — clock-offset aligned — so rank 0's
+// Stats.Obs covers the whole world (see ObsReport).
 func MaximumMatchingOn(tr *Transport, g *Graph, opts Options) (m *Matching, st *Stats, err error) {
 	defer guard(&err)
 	if tr == nil {
@@ -111,6 +114,7 @@ func MaximumMatchingOn(tr *Transport, g *Graph, opts Options) (m *Matching, st *
 		return nil, nil, fmt.Errorf("mcmdist: Options.Procs %d != transport world size %d", procs, tr.WorldSize())
 	}
 	col := opts.Observe.collector(procs)
+	opts.Observe.live(col)
 	cfg.Obs = col
 	res, err := core.SolveOn(tr.t, g.a, cfg)
 	if err != nil {
